@@ -1,0 +1,55 @@
+//! Query-interface benchmarks: subtree and report extraction vs cache
+//! size (§3.2.3's current-data queries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inca_report::{BranchId, Timestamp};
+use inca_server::{Depot, QueryInterface};
+use inca_sim::workload::synthetic_report;
+use inca_wire::envelope::{Envelope, EnvelopeMode};
+
+fn depot_with_reports(n: usize) -> Depot {
+    let mut depot = Depot::new();
+    let t = Timestamp::from_secs(1_000_000);
+    for i in 0..n {
+        let branch: BranchId = format!(
+            "reporter=r{i},resource=m{},site=s{},vo=bench",
+            i % 10,
+            i % 4
+        )
+        .parse()
+        .unwrap();
+        let report = synthetic_report(&format!("r{i}"), "h", t, 1_200);
+        depot
+            .receive(&Envelope::new(branch, report.to_xml()).encode(EnvelopeMode::Body), t)
+            .unwrap();
+    }
+    depot
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_query");
+    for n in [100usize, 1_000] {
+        let depot = depot_with_reports(n);
+        let single: BranchId =
+            format!("reporter=r{},resource=m{},site=s{},vo=bench", n / 2, (n / 2) % 10, (n / 2) % 4)
+                .parse()
+                .unwrap();
+        let site: BranchId = "site=s1,vo=bench".parse().unwrap();
+        group.bench_with_input(BenchmarkId::new("single_report", n), &depot, |b, d| {
+            let q = QueryInterface::new(d);
+            b.iter(|| q.report(&single).unwrap().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("site_subtree", n), &depot, |b, d| {
+            let q = QueryInterface::new(d);
+            b.iter(|| q.current(&site).unwrap().unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("full_cache", n), &depot, |b, d| {
+            let q = QueryInterface::new(d);
+            b.iter(|| q.current_all().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

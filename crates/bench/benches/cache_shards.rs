@@ -1,0 +1,55 @@
+//! The §5.2.2 split-cache ablation: insert time into one big document
+//! vs per-site shards at the same total content.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inca_report::{BranchId, Timestamp};
+use inca_server::{ShardedCache, XmlCache};
+use inca_sim::workload::synthetic_report;
+
+fn fill<const N: usize>(update: &mut dyn FnMut(&BranchId, &str)) {
+    let t = Timestamp::from_secs(0);
+    for i in 0..N {
+        let branch: BranchId = format!(
+            "reporter=r{i},resource=m{},site=s{},vo=tg",
+            i % 12,
+            i % 6
+        )
+        .parse()
+        .unwrap();
+        let xml = synthetic_report(&format!("r{i}"), "h", t, 2_048).to_xml();
+        update(&branch, &xml);
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_shards/insert");
+    let probe_branch: BranchId = "reporter=probe,resource=m0,site=s0,vo=tg".parse().unwrap();
+    let probe_xml =
+        synthetic_report("probe", "h", Timestamp::from_secs(1), 851).to_xml();
+
+    let mut single = XmlCache::new();
+    fill::<600>(&mut |b, x| single.update(b, x).unwrap());
+    group.bench_with_input(
+        BenchmarkId::from_parameter("single-document"),
+        &(),
+        |bench, _| {
+            bench.iter(|| single.update(&probe_branch, &probe_xml).unwrap())
+        },
+    );
+
+    for depth in [2usize, 3] {
+        let mut sharded = ShardedCache::new(depth);
+        fill::<600>(&mut |b, x| sharded.update(b, x).unwrap());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("sharded-depth{depth}")),
+            &depth,
+            |bench, _| {
+                bench.iter(|| sharded.update(&probe_branch, &probe_xml).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Cron substrate benchmarks: next-fire computation for the schedule
+//! shapes the deployment generates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inca_cron::{CronExpr, CronTab};
+use inca_report::Timestamp;
+
+fn bench_next_after(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cron/next_after");
+    for (label, expr) in [
+        ("hourly", "37 * * * *"),
+        ("every10min", "7-59/10 * * * *"),
+        ("daily", "12 4 * * *"),
+        ("weekly", "3 2 * * 1"),
+    ] {
+        let expr: CronExpr = expr.parse().unwrap();
+        let t = Timestamp::from_gmt(2004, 7, 7, 13, 45, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &expr, |b, e| {
+            b.iter(|| e.next_after(t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tab_scan(c: &mut Criterion) {
+    // A Caltech-sized table: 128 hourly entries with spread offsets.
+    let mut tab = CronTab::new();
+    for i in 0..128u8 {
+        tab.add_str(&format!("{} * * * *", i % 60), i).unwrap();
+    }
+    let t = Timestamp::from_gmt(2004, 7, 7, 13, 45, 0);
+    c.bench_function("cron/tab128_next_fire", |b| b.iter(|| tab.next_fire(t).unwrap()));
+    c.bench_function("cron/tab128_due_at", |b| b.iter(|| tab.due_at(t).count()));
+}
+
+criterion_group!(benches, bench_next_after, bench_tab_scan);
+criterion_main!(benches);

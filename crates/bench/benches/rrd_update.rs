@@ -1,0 +1,56 @@
+//! RRD substrate benchmarks: update and fetch rates for the archive
+//! policies the depot compiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inca_report::Timestamp;
+use inca_rrd::{ArchivePolicy, ConsolidationFn, Rrd};
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rrd/update");
+    for rows in [1_008usize, 10_080] {
+        let mut rrd = Rrd::single_gauge(Timestamp::from_secs(0), 600, rows);
+        let mut t = 600u64;
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                t += 600;
+                rrd.update_single(Timestamp::from_secs(t), (t % 100) as f64).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_build_and_fill(c: &mut Criterion) {
+    c.bench_function("rrd/policy_week_fill", |b| {
+        b.iter(|| {
+            let policy = ArchivePolicy::every("w", 7 * 86_400).with_extremes();
+            let mut rrd = policy.build(Timestamp::from_secs(0), 600).unwrap();
+            for i in 1..=1_008u64 {
+                rrd.update_single(Timestamp::from_secs(i * 600), (i % 17) as f64).unwrap();
+            }
+            rrd.last_known(ConsolidationFn::Average)
+        })
+    });
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut rrd = Rrd::single_gauge(Timestamp::from_secs(0), 600, 2_016);
+    for i in 1..=2_016u64 {
+        rrd.update_single(Timestamp::from_secs(i * 600), (i % 23) as f64).unwrap();
+    }
+    c.bench_function("rrd/fetch_week", |b| {
+        b.iter(|| {
+            rrd.fetch(
+                ConsolidationFn::Average,
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(2_017 * 600),
+            )
+            .unwrap()
+            .points
+            .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_update, bench_policy_build_and_fill, bench_fetch);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! XML substrate microbenchmarks: tokenize / tree-parse / serialize,
+//! including the SAX-vs-DOM ablation the paper's §3.2.2 describes
+//! ("the memory requirements of the DOM parser grew too rapidly").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inca_report::Timestamp;
+use inca_sim::workload::synthetic_report;
+use inca_xml::{Element, Token, Tokenizer};
+
+fn sample_doc(bytes: usize) -> String {
+    synthetic_report("bench", "host", Timestamp::from_secs(0), bytes).to_xml()
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml/tokenize");
+    for size in [851usize, 9_257, 45_527] {
+        let doc = sample_doc(size);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &doc, |b, doc| {
+            b.iter(|| {
+                let mut tok = Tokenizer::new(doc);
+                let mut count = 0usize;
+                while let Some(t) = tok.next_token().unwrap() {
+                    if matches!(t, Token::StartTag { .. }) {
+                        count += 1;
+                    }
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The SAX-vs-DOM ablation: a streaming token scan (what the depot
+/// cache does) vs building a full element tree per pass.
+fn bench_sax_vs_dom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml/sax_vs_dom");
+    let doc = sample_doc(45_527);
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("sax_scan", |b| {
+        b.iter(|| {
+            let mut tok = Tokenizer::new(&doc);
+            let mut depth_max = 0usize;
+            let mut depth = 0usize;
+            while let Some(t) = tok.next_token().unwrap() {
+                match t {
+                    Token::StartTag { self_closing: false, .. } => {
+                        depth += 1;
+                        depth_max = depth_max.max(depth);
+                    }
+                    Token::EndTag { .. } => depth -= 1,
+                    _ => {}
+                }
+            }
+            depth_max
+        })
+    });
+    group.bench_function("dom_build", |b| {
+        b.iter(|| Element::parse(&doc).unwrap().element_count())
+    });
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml/serialize");
+    let tree = Element::parse(&sample_doc(9_257)).unwrap();
+    group.bench_function("compact", |b| b.iter(|| tree.to_xml().len()));
+    group.bench_function("pretty", |b| b.iter(|| tree.to_pretty_xml().len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenize, bench_sax_vs_dom, bench_serialize);
+criterion_main!(benches);

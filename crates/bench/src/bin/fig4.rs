@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: the status summary page after a simulated
+//! six-hour run of the full deployment. INCA_HOURS overrides the
+//! horizon.
+fn main() {
+    let hours: u64 = std::env::var("INCA_HOURS").ok().and_then(|v| v.parse().ok()).unwrap_or(6);
+    let page = inca_core::experiments::fig4::run(42, hours);
+    print!("{}", inca_core::experiments::fig4::render(&page));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: Grid availability over a week, 10-minute
+//! samples, with the Monday maintenance dip. INCA_DAYS overrides the
+//! horizon (default 7).
+fn main() {
+    let days: u64 = std::env::var("INCA_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let series = inca_core::experiments::fig5::run(42, days);
+    print!("{}", inca_core::experiments::fig5::render(&series));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 4 and Figure 8: a week-shaped report stream
+//! (151,955 reports) replayed through the real depot with response
+//! times measured. INCA_REPORTS overrides the count.
+fn main() {
+    let count: u64 = std::env::var("INCA_REPORTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(151_955);
+    eprintln!("replaying {count} reports through the depot (this walks the full cache per update; the paper-scale run takes a few minutes)...");
+    let data = inca_core::experiments::fig8_table4::run(
+        42,
+        count,
+        inca_wire::envelope::EnvelopeMode::Body,
+    );
+    print!("{}", inca_core::experiments::fig8_table4::render(&data));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: reporter sizes for the TeraGrid deployment.
+fn main() {
+    let rows = inca_core::experiments::table1::run();
+    print!("{}", inca_core::experiments::table1::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2: reporters executing per hour per machine.
+fn main() {
+    let rows = inca_core::experiments::table2::run(42);
+    print!("{}", inca_core::experiments::table2::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3: machines used in the experiments.
+fn main() {
+    let specs = inca_core::experiments::table3::run();
+    print!("{}", inca_core::experiments::table3::render(&specs));
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the bench crate (bin targets + Criterion benches).

@@ -1,0 +1,124 @@
+//! Bandwidth graphing (Figure 6).
+//!
+//! "Figure 6 shows bandwidth measurements collected from the Pathload
+//! tool every hour from SDSC to Caltech" (§4.2). The depot archives
+//! the lower-bound bandwidth from every pathload report matching the
+//! uploaded rule; this consumer retrieves the series.
+
+use inca_report::{BranchId, Timestamp};
+use inca_rrd::{ArchivePolicy, ConsolidationFn, GraphSeries};
+use inca_server::{ArchiveRule, QueryInterface};
+
+/// Name of the depot archive rule for pathload bandwidth.
+pub const BANDWIDTH_RULE: &str = "pathload-bandwidth";
+
+/// The archive rule a deployment uploads so pathload reports are
+/// archived (§3.2.2's "archival policy … uploaded to the depot").
+///
+/// `vo` scopes the rule; the value archived is the lower bound of the
+/// Figure 2 metric shape, measured hourly with two weeks of history.
+pub fn bandwidth_archive_rule(vo: &str) -> ArchiveRule {
+    ArchiveRule {
+        name: BANDWIDTH_RULE.into(),
+        query: format!("vo={vo}").parse().expect("vo ids are branch-safe"),
+        path: "value, statistic=lowerBound, metric=bandwidth"
+            .parse()
+            .expect("static path"),
+        policy: ArchivePolicy::every("hourly-two-weeks", 14 * 86_400),
+        period_secs: 3_600,
+    }
+}
+
+/// Retrieves the archived bandwidth series for one measurement branch
+/// (e.g. the SDSC→Caltech pathload reporter's branch identifier).
+pub fn bandwidth_series(
+    query: &QueryInterface<'_>,
+    branch: &BranchId,
+    start: Timestamp,
+    end: Timestamp,
+) -> Option<GraphSeries> {
+    query.archived(BANDWIDTH_RULE, branch, ConsolidationFn::Average, start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::ReportBuilder;
+    use inca_server::Depot;
+    use inca_wire::envelope::{Envelope, EnvelopeMode};
+
+    fn pathload_branch() -> BranchId {
+        "dest=caltech,tool=pathload,performance=network,site=sdsc,vo=teragrid".parse().unwrap()
+    }
+
+    fn submit_measurement(depot: &mut Depot, t: Timestamp, lower: f64, upper: f64) {
+        let report = ReportBuilder::new("network.bandwidth.pathload", "1.0")
+            .gmt(t)
+            .metric(
+                "bandwidth",
+                &[
+                    ("upperBound", &format!("{upper:.2}"), Some("Mbps")),
+                    ("lowerBound", &format!("{lower:.2}"), Some("Mbps")),
+                ],
+            )
+            .success()
+            .unwrap();
+        let env = Envelope::new(pathload_branch(), report.to_xml());
+        depot.receive(&env.encode(EnvelopeMode::Body), t).unwrap();
+    }
+
+    #[test]
+    fn figure6_pipeline() {
+        let mut depot = Depot::new();
+        depot.add_archive_rule(bandwidth_archive_rule("teragrid"));
+        let t0 = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        for h in 1..=48u64 {
+            let t = t0 + h * 3_600;
+            submit_measurement(&mut depot, t, 980.0 + (h % 7) as f64, 995.0 + (h % 7) as f64);
+        }
+        let q = QueryInterface::new(&depot);
+        let series = bandwidth_series(&q, &pathload_branch(), t0, t0 + 49 * 3_600).unwrap();
+        assert_eq!(series.step, 3_600);
+        let stats = series.stats().unwrap();
+        assert!(stats.count >= 40, "most hours archived: {}", stats.count);
+        assert!(stats.min >= 980.0 && stats.max <= 987.0);
+    }
+
+    #[test]
+    fn failed_measurements_leave_gaps() {
+        let mut depot = Depot::new();
+        depot.add_archive_rule(bandwidth_archive_rule("teragrid"));
+        let t0 = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        for h in 1..=12u64 {
+            let t = t0 + h * 3_600;
+            if h == 6 || h == 7 {
+                // Tool failed: a failure report is cached but nothing
+                // is archived.
+                let report = ReportBuilder::new("network.bandwidth.pathload", "1.0")
+                    .gmt(t)
+                    .failure("destination resource unreachable")
+                    .unwrap();
+                let env = Envelope::new(pathload_branch(), report.to_xml());
+                depot.receive(&env.encode(EnvelopeMode::Body), t).unwrap();
+            } else {
+                submit_measurement(&mut depot, t, 985.0, 998.0);
+            }
+        }
+        let q = QueryInterface::new(&depot);
+        let series = bandwidth_series(&q, &pathload_branch(), t0, t0 + 13 * 3_600).unwrap();
+        assert!(series.unknown_fraction() > 0.1, "outage hours must appear as gaps");
+    }
+
+    #[test]
+    fn series_for_unknown_branch_is_none() {
+        let depot = Depot::new();
+        let q = QueryInterface::new(&depot);
+        assert!(bandwidth_series(
+            &q,
+            &pathload_branch(),
+            Timestamp::EPOCH,
+            Timestamp::from_secs(1)
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,477 @@
+//! The distributed controller daemon.
+//!
+//! Drives the full §3.1.3 behaviour: wake on cron fire, fork a process
+//! per due reporter, kill processes that exceed their expected run
+//! time (submitting the special error report), forward completed
+//! reports with their branch identifiers, and keep the process table
+//! that the §5.1 impact model samples.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use inca_report::{Header, Report, Timestamp};
+use inca_reporters::catalog::CatalogEntry;
+use inca_reporters::{Reporter, ReporterContext};
+use inca_sim::Vo;
+use inca_wire::message::{ClientMessage, ServerResponse};
+
+use crate::exec::{DurationModel, ExecRecord, ProcessTable};
+use crate::forwarder::Transport;
+use crate::scheduler::Scheduler;
+use crate::spec::Spec;
+
+/// Counters the daemon keeps over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Reporter processes forked.
+    pub executed: u64,
+    /// Runs that completed with a successful report.
+    pub succeeded: u64,
+    /// Runs that completed with a failed report.
+    pub failed: u64,
+    /// Runs killed for exceeding expected runtime.
+    pub killed: u64,
+    /// Runs skipped because a dependency's last run failed.
+    pub skipped_dependency: u64,
+    /// Submissions the server rejected or that failed to transmit.
+    pub forward_errors: u64,
+}
+
+/// The per-resource client daemon.
+pub struct DistributedController {
+    spec: Spec,
+    scheduler: Scheduler,
+    registry: BTreeMap<String, Box<dyn Reporter>>,
+    transport: Box<dyn Transport>,
+    duration_model: DurationModel,
+    processes: ProcessTable,
+    stats: RunStats,
+    /// Pending fires as `(time, entry)` — the daemon's wake-up queue.
+    /// Lazily primed; kept in sync by `run_next_batch`.
+    pending: BinaryHeap<Reverse<(u64, usize)>>,
+    primed_after: Option<Timestamp>,
+}
+
+impl DistributedController {
+    /// Creates a daemon for `spec`, forwarding through `transport`.
+    pub fn new(spec: Spec, transport: Box<dyn Transport>, seed: u64) -> DistributedController {
+        let scheduler = Scheduler::from_spec(&spec);
+        DistributedController {
+            spec,
+            scheduler,
+            registry: BTreeMap::new(),
+            transport,
+            duration_model: DurationModel::new(seed),
+            processes: ProcessTable::new(),
+            stats: RunStats::default(),
+            pending: BinaryHeap::new(),
+            primed_after: None,
+        }
+    }
+
+    /// Registers a runnable reporter under its own name.
+    pub fn register(&mut self, reporter: Box<dyn Reporter>) {
+        self.registry.insert(reporter.name().to_string(), reporter);
+    }
+
+    /// Instantiates and registers every catalog entry referenced by the
+    /// spec, using each spec entry's `target` for cross-site kinds.
+    pub fn register_from_catalog(&mut self, catalog: &[CatalogEntry]) {
+        let by_name: BTreeMap<&str, &CatalogEntry> =
+            catalog.iter().map(|e| (e.name.as_str(), e)).collect();
+        for entry in &self.spec.entries {
+            if self.registry.contains_key(&entry.reporter) {
+                continue;
+            }
+            // A spec may deploy several instances of one reporter with
+            // different targets (Table 2 counts instances); instance
+            // names carry a `#n` suffix stripped for catalog lookup.
+            let program = entry.reporter.split('#').next().unwrap_or(&entry.reporter);
+            if let Some(cat) = by_name.get(program) {
+                let target = entry.target.as_deref().unwrap_or("");
+                self.registry.insert(entry.reporter.clone(), cat.instantiate(target));
+            }
+        }
+    }
+
+    /// The spec this daemon executes.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The forked-process history (input to the impact model).
+    pub fn processes(&self) -> &ProcessTable {
+        &self.processes
+    }
+
+    /// Earliest cron fire strictly after `t` (full cron scan; for the
+    /// incremental event loop use [`DistributedController::prime`] and
+    /// [`DistributedController::peek_next`]).
+    pub fn next_fire(&self, t: Timestamp) -> Option<Timestamp> {
+        self.scheduler.next_fire(t)
+    }
+
+    /// Builds the wake-up queue with each entry's first fire strictly
+    /// after `t`. Idempotent for the same `t`.
+    pub fn prime(&mut self, t: Timestamp) {
+        if self.primed_after == Some(t) {
+            return;
+        }
+        self.pending.clear();
+        for (idx, entry) in self.spec.entries.iter().enumerate() {
+            if let Ok(fire) = entry.cron.next_after(t) {
+                self.pending.push(Reverse((fire.as_secs(), idx)));
+            }
+        }
+        self.primed_after = Some(t);
+    }
+
+    /// The earliest pending fire in the wake-up queue.
+    pub fn peek_next(&self) -> Option<Timestamp> {
+        self.pending.peek().map(|Reverse((secs, _))| Timestamp::from_secs(*secs))
+    }
+
+    /// Executes every queue entry scheduled at the earliest pending
+    /// time, reschedules them, and returns that time. `None` when the
+    /// queue is empty (unprimed daemon or no live cron entries).
+    pub fn run_next_batch(&mut self, vo: &Vo) -> Option<Timestamp> {
+        let Reverse((secs, _)) = *self.pending.peek()?;
+        let t = Timestamp::from_secs(secs);
+        while let Some(&Reverse((s, idx))) = self.pending.peek() {
+            if s != secs {
+                break;
+            }
+            self.pending.pop();
+            if self.scheduler.dependency_satisfied(&self.spec, idx) {
+                self.execute_entry(idx, t, vo);
+            } else {
+                self.stats.skipped_dependency += 1;
+            }
+            if let Ok(next) = self.spec.entries[idx].cron.next_after(t) {
+                self.pending.push(Reverse((next.as_secs(), idx)));
+            }
+        }
+        Some(t)
+    }
+
+    /// Executes every entry due at `t` against the VO; returns how many
+    /// processes were forked.
+    pub fn run_due(&mut self, t: Timestamp, vo: &Vo) -> usize {
+        let due = self.scheduler.due_at(t);
+        let mut forked = 0;
+        for idx in due {
+            if !self.scheduler.dependency_satisfied(&self.spec, idx) {
+                self.stats.skipped_dependency += 1;
+                continue;
+            }
+            self.execute_entry(idx, t, vo);
+            forked += 1;
+        }
+        forked
+    }
+
+    fn execute_entry(&mut self, idx: usize, t: Timestamp, vo: &Vo) {
+        let entry = self.spec.entries[idx].clone();
+        self.stats.executed += 1;
+        let duration = self.duration_model.duration_secs(&entry.reporter, t);
+        let expected = entry.expected_runtime_secs.max(1);
+
+        if duration > expected {
+            // Killed: the daemon terminates the fork at t + expected
+            // and submits the special error report (§3.1.3).
+            let end = t + expected;
+            self.processes.record(ExecRecord { start: t, end, killed: true });
+            self.stats.killed += 1;
+            let header = Header::new(&entry.reporter, "1.0", &self.spec.resource, end);
+            let report = Report::execution_error(
+                header,
+                format!(
+                    "{}: exceeded expected run time of {expected}s; process killed",
+                    entry.reporter
+                ),
+            );
+            self.scheduler.record_outcome(&entry.reporter, false);
+            self.forward(ClientMessage::error_report(
+                self.spec.resource.clone(),
+                entry.branch.clone(),
+                &report,
+            ));
+            return;
+        }
+
+        let end = t + duration;
+        self.processes.record(ExecRecord { start: t, end, killed: false });
+        let mut report = match (self.registry.get(&entry.reporter), vo.resource(&self.spec.resource)) {
+            (Some(reporter), Some(resource)) => {
+                let ctx = ReporterContext::new(vo, resource, t);
+                reporter.run(&ctx)
+            }
+            (None, _) => {
+                let header = Header::new(&entry.reporter, "1.0", &self.spec.resource, end);
+                Report::execution_error(
+                    header,
+                    format!("{}: reporter not installed on resource", entry.reporter),
+                )
+            }
+            (_, None) => {
+                let header = Header::new(&entry.reporter, "1.0", &self.spec.resource, end);
+                Report::execution_error(
+                    header,
+                    format!("{}: resource unknown to VO", self.spec.resource),
+                )
+            }
+        };
+        // The spec's input arguments are "supplied at run time" and
+        // recorded in the header (§3.1.2).
+        if !entry.args.is_empty() {
+            report.header.args.extend(entry.args.iter().cloned());
+        }
+        let success = report.is_success();
+        if success {
+            self.stats.succeeded += 1;
+        } else {
+            self.stats.failed += 1;
+        }
+        self.scheduler.record_outcome(&entry.reporter, success);
+        self.forward(ClientMessage::report(
+            self.spec.resource.clone(),
+            entry.branch.clone(),
+            &report,
+        ));
+    }
+
+    fn forward(&mut self, message: ClientMessage) {
+        match self.transport.send(&message) {
+            Ok(ServerResponse::Ack) => {}
+            Ok(ServerResponse::Rejected(_)) | Err(_) => self.stats.forward_errors += 1,
+        }
+    }
+
+    /// Drives the daemon over `[from, to)` of simulated time.
+    pub fn run_until(&mut self, vo: &Vo, from: Timestamp, to: Timestamp) {
+        self.prime(from);
+        while let Some(next) = self.peek_next() {
+            if next >= to {
+                break;
+            }
+            self.run_next_batch(vo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forwarder::CollectingTransport;
+    use crate::spec::SpecEntry;
+    use inca_report::BranchId;
+    use inca_reporters::catalog::teragrid_catalog;
+    use inca_sim::{NetworkModel, ResourceSpec, VoResource};
+    use std::sync::Arc;
+
+    struct SharedTransport(Arc<CollectingTransport>);
+    impl Transport for SharedTransport {
+        fn send(&self, m: &ClientMessage) -> Result<ServerResponse, String> {
+            self.0.send(m)
+        }
+    }
+
+    fn test_vo() -> Vo {
+        let mut vo = Vo::new("tg", vec![], NetworkModel::new(0));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new(
+            "host.sdsc.edu",
+            "sdsc",
+            2,
+            "x",
+            1000,
+            2.0,
+        )));
+        vo
+    }
+
+    fn branch_for(reporter: &str) -> BranchId {
+        format!("reporter={reporter},resource=host,site=sdsc,vo=tg").parse().unwrap()
+    }
+
+    fn spec_with(entries: Vec<SpecEntry>) -> Spec {
+        let mut spec = Spec::new("host.sdsc.edu");
+        for e in entries {
+            spec.push(e);
+        }
+        spec
+    }
+
+    #[test]
+    fn fires_and_forwards_reports() {
+        let transport = Arc::new(CollectingTransport::new());
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        )]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 3 * 3_600);
+        assert_eq!(daemon.stats().executed, 3, "hourly entry fires three times");
+        let sent = transport.take_sent();
+        assert_eq!(sent.len(), 3);
+        for m in &sent {
+            assert_eq!(m.resource, "host.sdsc.edu");
+            assert!(!m.is_error_report);
+            let report = Report::parse(&m.report_xml).unwrap();
+            assert!(report.is_success());
+            assert_eq!(report.header.reporter, "version.globus");
+        }
+    }
+
+    #[test]
+    fn kills_over_budget_runs_and_sends_error_report() {
+        let transport = Arc::new(CollectingTransport::new());
+        // expected runtime 1 s: almost every run exceeds it.
+        let spec = spec_with(vec![SpecEntry::new(
+            "benchmark.grasp.flops",
+            "0 * * * *".parse().unwrap(),
+            1,
+            branch_for("benchmark.grasp.flops"),
+        )]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 2 * 3_600);
+        assert!(daemon.stats().killed >= 1);
+        assert_eq!(daemon.processes().kill_count(), daemon.stats().killed as usize);
+        let sent = transport.take_sent();
+        assert!(sent.iter().any(|m| m.is_error_report));
+        let err = sent.iter().find(|m| m.is_error_report).unwrap();
+        let report = Report::parse(&err.report_xml).unwrap();
+        assert!(report
+            .footer
+            .error_message
+            .as_deref()
+            .unwrap()
+            .contains("exceeded expected run time"));
+    }
+
+    #[test]
+    fn unregistered_reporter_yields_error_report() {
+        let transport = Arc::new(CollectingTransport::new());
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.mystery",
+            "5 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.mystery"),
+        )]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 3_600);
+        assert_eq!(daemon.stats().failed, 1);
+        let sent = transport.take_sent();
+        let report = Report::parse(&sent[0].report_xml).unwrap();
+        assert!(!report.is_success());
+        assert!(report.footer.error_message.unwrap().contains("not installed"));
+    }
+
+    #[test]
+    fn dependency_skip_counted() {
+        let transport = Arc::new(CollectingTransport::new());
+        let mut gated = SpecEntry::new(
+            "unit.globus.smoke",
+            "10 * * * *".parse().unwrap(),
+            600,
+            branch_for("unit.globus.smoke"),
+        );
+        gated.depends_on = Some("version.missingpkg".into());
+        let spec = spec_with(vec![
+            SpecEntry::new(
+                "version.missingpkg",
+                "5 * * * *".parse().unwrap(),
+                600,
+                branch_for("version.missingpkg"),
+            ),
+            gated,
+        ]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        // version.missingpkg is not in the catalog → fails each run →
+        // the gated unit test is skipped from the second period on.
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 2 * 3_600);
+        assert!(daemon.stats().skipped_dependency >= 1, "{:?}", daemon.stats());
+    }
+
+    #[test]
+    fn spec_args_recorded_in_headers() {
+        let transport = Arc::new(CollectingTransport::new());
+        let mut entry = SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        );
+        entry.args.push(("siteConfig".into(), "/etc/inca/site.conf".into()));
+        let spec = spec_with(vec![entry]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 3_600);
+        let sent = transport.take_sent();
+        let report = Report::parse(&sent[0].report_xml).unwrap();
+        assert_eq!(report.header.get_arg("siteConfig"), Some("/etc/inca/site.conf"));
+        // The reporter's own args are still there too.
+        assert_eq!(report.header.get_arg("package"), Some("globus"));
+    }
+
+    #[test]
+    fn process_table_matches_executions() {
+        let transport = Arc::new(CollectingTransport::new());
+        let spec = spec_with(vec![
+            SpecEntry::new("version.globus", "15 * * * *".parse().unwrap(), 600, branch_for("version.globus")),
+            SpecEntry::new("unit.srb.smoke", "45 * * * *".parse().unwrap(), 600, branch_for("unit.srb.smoke")),
+        ]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport)), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 4 * 3_600);
+        assert_eq!(daemon.processes().records().len(), 8);
+        assert_eq!(daemon.stats().executed, 8);
+    }
+
+    #[test]
+    fn run_stats_sum_consistently() {
+        let transport = Arc::new(CollectingTransport::new());
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.globus",
+            "*/10 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        )]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport)), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 3_600);
+        let s = daemon.stats();
+        assert_eq!(s.succeeded + s.failed + s.killed, s.executed);
+        assert_eq!(s.forward_errors, 0);
+    }
+}

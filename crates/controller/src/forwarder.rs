@@ -1,0 +1,155 @@
+//! Forwarding reports to the Inca server.
+//!
+//! "The distributed controller communicates a report to the Inca
+//! server along with its branch identifier using a TCP connection"
+//! (§3.1.3). [`Transport`] abstracts the connection so the daemon runs
+//! identically against a live TCP server ([`TcpTransport`]) or an
+//! in-process server inside the simulation harness.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+
+use inca_wire::frame::{read_frame, write_frame, FrameError};
+use inca_wire::message::{ClientMessage, ServerResponse};
+
+/// A connection to the centralized controller.
+pub trait Transport: Send {
+    /// Submits one message, returning the server's response.
+    fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String>;
+}
+
+/// TCP transport with lazy connect and one reconnect attempt.
+pub struct TcpTransport {
+    addr: SocketAddr,
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl TcpTransport {
+    /// A transport to the given server address (connects on first
+    /// send).
+    pub fn new(addr: SocketAddr) -> TcpTransport {
+        TcpTransport { addr, stream: Mutex::new(None) }
+    }
+
+    fn send_once(&self, payload: &[u8]) -> Result<ServerResponse, String> {
+        let mut guard = self.stream.lock().expect("transport mutex");
+        if guard.is_none() {
+            let stream = TcpStream::connect(self.addr)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            stream.set_nodelay(true).ok();
+            *guard = Some(stream);
+        }
+        let stream = guard.as_mut().expect("just connected");
+        let result = write_frame(stream, payload)
+            .map_err(|e| format!("send: {e}"))
+            .and_then(|()| match read_frame(stream) {
+                Ok(reply) => {
+                    ServerResponse::decode(&reply).map_err(|e| format!("bad reply: {e}"))
+                }
+                Err(FrameError::Closed) => Err("server closed connection".into()),
+                Err(e) => Err(format!("recv: {e}")),
+            });
+        if result.is_err() {
+            *guard = None; // force reconnect on next attempt
+        }
+        result
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
+        let payload = message.encode();
+        // One retry after reconnect, as a long-lived daemon would.
+        self.send_once(&payload).or_else(|_| self.send_once(&payload))
+    }
+}
+
+/// Test/simulation transport that records every message and answers
+/// with a fixed response.
+#[derive(Default)]
+pub struct CollectingTransport {
+    /// Messages in submission order.
+    pub sent: Mutex<Vec<ClientMessage>>,
+    /// Response returned for every send (`None` = Ack).
+    pub respond_with: Option<ServerResponse>,
+}
+
+impl CollectingTransport {
+    /// A transport that acks everything.
+    pub fn new() -> CollectingTransport {
+        CollectingTransport::default()
+    }
+
+    /// Number of messages sent so far.
+    pub fn sent_count(&self) -> usize {
+        self.sent.lock().expect("mutex").len()
+    }
+
+    /// Clones out the sent messages.
+    pub fn take_sent(&self) -> Vec<ClientMessage> {
+        std::mem::take(&mut *self.sent.lock().expect("mutex"))
+    }
+}
+
+impl Transport for CollectingTransport {
+    fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
+        self.sent.lock().expect("mutex").push(message.clone());
+        Ok(self.respond_with.clone().unwrap_or(ServerResponse::Ack))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::{BranchId, ReportBuilder};
+
+    fn message() -> ClientMessage {
+        let report = ReportBuilder::new("r", "1").success().unwrap();
+        let branch: BranchId = "reporter=r,vo=tg".parse().unwrap();
+        ClientMessage::report("h", branch, &report)
+    }
+
+    #[test]
+    fn collecting_transport_records() {
+        let t = CollectingTransport::new();
+        assert_eq!(t.send(&message()).unwrap(), ServerResponse::Ack);
+        assert_eq!(t.send(&message()).unwrap(), ServerResponse::Ack);
+        assert_eq!(t.sent_count(), 2);
+        assert_eq!(t.take_sent().len(), 2);
+        assert_eq!(t.sent_count(), 0);
+    }
+
+    #[test]
+    fn collecting_transport_custom_response() {
+        let t = CollectingTransport {
+            respond_with: Some(ServerResponse::Rejected("no".into())),
+            ..Default::default()
+        };
+        assert!(matches!(t.send(&message()), Ok(ServerResponse::Rejected(_))));
+    }
+
+    #[test]
+    fn tcp_transport_errors_without_server() {
+        // Port 1 on localhost is essentially never listening.
+        let t = TcpTransport::new("127.0.0.1:1".parse().unwrap());
+        assert!(t.send(&message()).is_err());
+    }
+
+    #[test]
+    fn tcp_transport_roundtrip_against_echo_server() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for _ in 0..2 {
+                let _req = read_frame(&mut stream).unwrap();
+                write_frame(&mut stream, &ServerResponse::Ack.encode()).unwrap();
+            }
+        });
+        let t = TcpTransport::new(addr);
+        assert_eq!(t.send(&message()).unwrap(), ServerResponse::Ack);
+        assert_eq!(t.send(&message()).unwrap(), ServerResponse::Ack);
+        server.join().unwrap();
+    }
+}

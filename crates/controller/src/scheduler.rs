@@ -1,0 +1,112 @@
+//! Scheduling: which spec entries fire when.
+//!
+//! A thin layer over [`inca_cron::CronTab`] keyed by entry index, plus
+//! the dependency gate of the paper's §6 future work ("we plan to
+//! enable more advanced test scheduling, specifically allowing for
+//! dependencies"): an entry with `depends_on` only runs while its
+//! dependency's most recent run succeeded.
+
+use std::collections::BTreeMap;
+
+use inca_cron::CronTab;
+use inca_report::Timestamp;
+
+use crate::spec::Spec;
+
+/// Scheduler state for one controller.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    tab: CronTab<usize>,
+    /// reporter name → most recent run success.
+    last_success: BTreeMap<String, bool>,
+}
+
+impl Scheduler {
+    /// Builds the cron table from a spec.
+    pub fn from_spec(spec: &Spec) -> Scheduler {
+        let mut tab = CronTab::new();
+        for (idx, entry) in spec.entries.iter().enumerate() {
+            tab.add(entry.cron.clone(), idx);
+        }
+        Scheduler { tab, last_success: BTreeMap::new() }
+    }
+
+    /// Earliest fire strictly after `t`.
+    pub fn next_fire(&self, t: Timestamp) -> Option<Timestamp> {
+        self.tab.next_fire(t)
+    }
+
+    /// Entry indices due exactly at `t`.
+    pub fn due_at(&self, t: Timestamp) -> Vec<usize> {
+        self.tab.due_at(t).copied().collect()
+    }
+
+    /// Whether `entry`'s dependency (if any) currently permits it.
+    ///
+    /// Semantics: no dependency → runnable; dependency never ran yet →
+    /// runnable (first periods must bootstrap); dependency's last run
+    /// failed → blocked.
+    pub fn dependency_satisfied(&self, spec: &Spec, entry_idx: usize) -> bool {
+        match &spec.entries[entry_idx].depends_on {
+            None => true,
+            Some(dep) => self.last_success.get(dep).copied().unwrap_or(true),
+        }
+    }
+
+    /// Records the outcome of a run for dependency gating.
+    pub fn record_outcome(&mut self, reporter: &str, success: bool) {
+        self.last_success.insert(reporter.to_string(), success);
+    }
+
+    /// Most recent outcome for a reporter, if it ran.
+    pub fn last_outcome(&self, reporter: &str) -> Option<bool> {
+        self.last_success.get(reporter).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecEntry;
+    use inca_report::BranchId;
+
+    fn spec() -> Spec {
+        let branch: BranchId = "reporter=x,vo=t".parse().unwrap();
+        let mut spec = Spec::new("host");
+        spec.push(SpecEntry::new("a", "20 * * * *".parse().unwrap(), 60, branch.clone()));
+        let mut b = SpecEntry::new("b", "25 * * * *".parse().unwrap(), 60, branch.clone());
+        b.depends_on = Some("a".into());
+        spec.push(b);
+        spec
+    }
+
+    fn ts(h: u32, m: u32) -> Timestamp {
+        Timestamp::from_gmt(2004, 7, 7, h, m, 0)
+    }
+
+    #[test]
+    fn fires_in_cron_order() {
+        let spec = spec();
+        let sched = Scheduler::from_spec(&spec);
+        assert_eq!(sched.next_fire(ts(13, 0)), Some(ts(13, 20)));
+        assert_eq!(sched.due_at(ts(13, 20)), vec![0]);
+        assert_eq!(sched.due_at(ts(13, 25)), vec![1]);
+        assert!(sched.due_at(ts(13, 21)).is_empty());
+    }
+
+    #[test]
+    fn dependency_gating() {
+        let spec = spec();
+        let mut sched = Scheduler::from_spec(&spec);
+        // Bootstrap: dependency never ran, so b may run.
+        assert!(sched.dependency_satisfied(&spec, 1));
+        sched.record_outcome("a", false);
+        assert!(!sched.dependency_satisfied(&spec, 1));
+        sched.record_outcome("a", true);
+        assert!(sched.dependency_satisfied(&spec, 1));
+        // Entry without dependency always runnable.
+        assert!(sched.dependency_satisfied(&spec, 0));
+        assert_eq!(sched.last_outcome("a"), Some(true));
+        assert_eq!(sched.last_outcome("never-ran"), None);
+    }
+}

@@ -1,0 +1,248 @@
+//! Specification files.
+//!
+//! "Distributed controllers are designed to receive execution
+//! instructions in the form of a specification file from the Inca
+//! server… The specification file describes execution details for each
+//! reporter including frequency, expected run time, and input
+//! arguments" (§3.1.3). The file is XML; this module parses and
+//! serializes it so the central configuration can be shipped to
+//! resources (the paper's "central configuration" requirement).
+
+use inca_cron::CronExpr;
+use inca_report::BranchId;
+use inca_xml::{Element, XmlError, XmlResult};
+
+/// One reporter's execution instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecEntry {
+    /// Reporter to execute (key into the controller's registry).
+    pub reporter: String,
+    /// When to run (already offset-assigned within its period).
+    pub cron: CronExpr,
+    /// Seconds after which the forked process is killed.
+    pub expected_runtime_secs: u64,
+    /// Where the server should store the resulting reports.
+    pub branch: BranchId,
+    /// Target host for cross-site reporters.
+    pub target: Option<String>,
+    /// Extra input arguments recorded in report headers.
+    pub args: Vec<(String, String)>,
+    /// Optional dependency: run only if this reporter's most recent
+    /// run succeeded (§6 future work: "more advanced test scheduling,
+    /// specifically allowing for dependencies").
+    pub depends_on: Option<String>,
+}
+
+impl SpecEntry {
+    /// A minimal entry.
+    pub fn new(
+        reporter: impl Into<String>,
+        cron: CronExpr,
+        expected_runtime_secs: u64,
+        branch: BranchId,
+    ) -> SpecEntry {
+        SpecEntry {
+            reporter: reporter.into(),
+            cron,
+            expected_runtime_secs,
+            branch,
+            target: None,
+            args: Vec::new(),
+            depends_on: None,
+        }
+    }
+
+    fn to_element(&self) -> Element {
+        let mut e = Element::new("entry")
+            .child(Element::with_text("reporter", &self.reporter))
+            .child(Element::with_text("cron", self.cron.to_string()))
+            .child(Element::with_text(
+                "expectedRuntime",
+                self.expected_runtime_secs.to_string(),
+            ))
+            .child(Element::with_text("branch", self.branch.to_string()));
+        if let Some(target) = &self.target {
+            e.push_child(Element::with_text("target", target));
+        }
+        if let Some(dep) = &self.depends_on {
+            e.push_child(Element::with_text("dependsOn", dep));
+        }
+        if !self.args.is_empty() {
+            let mut args = Element::new("args");
+            for (n, v) in &self.args {
+                args.push_child(
+                    Element::new("arg")
+                        .child(Element::with_text("name", n))
+                        .child(Element::with_text("value", v)),
+                );
+            }
+            e.push_child(args);
+        }
+        e
+    }
+
+    fn from_element(e: &Element) -> XmlResult<SpecEntry> {
+        let required = |name: &str| -> XmlResult<String> {
+            e.child_text(name).ok_or_else(|| XmlError::Constraint {
+                message: format!("spec entry missing <{name}>"),
+            })
+        };
+        let cron: CronExpr = required("cron")?.parse().map_err(|err| XmlError::Constraint {
+            message: format!("bad cron in spec entry: {err}"),
+        })?;
+        let branch: BranchId =
+            required("branch")?.parse().map_err(|err| XmlError::Constraint {
+                message: format!("bad branch in spec entry: {err}"),
+            })?;
+        let expected_runtime_secs =
+            required("expectedRuntime")?.parse().map_err(|err| XmlError::Constraint {
+                message: format!("bad expectedRuntime: {err}"),
+            })?;
+        let mut args = Vec::new();
+        if let Some(args_el) = e.find_child("args") {
+            for arg in args_el.find_children("arg") {
+                let name = arg.child_text("name").ok_or_else(|| XmlError::Constraint {
+                    message: "spec arg missing <name>".into(),
+                })?;
+                args.push((name, arg.child_text("value").unwrap_or_default()));
+            }
+        }
+        Ok(SpecEntry {
+            reporter: required("reporter")?,
+            cron,
+            expected_runtime_secs,
+            branch,
+            target: e.child_text("target"),
+            args,
+            depends_on: e.child_text("dependsOn"),
+        })
+    }
+}
+
+/// A resource's full specification file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// The resource this file configures.
+    pub resource: String,
+    /// Entries in file order.
+    pub entries: Vec<SpecEntry>,
+}
+
+impl Spec {
+    /// An empty spec for one resource.
+    pub fn new(resource: impl Into<String>) -> Spec {
+        Spec { resource: resource.into(), entries: Vec::new() }
+    }
+
+    /// Adds an entry.
+    pub fn push(&mut self, entry: SpecEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Serializes as the XML file shipped to the resource.
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("incaSpec").attr("resource", &self.resource);
+        for entry in &self.entries {
+            root.push_child(entry.to_element());
+        }
+        root.to_pretty_xml()
+    }
+
+    /// Parses a specification file.
+    pub fn parse(xml: &str) -> XmlResult<Spec> {
+        let root = Element::parse(xml)?;
+        if root.name != "incaSpec" {
+            return Err(XmlError::Constraint {
+                message: format!("expected <incaSpec>, found <{}>", root.name),
+            });
+        }
+        let resource = root
+            .attribute("resource")
+            .ok_or_else(|| XmlError::Constraint {
+                message: "<incaSpec> missing resource attribute".into(),
+            })?
+            .to_string();
+        let mut entries = Vec::new();
+        for e in root.find_children("entry") {
+            entries.push(SpecEntry::from_element(e)?);
+        }
+        Ok(Spec { resource, entries })
+    }
+
+    /// Expected reporter executions per hour (Table 2's accounting).
+    pub fn runs_per_hour(&self) -> f64 {
+        self.entries.iter().map(|e| 3_600.0 / e.cron.nominal_period_secs() as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Spec {
+        let mut spec = Spec::new("tg-login1.caltech.teragrid.org");
+        let mut entry = SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            60,
+            "reporter=version.globus,resource=tg-login1,site=caltech,vo=teragrid"
+                .parse()
+                .unwrap(),
+        );
+        entry.args.push(("package".into(), "globus".into()));
+        spec.push(entry);
+        let mut probe = SpecEntry::new(
+            "grid.services.gram.probe",
+            "31 * * * *".parse().unwrap(),
+            300,
+            "reporter=grid.services.gram.probe,resource=tg-login1,site=caltech,vo=teragrid"
+                .parse()
+                .unwrap(),
+        );
+        probe.target = Some("tg-login1.sdsc.teragrid.org".into());
+        probe.depends_on = Some("version.globus".into());
+        spec.push(probe);
+        spec
+    }
+
+    #[test]
+    fn roundtrip() {
+        let spec = sample();
+        let parsed = Spec::parse(&spec.to_xml()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Spec::parse("<wrong/>").is_err());
+        assert!(Spec::parse("<incaSpec/>").is_err()); // missing resource
+        let bad_cron = r#"<incaSpec resource="r"><entry><reporter>x</reporter><cron>nope</cron><expectedRuntime>60</expectedRuntime><branch>a=1</branch></entry></incaSpec>"#;
+        assert!(Spec::parse(bad_cron).is_err());
+        let bad_branch = r#"<incaSpec resource="r"><entry><reporter>x</reporter><cron>* * * * *</cron><expectedRuntime>60</expectedRuntime><branch>nope</branch></entry></incaSpec>"#;
+        assert!(Spec::parse(bad_branch).is_err());
+    }
+
+    #[test]
+    fn runs_per_hour() {
+        let spec = sample();
+        assert!((spec.runs_per_hour() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optional_fields_survive() {
+        let spec = sample();
+        let parsed = Spec::parse(&spec.to_xml()).unwrap();
+        assert_eq!(parsed.entries[1].target.as_deref(), Some("tg-login1.sdsc.teragrid.org"));
+        assert_eq!(parsed.entries[1].depends_on.as_deref(), Some("version.globus"));
+        assert_eq!(parsed.entries[0].target, None);
+        assert_eq!(parsed.entries[0].args, vec![("package".to_string(), "globus".to_string())]);
+    }
+
+    #[test]
+    fn empty_spec_roundtrips() {
+        let spec = Spec::new("host");
+        let parsed = Spec::parse(&spec.to_xml()).unwrap();
+        assert!(parsed.entries.is_empty());
+        assert_eq!(parsed.resource, "host");
+    }
+}

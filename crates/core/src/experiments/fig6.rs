@@ -1,0 +1,108 @@
+//! Figure 6: bandwidth measured by Pathload every hour from SDSC to
+//! Caltech.
+//!
+//! A dedicated deployment of exactly the paper's measurement: one
+//! pathload reporter on `tg-login1.sdsc.teragrid.org` targeting
+//! `tg-login1.caltech.teragrid.org` hourly, its reports archived by
+//! the uploaded bandwidth policy, the series retrieved through the
+//! querying interface.
+
+use inca_consumer::{bandwidth_series, AvailabilityTracker};
+use inca_controller::{Spec, SpecEntry};
+use inca_report::{BranchId, Timestamp};
+use inca_rrd::GraphSeries;
+use inca_server::QueryInterface;
+use inca_wire::envelope::EnvelopeMode;
+
+use crate::deployment::teragrid_deployment;
+use crate::sim_run::{SimOptions, SimRun};
+
+/// Source host.
+pub const SRC: &str = "tg-login1.sdsc.teragrid.org";
+/// Destination host.
+pub const DST: &str = "tg-login1.caltech.teragrid.org";
+
+/// The branch the measurement is stored under (the paper's §3.1.3
+/// example shape).
+pub fn measurement_branch() -> BranchId {
+    format!("dest={DST},reporter=network.bandwidth.pathload,resource={SRC},site=sdsc,vo=teragrid")
+        .parse()
+        .expect("static branch is valid")
+}
+
+/// Runs `days` of hourly measurements and returns the archived series.
+pub fn run(seed: u64, days: u64) -> GraphSeries {
+    let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+    let end = start + days * 86_400;
+    let mut deployment = teragrid_deployment(seed, start, end);
+    // Replace the generated assignments with the single measurement.
+    deployment.retain_resources(&[SRC]);
+    let mut spec = Spec::new(SRC);
+    let mut entry = SpecEntry::new(
+        "network.bandwidth.pathload",
+        "0 * * * *".parse().expect("static cron"),
+        600,
+        measurement_branch(),
+    );
+    entry.target = Some(DST.into());
+    spec.push(entry);
+    deployment.assignments[0].spec = spec;
+    let _ = AvailabilityTracker::figure5(); // silence unused import in no-track mode
+    let outcome = SimRun::new(
+        deployment,
+        SimOptions {
+            envelope_mode: EnvelopeMode::Body,
+            verify_every_secs: None,
+            verify_resources: Vec::new(),
+            track_availability: false,
+        },
+    )
+    .run();
+    outcome
+        .server
+        .with_depot(|depot| {
+            bandwidth_series(&QueryInterface::new(depot), &measurement_branch(), start, end + 3_600)
+        })
+        .unwrap_or(GraphSeries { label: "bandwidth".into(), step: 3_600, points: Vec::new() })
+}
+
+/// Renders the series as an ASCII chart with statistics.
+pub fn render(series: &GraphSeries) -> String {
+    let mut out = String::from(
+        "Figure 6: Bandwidth from Pathload, SDSC -> Caltech, hourly (Mbps, lower bound)\n\n",
+    );
+    out.push_str(&series.to_ascii_chart(12));
+    if let Some(stats) = series.stats() {
+        out.push_str(&format!(
+            "\npoints={} mean={:.1} min={:.1} max={:.1} Mbps\n",
+            stats.count, stats.mean, stats.min, stats.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_series_near_gigabit() {
+        let series = run(42, 2);
+        let stats = series.stats().expect("series has data");
+        // Two days of hourly points, allowing a few failure gaps.
+        assert!(stats.count >= 40, "points {}", stats.count);
+        assert_eq!(series.step, 3_600);
+        // The Figure 2/6 ballpark: a ~1 Gb/s path.
+        assert!(stats.mean > 850.0 && stats.mean < 1_010.0, "mean {:.1}", stats.mean);
+        assert!(stats.min > 700.0, "min {:.1}", stats.min);
+    }
+
+    #[test]
+    fn diurnal_variation_visible() {
+        let series = run(7, 2);
+        let stats = series.stats().unwrap();
+        // The network model applies a diurnal dip: the series must not
+        // be flat.
+        assert!(stats.max - stats.min > 20.0, "series too flat: {stats:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Table 1: reporter sizes for the TeraGrid deployment (lines of code).
+
+use inca_consumer::render_table;
+use inca_reporters::catalog::{loc_histogram, teragrid_catalog};
+
+/// One row: LoC bucket and reporter count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Bucket bounds in lines of code.
+    pub bucket: (u32, u32),
+    /// Number of reporters in the bucket.
+    pub count: usize,
+}
+
+/// Regenerates Table 1 from the catalog.
+pub fn run() -> Vec<Table1Row> {
+    loc_histogram(&teragrid_catalog())
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(bucket, count)| Table1Row { bucket, count })
+        .collect()
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![format!("{}-{}", r.bucket.0, r.bucket.1), r.count.to_string()])
+        .collect();
+    let total: usize = rows.iter().map(|r| r.count).sum();
+    table.push(vec!["Total".into(), total.to_string()]);
+    let mut out = String::from(
+        "Table 1: Reporter sizes for TeraGrid deployment (in lines of code)\n\n",
+    );
+    out.push_str(&render_table(&["Lines of Code", "Number of Reporters"], &table));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_exactly() {
+        let rows = run();
+        let expected: Vec<((u32, u32), usize)> = vec![
+            ((0, 50), 106),
+            ((50, 100), 9),
+            ((100, 150), 7),
+            ((150, 200), 1),
+            ((200, 250), 1),
+            ((300, 350), 1),
+            ((450, 500), 1),
+            ((1_250, 1_300), 1),
+            ((1_350, 1_400), 1),
+            ((1_500, 1_550), 1),
+            ((1_600, 1_650), 1),
+        ];
+        let actual: Vec<((u32, u32), usize)> =
+            rows.iter().map(|r| (r.bucket, r.count)).collect();
+        assert_eq!(actual, expected);
+        assert_eq!(rows.iter().map(|r| r.count).sum::<usize>(), 130);
+    }
+
+    #[test]
+    fn render_contains_total() {
+        let text = render(&run());
+        assert!(text.contains("Total"));
+        assert!(text.contains("130"));
+        assert!(text.contains("0-50"));
+        assert!(text.contains("106"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Table 2: number of Inca reporters executing per hour per machine.
+
+use inca_consumer::render_table;
+use inca_report::Timestamp;
+
+use crate::deployment::teragrid_deployment;
+
+/// One row: site, machine, reporter instances per hour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Site id.
+    pub site: String,
+    /// Machine hostname.
+    pub machine: String,
+    /// Reporter instances executing per hour.
+    pub reporters: usize,
+}
+
+/// Regenerates Table 2 from the generated deployment (every entry is
+/// hourly, so instances == runs/hour).
+pub fn run(seed: u64) -> Vec<Table2Row> {
+    let start = Timestamp::from_gmt(2004, 6, 29, 0, 0, 0);
+    let deployment = teragrid_deployment(seed, start, start + 3_600);
+    deployment
+        .assignments
+        .iter()
+        .map(|a| Table2Row {
+            site: a.site.clone(),
+            machine: a.hostname.clone(),
+            reporters: a.spec.entries.len(),
+        })
+        .collect()
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.site.clone(), r.machine.clone(), r.reporters.to_string()])
+        .collect();
+    let total: usize = rows.iter().map(|r| r.reporters).sum();
+    table.push(vec!["".into(), "Total".into(), total.to_string()]);
+    let mut out = String::from(
+        "Table 2: Current number of Inca reporters executing per hour on TeraGrid systems\n\n",
+    );
+    out.push_str(&render_table(&["Site", "Machine", "Number of Reporters"], &table));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_counts() {
+        let rows = run(42);
+        let expected = [
+            ("tg-viz-login1.uc.teragrid.org", 136),
+            ("tg-login2.uc.teragrid.org", 128),
+            ("tg-login1.caltech.teragrid.org", 128),
+            ("tg-login1.ncsa.teragrid.org", 128),
+            ("rachel.psc.edu", 71),
+            ("lemieux.psc.edu", 71),
+            ("cycle.cc.purdue.edu", 128),
+            ("tg-login.rcs.purdue.edu", 71),
+            ("tg-login1.sdsc.teragrid.org", 128),
+            ("dslogin.sdsc.edu", 71),
+        ];
+        assert_eq!(rows.len(), expected.len());
+        for (row, (machine, count)) in rows.iter().zip(expected) {
+            assert_eq!(row.machine, machine);
+            assert_eq!(row.reporters, count, "{machine}");
+        }
+        assert_eq!(rows.iter().map(|r| r.reporters).sum::<usize>(), 1_060);
+    }
+
+    #[test]
+    fn render_has_total_line() {
+        let text = render(&run(42));
+        assert!(text.contains("Total"));
+        assert!(text.contains("1060"));
+    }
+}

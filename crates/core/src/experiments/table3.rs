@@ -1,0 +1,59 @@
+//! Table 3: characteristics of the machines used in the impact and
+//! performance experiments.
+
+use inca_consumer::render_table;
+use inca_sim::site::{caltech_login_spec, inca_server_spec};
+use inca_sim::ResourceSpec;
+
+/// The two Table 3 machines.
+pub fn run() -> Vec<ResourceSpec> {
+    vec![inca_server_spec(), caltech_login_spec()]
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(specs: &[ResourceSpec]) -> String {
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .map(|s| {
+            vec![
+                s.hostname.clone(),
+                s.cpus.to_string(),
+                s.processor.clone(),
+                s.cpu_mhz.to_string(),
+                format!("{:.1}", s.memory_gb),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "Table 3: Characteristics of the machines used in our impact and performance experiments\n\n",
+    );
+    out.push_str(&render_table(
+        &["Hostname", "Num. CPUs", "Processor Type", "CPU Speed (MHz)", "Memory (GB)"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper() {
+        let specs = run();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].hostname, "inca.sdsc.edu");
+        assert_eq!(specs[0].cpus, 4);
+        assert_eq!(specs[0].cpu_mhz, 2_457);
+        assert_eq!(specs[1].hostname, "tg-login1.caltech.teragrid.org");
+        assert_eq!(specs[1].memory_gb, 6.0);
+    }
+
+    #[test]
+    fn render_lists_both_machines() {
+        let text = render(&run());
+        assert!(text.contains("inca.sdsc.edu"));
+        assert!(text.contains("Intel Itanium 2"));
+        assert!(text.contains("2457"));
+    }
+}

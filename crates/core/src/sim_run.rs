@@ -1,0 +1,331 @@
+//! The event-driven end-to-end simulation.
+//!
+//! [`SimRun`] wires a [`Deployment`] together exactly as Figure 1 draws
+//! the architecture: one distributed controller per resource executing
+//! reporters against the simulated VO, an in-process transport standing
+//! in for the client→server TCP hop, the centralized controller
+//! checking the allowlist and enveloping reports, and the depot caching
+//! and archiving them. A verification consumer runs on a fixed cadence
+//! (the paper's status pages were recomputed every ten minutes) and
+//! records availability percentages into the depot archive — the data
+//! behind Figures 4 and 5.
+
+use std::sync::Arc;
+
+use inca_agreement::{verify_resource, ComplianceSummary};
+use inca_consumer::{build_status_page, AvailabilityTracker, StatusPage};
+use inca_controller::{DistributedController, Transport};
+use inca_report::{BranchId, Timestamp};
+use inca_server::{
+    CentralizedController, ControllerConfig, Depot, QueryInterface,
+};
+use inca_wire::envelope::EnvelopeMode;
+use inca_wire::message::{ClientMessage, ServerResponse};
+use inca_wire::HostAllowlist;
+use parking_lot::Mutex;
+
+use crate::deployment::Deployment;
+
+/// In-process client→server transport: frames the message exactly as
+/// TCP would and submits it with the current simulated time.
+pub struct InProcTransport {
+    server: Arc<CentralizedController>,
+    now: Arc<Mutex<Timestamp>>,
+    resource: String,
+}
+
+impl Transport for InProcTransport {
+    fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
+        let payload = message.encode();
+        let now = *self.now.lock();
+        let (response, _) = self.server.submit(&self.resource, &payload, now);
+        Ok(response)
+    }
+}
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Envelope packing mode (Body = 2004 behaviour).
+    pub envelope_mode: EnvelopeMode,
+    /// Verification cadence in seconds (paper: every ten minutes), or
+    /// `None` to skip periodic verification.
+    pub verify_every_secs: Option<u64>,
+    /// Resources to verify each pass (`(site, hostname)`); empty means
+    /// all deployment resources.
+    pub verify_resources: Vec<(String, String)>,
+    /// Archive per-category availability on each verification pass.
+    pub track_availability: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            envelope_mode: EnvelopeMode::Body,
+            verify_every_secs: Some(600),
+            verify_resources: Vec::new(),
+            track_availability: true,
+        }
+    }
+}
+
+/// Results of a completed simulation.
+pub struct SimOutcome {
+    /// The final status page (built at the end of the horizon).
+    pub final_page: StatusPage,
+    /// The daemons with their process tables and counters.
+    pub daemons: Vec<DistributedController>,
+    /// The server (depot inside) for further querying.
+    pub server: Arc<CentralizedController>,
+    /// Number of verification passes performed.
+    pub verification_passes: u64,
+}
+
+/// A wired, runnable simulation.
+pub struct SimRun {
+    deployment: Deployment,
+    options: SimOptions,
+    server: Arc<CentralizedController>,
+    daemons: Vec<DistributedController>,
+    now: Arc<Mutex<Timestamp>>,
+    tracker: AvailabilityTracker,
+}
+
+impl SimRun {
+    /// Wires a deployment with the given options.
+    pub fn new(deployment: Deployment, options: SimOptions) -> SimRun {
+        let allowlist = HostAllowlist::from_entries(
+            deployment.assignments.iter().map(|a| a.hostname.clone()),
+        );
+        let config =
+            ControllerConfig { allowlist, envelope_mode: options.envelope_mode };
+        let server = Arc::new(CentralizedController::new(config, Depot::new()));
+        // Upload the bandwidth archival policy (§3.2.2's one-time
+        // configuration).
+        server.with_depot_mut(|d| {
+            d.add_archive_rule(inca_consumer::bandwidth_archive_rule(&deployment.agreement.vo))
+        });
+        let now = Arc::new(Mutex::new(deployment.start));
+        let mut daemons = Vec::with_capacity(deployment.assignments.len());
+        for assignment in &deployment.assignments {
+            let transport = InProcTransport {
+                server: Arc::clone(&server),
+                now: Arc::clone(&now),
+                resource: assignment.hostname.clone(),
+            };
+            let mut daemon = DistributedController::new(
+                assignment.spec.clone(),
+                Box::new(transport),
+                deployment.seed ^ assignment.hostname.len() as u64,
+            );
+            daemon.register_from_catalog(&deployment.catalog);
+            daemons.push(daemon);
+        }
+        SimRun {
+            deployment,
+            options,
+            server,
+            daemons,
+            now,
+            tracker: AvailabilityTracker::figure5(),
+        }
+    }
+
+    /// Read access to the server (e.g. to add archive rules before
+    /// running).
+    pub fn server(&self) -> &Arc<CentralizedController> {
+        &self.server
+    }
+
+    fn verify_targets(&self) -> Vec<(String, String)> {
+        if self.options.verify_resources.is_empty() {
+            self.deployment.resource_labels()
+        } else {
+            self.options.verify_resources.clone()
+        }
+    }
+
+    fn verification_pass(&self, t: Timestamp) -> Vec<(String, ComplianceSummary)> {
+        let targets = self.verify_targets();
+        let agreement = &self.deployment.agreement;
+        let mut summaries = Vec::with_capacity(targets.len());
+        for (site, host) in &targets {
+            let suffix: BranchId =
+                format!("resource={host},site={site},vo={}", agreement.vo)
+                    .parse()
+                    .expect("labels are branch-safe");
+            let summary = self.server.with_depot(|depot| {
+                let query = QueryInterface::new(depot);
+                let reports = query.reports(Some(&suffix)).unwrap_or_default();
+                let verification = verify_resource(agreement, &reports, host);
+                ComplianceSummary::from_verification(&verification)
+            });
+            summaries.push((format!("{site}-{host}"), summary));
+        }
+        if self.options.track_availability {
+            for (label, summary) in &summaries {
+                self.server.with_depot_mut(|depot| {
+                    self.tracker.record(depot, label, summary, t);
+                });
+            }
+        }
+        summaries
+    }
+
+    /// Runs the simulation over the deployment horizon and returns the
+    /// outcome.
+    pub fn run(mut self) -> SimOutcome {
+        let start = self.deployment.start;
+        let end = self.deployment.end;
+        for daemon in &mut self.daemons {
+            daemon.prime(start);
+        }
+        let verify_every = self.options.verify_every_secs;
+        let mut next_verify = verify_every.map(|v| start + v);
+        let mut passes = 0u64;
+        loop {
+            // The earliest pending event across all daemons.
+            let next_fire = self
+                .daemons
+                .iter()
+                .filter_map(DistributedController::peek_next)
+                .min();
+            let next_event = match (next_fire, next_verify) {
+                (Some(f), Some(v)) => Some(f.min(v)),
+                (Some(f), None) => Some(f),
+                (None, Some(v)) => Some(v),
+                (None, None) => None,
+            };
+            let Some(t) = next_event else { break };
+            if t >= end {
+                break;
+            }
+            *self.now.lock() = t;
+            if Some(t) == next_verify {
+                self.verification_pass(t);
+                passes += 1;
+                next_verify = Some(t + verify_every.expect("next_verify implies cadence"));
+            }
+            for daemon in &mut self.daemons {
+                if daemon.peek_next() == Some(t) {
+                    daemon.run_next_batch(&self.deployment.vo);
+                }
+            }
+        }
+        *self.now.lock() = end;
+        let final_page = self.server.with_depot(|depot| {
+            let query = QueryInterface::new(depot);
+            build_status_page(
+                &query,
+                &self.deployment.agreement,
+                &self.verify_targets(),
+                end,
+            )
+        });
+        SimOutcome {
+            final_page,
+            daemons: self.daemons,
+            server: self.server,
+            verification_passes: passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::teragrid_deployment;
+
+    fn short_horizon(hours: u64) -> (Timestamp, Timestamp) {
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        (start, start + hours * 3_600)
+    }
+
+    #[test]
+    fn two_hour_full_deployment_flows_end_to_end() {
+        let (start, end) = short_horizon(2);
+        let deployment = teragrid_deployment(42, start, end);
+        let outcome = SimRun::new(
+            deployment,
+            SimOptions { verify_every_secs: Some(600), ..Default::default() },
+        )
+        .run();
+        // Every hourly instance fires twice: ~2120 submissions.
+        let total_reports = outcome.server.with_depot(|d| d.stats().report_count());
+        assert!(
+            (1_900..2_300).contains(&total_reports),
+            "expected ~2120 reports, got {total_reports}"
+        );
+        // The cache holds at most one report per branch.
+        let cached = outcome.server.with_depot(|d| d.cache().report_count());
+        assert!(cached <= 1_060, "cache holds {cached}");
+        assert!(cached > 900, "most branches populated: {cached}");
+        // Verification ran every 10 minutes.
+        assert!(outcome.verification_passes >= 10);
+        // Status page has all ten resources.
+        assert_eq!(outcome.final_page.rows.len(), 10);
+        // The paper verifies "over 900 pieces of data".
+        assert!(outcome.final_page.verified_count() > 400);
+        // Cache size lands in the paper's ~1.5 MB ballpark.
+        let bytes = outcome.server.with_depot(|d| d.cache().size_bytes());
+        assert!(
+            (300_000..4_000_000).contains(&bytes),
+            "cache size {bytes} out of expected range"
+        );
+    }
+
+    #[test]
+    fn daemons_accumulate_process_history() {
+        let (start, end) = short_horizon(2);
+        let deployment = teragrid_deployment(7, start, end);
+        let outcome = SimRun::new(
+            deployment,
+            SimOptions { verify_every_secs: None, ..Default::default() },
+        )
+        .run();
+        for daemon in &outcome.daemons {
+            let stats = daemon.stats();
+            assert!(stats.executed > 0, "every daemon fired");
+            assert_eq!(
+                stats.executed as usize,
+                daemon.processes().records().len(),
+                "process table complete"
+            );
+            assert_eq!(stats.forward_errors, 0, "in-proc transport never fails");
+        }
+    }
+
+    #[test]
+    fn availability_series_recorded() {
+        let (start, end) = short_horizon(3);
+        let mut deployment = teragrid_deployment(11, start, end);
+        // Track one resource only to keep the test fast.
+        let label = ("caltech".to_string(), "tg-login1.caltech.teragrid.org".to_string());
+        deployment.agreement = inca_agreement::Agreement::teragrid();
+        let outcome = SimRun::new(
+            deployment,
+            SimOptions {
+                verify_every_secs: Some(600),
+                verify_resources: vec![label.clone()],
+                ..Default::default()
+            },
+        )
+        .run();
+        let series_name = inca_consumer::AvailabilityTracker::series_name(
+            &format!("{}-{}", label.0, label.1),
+            inca_agreement::Category::Grid,
+        );
+        let points = outcome.server.with_depot(|d| {
+            QueryInterface::new(d)
+                .archived_series(
+                    &series_name,
+                    inca_rrd::ConsolidationFn::Average,
+                    start,
+                    end + 600,
+                )
+                .map(|s| s.known().count())
+                .unwrap_or(0)
+        });
+        assert!(points >= 8, "expected availability points, got {points}");
+    }
+}

@@ -1,0 +1,434 @@
+//! Classic 5-field cron expressions.
+//!
+//! The grammar is the common Vixie-cron subset: each field is `*`, a
+//! number, a range `a-b`, a step `*/n` or `a-b/n`, or a comma-separated
+//! list of those. Fields are minute (0–59), hour (0–23), day-of-month
+//! (1–31), month (1–12), day-of-week (0–6, 0 = Sunday). As in Vixie
+//! cron, when *both* day-of-month and day-of-week are restricted the
+//! entry fires when either matches.
+
+use std::fmt;
+use std::str::FromStr;
+
+use inca_report::Timestamp;
+
+/// Error from parsing or evaluating a cron expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CronError(pub String);
+
+impl fmt::Display for CronError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cron error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CronError {}
+
+/// One field of a cron expression: a set of allowed values stored as a
+/// bitmask (minute needs 60 bits; `u64` suffices for every field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Field {
+    mask: u64,
+    /// Whether the field was written `*` (unrestricted). Kept separate
+    /// from the mask because cron's dom/dow OR-rule depends on it.
+    any: bool,
+    lo: u8,
+    hi: u8,
+}
+
+impl Field {
+    /// An unrestricted field over `lo..=hi`.
+    pub fn any(lo: u8, hi: u8) -> Field {
+        let mut mask = 0u64;
+        for v in lo..=hi {
+            mask |= 1 << v;
+        }
+        Field { mask, any: true, lo, hi }
+    }
+
+    /// A field allowing exactly one value.
+    pub fn exactly(value: u8, lo: u8, hi: u8) -> Result<Field, CronError> {
+        if value < lo || value > hi {
+            return Err(CronError(format!("value {value} outside {lo}..={hi}")));
+        }
+        Ok(Field { mask: 1 << value, any: false, lo, hi })
+    }
+
+    /// Whether the field was written as `*`.
+    pub fn is_any(&self) -> bool {
+        self.any
+    }
+
+    /// Whether `value` is allowed.
+    pub fn matches(&self, value: u8) -> bool {
+        value <= 63 && self.mask & (1 << value) != 0
+    }
+
+    /// All allowed values in ascending order.
+    pub fn values(&self) -> impl Iterator<Item = u8> + '_ {
+        (self.lo..=self.hi).filter(move |&v| self.matches(v))
+    }
+
+    fn parse(text: &str, lo: u8, hi: u8, what: &str) -> Result<Field, CronError> {
+        if text == "*" {
+            return Ok(Field::any(lo, hi));
+        }
+        let mut mask = 0u64;
+        for part in text.split(',') {
+            let (range, step) = match part.split_once('/') {
+                Some((r, s)) => {
+                    let step: u8 = s
+                        .parse()
+                        .map_err(|_| CronError(format!("bad step {s:?} in {what}")))?;
+                    if step == 0 {
+                        return Err(CronError(format!("zero step in {what}")));
+                    }
+                    (r, step)
+                }
+                None => (part, 1),
+            };
+            let (start, end) = if range == "*" {
+                (lo, hi)
+            } else if let Some((a, b)) = range.split_once('-') {
+                let a: u8 =
+                    a.parse().map_err(|_| CronError(format!("bad number {a:?} in {what}")))?;
+                let b: u8 =
+                    b.parse().map_err(|_| CronError(format!("bad number {b:?} in {what}")))?;
+                if a > b {
+                    return Err(CronError(format!("reversed range {part:?} in {what}")));
+                }
+                (a, b)
+            } else {
+                let v: u8 = range
+                    .parse()
+                    .map_err(|_| CronError(format!("bad number {range:?} in {what}")))?;
+                (v, v)
+            };
+            if start < lo || end > hi {
+                return Err(CronError(format!(
+                    "{what} value out of range: {part:?} (allowed {lo}..={hi})"
+                )));
+            }
+            let mut v = start;
+            loop {
+                mask |= 1 << v;
+                match v.checked_add(step) {
+                    Some(next) if next <= end => v = next,
+                    _ => break,
+                }
+            }
+        }
+        if mask == 0 {
+            return Err(CronError(format!("empty {what} field")));
+        }
+        Ok(Field { mask, any: false, lo, hi })
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.any {
+            return f.write_str("*");
+        }
+        // Render as a simple comma list; correctness over prettiness.
+        let values: Vec<String> = self.values().map(|v| v.to_string()).collect();
+        f.write_str(&values.join(","))
+    }
+}
+
+/// A parsed 5-field cron expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CronExpr {
+    /// Minute field (0–59).
+    pub minute: Field,
+    /// Hour field (0–23).
+    pub hour: Field,
+    /// Day-of-month field (1–31).
+    pub dom: Field,
+    /// Month field (1–12).
+    pub month: Field,
+    /// Day-of-week field (0–6, 0 = Sunday).
+    pub dow: Field,
+}
+
+impl CronExpr {
+    /// `* * * * *` — fires every minute.
+    pub fn every_minute() -> CronExpr {
+        CronExpr {
+            minute: Field::any(0, 59),
+            hour: Field::any(0, 23),
+            dom: Field::any(1, 31),
+            month: Field::any(1, 12),
+            dow: Field::any(0, 6),
+        }
+    }
+
+    /// `m * * * *` — hourly at the given minute.
+    pub fn hourly_at(minute: u8) -> Result<CronExpr, CronError> {
+        Ok(CronExpr { minute: Field::exactly(minute, 0, 59)?, ..CronExpr::every_minute() })
+    }
+
+    /// `m h * * *` — daily at the given time.
+    pub fn daily_at(hour: u8, minute: u8) -> Result<CronExpr, CronError> {
+        Ok(CronExpr {
+            minute: Field::exactly(minute, 0, 59)?,
+            hour: Field::exactly(hour, 0, 23)?,
+            ..CronExpr::every_minute()
+        })
+    }
+
+    /// Whether the expression fires at `t` (second-of-minute ignored;
+    /// cron has minute resolution).
+    pub fn matches(&self, t: Timestamp) -> bool {
+        let (_, month, day) = t.date();
+        let (hour, minute, _) = t.time_of_day();
+        if !self.minute.matches(minute as u8) || !self.hour.matches(hour as u8) {
+            return false;
+        }
+        if !self.month.matches(month as u8) {
+            return false;
+        }
+        let dow_ok = self.dow.matches(t.weekday() as u8);
+        let dom_ok = self.dom.matches(day as u8);
+        // Vixie rule: if both dom and dow are restricted, OR them.
+        match (self.dom.is_any(), self.dow.is_any()) {
+            (true, true) => true,
+            (false, true) => dom_ok,
+            (true, false) => dow_ok,
+            (false, false) => dom_ok || dow_ok,
+        }
+    }
+
+    /// The first fire time strictly after `t`.
+    ///
+    /// Walks minute-by-minute but skips whole days and hours whose
+    /// fields cannot match, so even sparse expressions resolve quickly.
+    /// Returns an error if nothing fires within four years (malformed
+    /// combinations such as `0 0 31 2 *`).
+    pub fn next_after(&self, t: Timestamp) -> Result<Timestamp, CronError> {
+        let mut cur = Timestamp::from_secs(t.as_secs() - t.as_secs() % 60) + 60;
+        let limit = t + 4 * 366 * 86_400;
+        while cur < limit {
+            let (_, month, day) = cur.date();
+            let day_ok = {
+                let month_ok = self.month.matches(month as u8);
+                let dow_ok = self.dow.matches(cur.weekday() as u8);
+                let dom_ok = self.dom.matches(day as u8);
+                let dom_dow = match (self.dom.is_any(), self.dow.is_any()) {
+                    (true, true) => true,
+                    (false, true) => dom_ok,
+                    (true, false) => dow_ok,
+                    (false, false) => dom_ok || dow_ok,
+                };
+                month_ok && dom_dow
+            };
+            if !day_ok {
+                cur = cur.truncate_to_day() + 86_400;
+                continue;
+            }
+            let (hour, _, _) = cur.time_of_day();
+            if !self.hour.matches(hour as u8) {
+                cur = cur.truncate_to_hour() + 3_600;
+                continue;
+            }
+            if self.minute.matches(cur.minute_of_hour() as u8) {
+                return Ok(cur);
+            }
+            cur = cur + 60;
+        }
+        Err(CronError(format!("expression {self} never fires")))
+    }
+
+    /// The nominal period of the expression in seconds, when it has a
+    /// simple one: used to derive expected-runtime defaults and
+    /// reports-per-hour accounting (Table 2 counts reporters *per
+    /// hour*).
+    pub fn nominal_period_secs(&self) -> u64 {
+        if self.minute.is_any() {
+            60
+        } else if self.hour.is_any() {
+            let n = self.minute.values().count() as u64;
+            3_600 / n.max(1)
+        } else if self.dom.is_any() && self.dow.is_any() {
+            let n = (self.hour.values().count() * self.minute.values().count()) as u64;
+            86_400 / n.max(1)
+        } else {
+            604_800
+        }
+    }
+}
+
+impl fmt::Display for CronExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.minute.render(f)?;
+        f.write_str(" ")?;
+        self.hour.render(f)?;
+        f.write_str(" ")?;
+        self.dom.render(f)?;
+        f.write_str(" ")?;
+        self.month.render(f)?;
+        f.write_str(" ")?;
+        self.dow.render(f)
+    }
+}
+
+impl FromStr for CronExpr {
+    type Err = CronError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let fields: Vec<&str> = s.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(CronError(format!(
+                "expected 5 fields, found {} in {s:?}",
+                fields.len()
+            )));
+        }
+        Ok(CronExpr {
+            minute: Field::parse(fields[0], 0, 59, "minute")?,
+            hour: Field::parse(fields[1], 0, 23, "hour")?,
+            dom: Field::parse(fields[2], 1, 31, "day-of-month")?,
+            month: Field::parse(fields[3], 1, 12, "month")?,
+            dow: Field::parse(fields[4], 0, 6, "day-of-week")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(y: i64, mo: u32, d: u32, h: u32, mi: u32) -> Timestamp {
+        Timestamp::from_gmt(y, mo, d, h, mi, 0)
+    }
+
+    #[test]
+    fn parse_star_fields() {
+        let e: CronExpr = "* * * * *".parse().unwrap();
+        assert!(e.matches(ts(2004, 7, 7, 13, 45)));
+        assert_eq!(e.nominal_period_secs(), 60);
+    }
+
+    #[test]
+    fn hourly_at_minute() {
+        let e: CronExpr = "20 * * * *".parse().unwrap();
+        assert!(e.matches(ts(2004, 7, 7, 13, 20)));
+        assert!(!e.matches(ts(2004, 7, 7, 13, 21)));
+        assert_eq!(e.nominal_period_secs(), 3_600);
+    }
+
+    #[test]
+    fn next_after_hourly() {
+        let e = CronExpr::hourly_at(31).unwrap();
+        let next = e.next_after(ts(2004, 7, 7, 13, 20)).unwrap();
+        assert_eq!(next, ts(2004, 7, 7, 13, 31));
+        let next = e.next_after(ts(2004, 7, 7, 13, 31)).unwrap();
+        assert_eq!(next, ts(2004, 7, 7, 14, 31));
+    }
+
+    #[test]
+    fn next_is_strictly_after() {
+        let e: CronExpr = "* * * * *".parse().unwrap();
+        let t = ts(2004, 7, 7, 13, 45);
+        assert_eq!(e.next_after(t).unwrap(), ts(2004, 7, 7, 13, 46));
+        // Mid-minute rounds to the next minute boundary.
+        assert_eq!(e.next_after(t + 30).unwrap(), ts(2004, 7, 7, 13, 46));
+    }
+
+    #[test]
+    fn ranges_lists_steps() {
+        let e: CronExpr = "0-59/15 9-17 * * 1-5".parse().unwrap();
+        assert!(e.matches(ts(2004, 7, 7, 9, 45))); // Wednesday
+        assert!(!e.matches(ts(2004, 7, 7, 9, 44)));
+        assert!(!e.matches(ts(2004, 7, 4, 9, 45))); // Sunday
+        let e: CronExpr = "5,35 */2 * * *".parse().unwrap();
+        assert!(e.matches(ts(2004, 7, 7, 0, 5)));
+        assert!(e.matches(ts(2004, 7, 7, 2, 35)));
+        assert!(!e.matches(ts(2004, 7, 7, 1, 5)));
+    }
+
+    #[test]
+    fn step_with_offset_range() {
+        let e: CronExpr = "7-59/10 * * * *".parse().unwrap();
+        let minutes: Vec<u8> = e.minute.values().collect();
+        assert_eq!(minutes, [7, 17, 27, 37, 47, 57]);
+    }
+
+    #[test]
+    fn dom_dow_or_rule() {
+        // Fires on the 15th OR on Mondays.
+        let e: CronExpr = "0 0 15 * 1".parse().unwrap();
+        assert!(e.matches(ts(2004, 7, 15, 0, 0))); // Thursday the 15th
+        assert!(e.matches(ts(2004, 7, 5, 0, 0))); // Monday the 5th
+        assert!(!e.matches(ts(2004, 7, 6, 0, 0))); // Tuesday the 6th
+    }
+
+    #[test]
+    fn dom_only_and_dow_only() {
+        let dom: CronExpr = "0 0 15 * *".parse().unwrap();
+        assert!(dom.matches(ts(2004, 7, 15, 0, 0)));
+        assert!(!dom.matches(ts(2004, 7, 5, 0, 0)));
+        let dow: CronExpr = "0 0 * * 1".parse().unwrap();
+        assert!(dow.matches(ts(2004, 7, 5, 0, 0)));
+        assert!(!dow.matches(ts(2004, 7, 15, 0, 0)));
+    }
+
+    #[test]
+    fn next_after_skips_to_next_day() {
+        let e: CronExpr = "0 0 * * 1".parse().unwrap(); // Mondays at midnight
+        let next = e.next_after(ts(2004, 7, 7, 13, 0)).unwrap();
+        assert_eq!(next, ts(2004, 7, 12, 0, 0));
+    }
+
+    #[test]
+    fn next_after_monthly() {
+        let e: CronExpr = "30 4 1 * *".parse().unwrap();
+        let next = e.next_after(ts(2004, 7, 7, 0, 0)).unwrap();
+        assert_eq!(next, ts(2004, 8, 1, 4, 30));
+    }
+
+    #[test]
+    fn impossible_date_errors() {
+        let e: CronExpr = "0 0 31 2 *".parse().unwrap();
+        assert!(e.next_after(ts(2004, 1, 1, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in ["* * * * *", "20 * * * *", "0,30 4 1 7 2", "0-59/15 9-17 * * 1-5"] {
+            let e: CronExpr = text.parse().unwrap();
+            let reparsed: CronExpr = e.to_string().parse().unwrap();
+            assert_eq!(e, reparsed, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<CronExpr>().is_err());
+        assert!("* * * *".parse::<CronExpr>().is_err());
+        assert!("60 * * * *".parse::<CronExpr>().is_err());
+        assert!("* 24 * * *".parse::<CronExpr>().is_err());
+        assert!("* * 0 * *".parse::<CronExpr>().is_err());
+        assert!("* * * 13 *".parse::<CronExpr>().is_err());
+        assert!("* * * * 7".parse::<CronExpr>().is_err());
+        assert!("*/0 * * * *".parse::<CronExpr>().is_err());
+        assert!("5-2 * * * *".parse::<CronExpr>().is_err());
+        assert!("x * * * *".parse::<CronExpr>().is_err());
+    }
+
+    #[test]
+    fn nominal_periods() {
+        assert_eq!("*/10 * * * *".parse::<CronExpr>().unwrap().nominal_period_secs(), 600);
+        assert_eq!("20 * * * *".parse::<CronExpr>().unwrap().nominal_period_secs(), 3_600);
+        assert_eq!("20 3 * * *".parse::<CronExpr>().unwrap().nominal_period_secs(), 86_400);
+        assert_eq!("20 3 * * 1".parse::<CronExpr>().unwrap().nominal_period_secs(), 604_800);
+    }
+
+    #[test]
+    fn consecutive_fires_are_periodic() {
+        let e: CronExpr = "*/10 * * * *".parse().unwrap();
+        let mut t = ts(2004, 7, 7, 0, 0);
+        for _ in 0..10 {
+            let next = e.next_after(t).unwrap();
+            assert_eq!(next - t, 600);
+            t = next;
+        }
+    }
+}

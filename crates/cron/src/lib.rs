@@ -1,0 +1,27 @@
+//! Cron substrate for the distributed controller.
+//!
+//! Inca's distributed controller is "a Perl daemon with built-in cron
+//! capability" (§3.1.3): the frequency of execution for a reporter is
+//! expressed as a cron table entry, configurable per reporter. To spread
+//! load, "reporters are scheduled to run at random times during their
+//! period" — an hourly reporter might run at the 20th minute of every
+//! hour, another at the 31st.
+//!
+//! This crate provides the three pieces that behaviour needs:
+//!
+//! * [`expr::CronExpr`] — classic 5-field cron expressions (minute,
+//!   hour, day-of-month, month, day-of-week) with lists, ranges and
+//!   steps,
+//! * [`offset::Frequency`] — the *period* abstraction
+//!   (every-N-minutes/hourly/daily/weekly) plus deterministic random
+//!   offset assignment within the period,
+//! * [`tab::CronTab`] — a set of entries with earliest-next-fire
+//!   queries, which is what the controller's scheduling loop drives.
+
+pub mod expr;
+pub mod offset;
+pub mod tab;
+
+pub use expr::{CronError, CronExpr, Field};
+pub use offset::Frequency;
+pub use tab::{CronEntry, CronTab};

@@ -1,0 +1,160 @@
+//! Random-offset assignment within a reporter's period.
+//!
+//! "In order to distribute the impact of the reporter execution on a VO
+//! resource, reporters are scheduled to run at random times during their
+//! period. For example, a reporter executed hourly can be randomly
+//! chosen to run at the 20th minute of each hour, while another chosen
+//! to run on the 31st minute of each hour." (§3.1.3)
+//!
+//! [`Frequency`] names the period; [`Frequency::to_cron`] draws the
+//! offset from a caller-supplied RNG so deployments are reproducible
+//! from a seed.
+
+use rand::Rng;
+
+use crate::expr::{CronError, CronExpr, Field};
+
+/// How often a reporter should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Frequency {
+    /// Every `n` minutes (1 ≤ n ≤ 59); the offset is drawn in `0..n`.
+    Minutes(u8),
+    /// Once per hour at a random minute.
+    Hourly,
+    /// Once per day at a random hour and minute.
+    Daily,
+    /// Once per week at a random day, hour and minute.
+    Weekly,
+}
+
+impl Frequency {
+    /// Period length in seconds.
+    pub fn period_secs(self) -> u64 {
+        match self {
+            Frequency::Minutes(n) => n as u64 * 60,
+            Frequency::Hourly => 3_600,
+            Frequency::Daily => 86_400,
+            Frequency::Weekly => 604_800,
+        }
+    }
+
+    /// Expected executions per hour (Table 2 accounting). Sub-hourly
+    /// frequencies count multiple runs; daily/weekly count fractions.
+    pub fn runs_per_hour(self) -> f64 {
+        3_600.0 / self.period_secs() as f64
+    }
+
+    /// Draws a random offset within the period and renders the
+    /// resulting cron expression.
+    pub fn to_cron<R: Rng + ?Sized>(self, rng: &mut R) -> Result<CronExpr, CronError> {
+        match self {
+            Frequency::Minutes(n) => {
+                if n == 0 || n > 59 {
+                    return Err(CronError(format!("minutes frequency {n} outside 1..=59")));
+                }
+                let offset = rng.gen_range(0..n);
+                // offset, offset+n, … — rendered via the step syntax.
+                format!("{offset}-59/{n} * * * *").parse()
+            }
+            Frequency::Hourly => CronExpr::hourly_at(rng.gen_range(0..60)),
+            Frequency::Daily => CronExpr::daily_at(rng.gen_range(0..24), rng.gen_range(0..60)),
+            Frequency::Weekly => {
+                let mut e = CronExpr::daily_at(rng.gen_range(0..24), rng.gen_range(0..60))?;
+                e.dow = Field::exactly(rng.gen_range(0..7), 0, 6)?;
+                Ok(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hourly_offset_is_fixed_per_assignment() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = Frequency::Hourly.to_cron(&mut rng).unwrap();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        let first = e.next_after(start).unwrap();
+        let second = e.next_after(first).unwrap();
+        let third = e.next_after(second).unwrap();
+        assert_eq!(second - first, 3_600);
+        assert_eq!(third - second, 3_600);
+        // Same minute each hour.
+        assert_eq!(first.minute_of_hour(), second.minute_of_hour());
+    }
+
+    #[test]
+    fn offsets_differ_across_reporters() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let minutes: Vec<u32> = (0..32)
+            .map(|_| {
+                let e = Frequency::Hourly.to_cron(&mut rng).unwrap();
+                e.next_after(Timestamp::EPOCH).unwrap().minute_of_hour()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = minutes.iter().collect();
+        // With 32 draws over 60 minutes, expect a healthy spread.
+        assert!(distinct.len() > 16, "offsets not spread: {minutes:?}");
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Frequency::Daily.to_cron(&mut StdRng::seed_from_u64(5)).unwrap();
+        let b = Frequency::Daily.to_cron(&mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minutes_frequency_fires_n_times_per_hour() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = Frequency::Minutes(10).to_cron(&mut rng).unwrap();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        let mut fires = 0;
+        let mut t = start;
+        loop {
+            t = e.next_after(t).unwrap();
+            if t >= start + 3_600 {
+                break;
+            }
+            fires += 1;
+        }
+        assert_eq!(fires, 6);
+    }
+
+    #[test]
+    fn minutes_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Frequency::Minutes(0).to_cron(&mut rng).is_err());
+        assert!(Frequency::Minutes(60).to_cron(&mut rng).is_err());
+        assert!(Frequency::Minutes(59).to_cron(&mut rng).is_ok());
+    }
+
+    #[test]
+    fn weekly_fires_weekly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let e = Frequency::Weekly.to_cron(&mut rng).unwrap();
+        let first = e.next_after(Timestamp::from_gmt(2004, 7, 1, 0, 0, 0)).unwrap();
+        let second = e.next_after(first).unwrap();
+        assert_eq!(second - first, 604_800);
+    }
+
+    #[test]
+    fn runs_per_hour_accounting() {
+        assert_eq!(Frequency::Hourly.runs_per_hour(), 1.0);
+        assert_eq!(Frequency::Minutes(10).runs_per_hour(), 6.0);
+        assert!((Frequency::Daily.runs_per_hour() - 1.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_secs() {
+        assert_eq!(Frequency::Minutes(5).period_secs(), 300);
+        assert_eq!(Frequency::Hourly.period_secs(), 3_600);
+        assert_eq!(Frequency::Daily.period_secs(), 86_400);
+        assert_eq!(Frequency::Weekly.period_secs(), 604_800);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the cron substrate: every computed fire time must
+//! actually match the expression, be strictly in the future, and the
+//! random-offset scheduler must keep a fixed offset within its period.
+
+use proptest::prelude::*;
+
+use inca_cron::{CronExpr, Frequency};
+use inca_report::Timestamp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy for timestamps in a realistic window (2000–2030).
+fn ts_strategy() -> impl Strategy<Value = Timestamp> {
+    (946_684_800u64..1_893_456_000u64).prop_map(Timestamp::from_secs)
+}
+
+/// A strategy for parseable cron expressions built from simple fields.
+fn expr_strategy() -> impl Strategy<Value = CronExpr> {
+    let minute = prop_oneof![
+        Just("*".to_string()),
+        (0u8..60).prop_map(|m| m.to_string()),
+        (1u8..30).prop_map(|n| format!("*/{n}")),
+    ];
+    let hour = prop_oneof![
+        Just("*".to_string()),
+        (0u8..24).prop_map(|h| h.to_string()),
+        ((0u8..12), (12u8..24)).prop_map(|(a, b)| format!("{a}-{b}")),
+    ];
+    let dom = prop_oneof![Just("*".to_string()), (1u8..29).prop_map(|d| d.to_string())];
+    let month = prop_oneof![Just("*".to_string()), (1u8..13).prop_map(|m| m.to_string())];
+    let dow = prop_oneof![Just("*".to_string()), (0u8..7).prop_map(|d| d.to_string())];
+    (minute, hour, dom, month, dow).prop_map(|(mi, h, d, mo, dw)| {
+        format!("{mi} {h} {d} {mo} {dw}").parse().expect("generated expression parses")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn next_after_matches_and_advances(expr in expr_strategy(), t in ts_strategy()) {
+        let next = expr.next_after(t).unwrap();
+        prop_assert!(next > t, "fire {next} not after {t}");
+        prop_assert!(expr.matches(next), "expr {expr} does not match its own fire time {next}");
+        prop_assert_eq!(next.as_secs() % 60, 0, "fires must land on minute boundaries");
+    }
+
+    #[test]
+    fn no_fire_between_t_and_next(expr in expr_strategy(), t in ts_strategy()) {
+        let next = expr.next_after(t).unwrap();
+        // Check a sample of minutes strictly between t and next.
+        let start = t.as_secs() - t.as_secs() % 60 + 60;
+        let mut probe = start;
+        let mut checked = 0;
+        while probe < next.as_secs() && checked < 200 {
+            prop_assert!(
+                !expr.matches(Timestamp::from_secs(probe)),
+                "missed earlier fire at {}", Timestamp::from_secs(probe)
+            );
+            probe += 60;
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn frequency_offset_is_stable(seed in any::<u64>(), t in ts_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expr = Frequency::Hourly.to_cron(&mut rng).unwrap();
+        let a = expr.next_after(t).unwrap();
+        let b = expr.next_after(a).unwrap();
+        prop_assert_eq!(b - a, 3_600);
+        prop_assert_eq!(a.minute_of_hour(), b.minute_of_hour());
+    }
+
+    #[test]
+    fn minutes_frequency_period_holds(seed in any::<u64>(), n in 1u8..59, t in ts_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expr = Frequency::Minutes(n).to_cron(&mut rng).unwrap();
+        let a = expr.next_after(t).unwrap();
+        let b = expr.next_after(a).unwrap();
+        // Within an hour the gap is exactly n minutes except when the
+        // tail of the hour is shorter than a full step.
+        let gap = b - a;
+        prop_assert!(gap % 60 == 0);
+        prop_assert!(gap <= 3_600, "gap {gap} exceeds an hour for n={n}");
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,40}") {
+        let _ = s.parse::<CronExpr>();
+    }
+}

@@ -1,0 +1,239 @@
+//! Branch identifiers — the addresses of reports inside the depot.
+//!
+//! Every reporter carries a *branch identifier*: "a comma delimited list
+//! of name/value pairs similar to LDAP distinguished names" (§3.1.3).
+//! The paper's example routes pathload measurements:
+//!
+//! ```text
+//! dest=siteB,tool=pathload,performance=network,site=siteA,vo=samplegrid
+//! ```
+//!
+//! Like an LDAP DN the most specific component comes first and the most
+//! general (`vo=…`) last. The depot reverses that order to build the
+//! cache hierarchy (`vo` at the top), and queries match by *suffix* of
+//! the written form — e.g. `site=siteA,vo=samplegrid` selects every
+//! report under that site.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when parsing a branch identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchIdError(pub String);
+
+impl fmt::Display for BranchIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid branch identifier: {}", self.0)
+    }
+}
+
+impl std::error::Error for BranchIdError {}
+
+/// A parsed branch identifier: ordered `name=value` pairs, most
+/// specific first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BranchId {
+    pairs: Vec<(String, String)>,
+}
+
+impl BranchId {
+    /// Builds a branch ID from pairs in written (specific-first) order.
+    pub fn new<I, N, V>(pairs: I) -> Result<Self, BranchIdError>
+    where
+        I: IntoIterator<Item = (N, V)>,
+        N: Into<String>,
+        V: Into<String>,
+    {
+        let pairs: Vec<(String, String)> =
+            pairs.into_iter().map(|(n, v)| (n.into(), v.into())).collect();
+        if pairs.is_empty() {
+            return Err(BranchIdError("must contain at least one name=value pair".into()));
+        }
+        for (n, v) in &pairs {
+            if n.is_empty() || v.is_empty() {
+                return Err(BranchIdError(format!("empty name or value in pair {n:?}={v:?}")));
+            }
+            if n.contains([',', '=']) || v.contains([',', '=']) {
+                return Err(BranchIdError(format!(
+                    "names and values must not contain ',' or '=': {n:?}={v:?}"
+                )));
+            }
+        }
+        Ok(BranchId { pairs })
+    }
+
+    /// The pairs in written (specific-first) order.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// The pairs in hierarchy (general-first) order — the order the
+    /// depot uses to walk its cache tree, `vo` outermost.
+    pub fn hierarchy(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().rev().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Value of the component with the given name, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// A branch ID always has at least one component.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `query` selects this branch: `query` must equal the
+    /// trailing (general) components of `self`. A query equal to the
+    /// whole ID selects exactly this report.
+    pub fn matches_suffix(&self, query: &BranchId) -> bool {
+        if query.pairs.len() > self.pairs.len() {
+            return false;
+        }
+        let offset = self.pairs.len() - query.pairs.len();
+        self.pairs[offset..] == query.pairs[..]
+    }
+
+    /// Extends this ID with a more specific leading component, e.g.
+    /// turning a resource-level prefix into a per-reporter address.
+    pub fn prepend(&self, name: impl Into<String>, value: impl Into<String>) -> BranchId {
+        let mut pairs = Vec::with_capacity(self.pairs.len() + 1);
+        pairs.push((name.into(), value.into()));
+        pairs.extend(self.pairs.iter().cloned());
+        BranchId { pairs }
+    }
+}
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (n, v) in &self.pairs {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{n}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for BranchId {
+    type Err = BranchIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.trim().is_empty() {
+            return Err(BranchIdError("empty identifier".into()));
+        }
+        let mut pairs = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let (n, v) = part
+                .split_once('=')
+                .ok_or_else(|| BranchIdError(format!("component {part:?} is not name=value")))?;
+            let (n, v) = (n.trim(), v.trim());
+            if n.is_empty() || v.is_empty() {
+                return Err(BranchIdError(format!("empty name or value in {part:?}")));
+            }
+            pairs.push((n.to_string(), v.to_string()));
+        }
+        BranchId::new(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: &str = "dest=siteB,tool=pathload,performance=network,site=siteA,vo=samplegrid";
+
+    #[test]
+    fn parses_paper_example() {
+        let id: BranchId = PAPER.parse().unwrap();
+        assert_eq!(id.len(), 5);
+        assert_eq!(id.get("dest"), Some("siteB"));
+        assert_eq!(id.get("vo"), Some("samplegrid"));
+        assert_eq!(id.get("nope"), None);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let id: BranchId = PAPER.parse().unwrap();
+        assert_eq!(id.to_string(), PAPER);
+        let id2: BranchId = id.to_string().parse().unwrap();
+        assert_eq!(id, id2);
+    }
+
+    #[test]
+    fn hierarchy_is_general_first() {
+        let id: BranchId = PAPER.parse().unwrap();
+        let names: Vec<&str> = id.hierarchy().map(|(n, _)| n).collect();
+        assert_eq!(names, ["vo", "site", "performance", "tool", "dest"]);
+    }
+
+    #[test]
+    fn suffix_matching() {
+        let id: BranchId = PAPER.parse().unwrap();
+        let vo: BranchId = "vo=samplegrid".parse().unwrap();
+        let site: BranchId = "site=siteA,vo=samplegrid".parse().unwrap();
+        let wrong_site: BranchId = "site=siteB,vo=samplegrid".parse().unwrap();
+        let full: BranchId = PAPER.parse().unwrap();
+        assert!(id.matches_suffix(&vo));
+        assert!(id.matches_suffix(&site));
+        assert!(!id.matches_suffix(&wrong_site));
+        assert!(id.matches_suffix(&full));
+        // Longer query than ID never matches.
+        assert!(!vo.matches_suffix(&id));
+    }
+
+    #[test]
+    fn suffix_requires_name_and_value_match() {
+        let id: BranchId = "a=1,b=2".parse().unwrap();
+        assert!(!id.matches_suffix(&"b=3".parse().unwrap()));
+        assert!(!id.matches_suffix(&"c=2".parse().unwrap()));
+        assert!(id.matches_suffix(&"b=2".parse().unwrap()));
+    }
+
+    #[test]
+    fn prepend_adds_specific_component() {
+        let base: BranchId = "resource=tg-login1,site=sdsc,vo=teragrid".parse().unwrap();
+        let full = base.prepend("reporter", "version.globus");
+        assert_eq!(full.to_string(), "reporter=version.globus,resource=tg-login1,site=sdsc,vo=teragrid");
+        assert!(full.matches_suffix(&base));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("".parse::<BranchId>().is_err());
+        assert!("justtext".parse::<BranchId>().is_err());
+        assert!("a=".parse::<BranchId>().is_err());
+        assert!("=b".parse::<BranchId>().is_err());
+        assert!("a=1,,b=2".parse::<BranchId>().is_err());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(BranchId::new(Vec::<(String, String)>::new()).is_err());
+        assert!(BranchId::new([("a", "b,c")]).is_err());
+        assert!(BranchId::new([("a=x", "b")]).is_err());
+        assert!(BranchId::new([("a", "b")]).is_ok());
+    }
+
+    #[test]
+    fn whitespace_tolerated_in_parse() {
+        let id: BranchId = " dest=siteB , tool=pathload ".parse().unwrap();
+        assert_eq!(id.to_string(), "dest=siteB,tool=pathload");
+    }
+
+    #[test]
+    fn ordering_is_stable_for_map_keys() {
+        let a: BranchId = "a=1,b=2".parse().unwrap();
+        let b: BranchId = "a=2,b=2".parse().unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,198 @@
+//! The reporter-development API.
+//!
+//! The paper ships Perl and Python APIs that "help developers to comply
+//! with the Inca reporter specifications, cut development time, and
+//! reduce duplicate code", keeping most reporters under 100 lines
+//! (§3.1.2, Table 1). [`ReportBuilder`] plays that role here: a reporter
+//! sets its identity once, appends whatever body content it produced,
+//! and finishes with [`ReportBuilder::success`] or
+//! [`ReportBuilder::failure`]; the builder guarantees the result is
+//! spec-conformant.
+
+use inca_xml::{Element, XmlResult};
+
+use crate::body::Body;
+use crate::footer::Footer;
+use crate::header::Header;
+use crate::report::{Report, ReportError};
+use crate::time::Timestamp;
+
+/// Incrementally builds a spec-conformant [`Report`].
+#[derive(Debug, Clone)]
+pub struct ReportBuilder {
+    reporter: String,
+    version: String,
+    host: String,
+    gmt: Timestamp,
+    working_dir: String,
+    args: Vec<(String, String)>,
+    body_children: Vec<Element>,
+}
+
+impl ReportBuilder {
+    /// Starts a report for the named reporter.
+    pub fn new(reporter: impl Into<String>, version: impl Into<String>) -> Self {
+        ReportBuilder {
+            reporter: reporter.into(),
+            version: version.into(),
+            host: "localhost".to_string(),
+            gmt: Timestamp::EPOCH,
+            working_dir: "/home/inca".to_string(),
+            args: Vec::new(),
+            body_children: Vec::new(),
+        }
+    }
+
+    /// Sets the host the reporter ran on.
+    pub fn host(mut self, host: impl Into<String>) -> Self {
+        self.host = host.into();
+        self
+    }
+
+    /// Sets the GMT run time.
+    pub fn gmt(mut self, gmt: Timestamp) -> Self {
+        self.gmt = gmt;
+        self
+    }
+
+    /// Sets the working directory recorded in the header.
+    pub fn working_dir(mut self, dir: impl Into<String>) -> Self {
+        self.working_dir = dir.into();
+        self
+    }
+
+    /// Records an input argument.
+    pub fn arg(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.args.push((name.into(), value.into()));
+        self
+    }
+
+    /// Appends an arbitrary element to the body.
+    pub fn body_element(mut self, element: Element) -> Self {
+        self.body_children.push(element);
+        self
+    }
+
+    /// Appends a `<name>value</name>` leaf to the body.
+    pub fn body_value(self, name: &str, value: impl Into<String>) -> Self {
+        self.body_element(Element::with_text(name, value))
+    }
+
+    /// Appends a Figure 2-style metric branch with statistics.
+    pub fn metric(self, id: &str, statistics: &[(&str, &str, Option<&str>)]) -> Self {
+        let mut metric = Element::new("metric").child(Element::with_text("ID", id));
+        for (stat_id, value, units) in statistics {
+            let mut stat = Element::new("statistic")
+                .child(Element::with_text("ID", *stat_id))
+                .child(Element::with_text("value", *value));
+            if let Some(u) = units {
+                stat.push_child(Element::with_text("units", *u));
+            }
+            metric.push_child(stat);
+        }
+        self.body_element(metric)
+    }
+
+    fn header(&self) -> Header {
+        let mut h = Header::new(&self.reporter, &self.version, &self.host, self.gmt);
+        h.working_dir = self.working_dir.clone();
+        h.args = self.args.clone();
+        h
+    }
+
+    fn body(&self) -> XmlResult<Body> {
+        let mut root = Element::new("body");
+        for child in &self.body_children {
+            root.push_child(child.clone());
+        }
+        Body::new(root)
+    }
+
+    /// Finishes with a `completed` footer.
+    pub fn success(self) -> Result<Report, ReportError> {
+        let body = self.body()?;
+        Report::new(self.header(), body, Footer::completed())
+    }
+
+    /// Finishes with a `failed` footer carrying the required message.
+    pub fn failure(self, message: impl Into<String>) -> Result<Report, ReportError> {
+        let body = self.body()?;
+        Report::new(self.header(), body, Footer::failed(message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_xml::IncaPath;
+
+    #[test]
+    fn minimal_success_report() {
+        let r = ReportBuilder::new("cluster.admin.ant.version", "1.0")
+            .host("rachel.psc.edu")
+            .gmt(Timestamp::from_gmt(2004, 7, 8, 0, 20, 0))
+            .body_value("packageVersion", "8.2.0")
+            .success()
+            .unwrap();
+        assert!(r.is_success());
+        assert_eq!(r.header.host, "rachel.psc.edu");
+        let p: IncaPath = "packageVersion".parse().unwrap();
+        assert_eq!(r.body.lookup_text(&p).unwrap(), "8.2.0");
+    }
+
+    #[test]
+    fn failure_report_carries_message() {
+        let r = ReportBuilder::new("grid.services.gram.unit", "1.2")
+            .failure("duroc mpi helloworld to jobmanager-pbs test failed")
+            .unwrap();
+        assert!(!r.is_success());
+        assert!(r.footer.error_message.as_deref().unwrap().contains("jobmanager-pbs"));
+    }
+
+    #[test]
+    fn metric_helper_matches_figure2() {
+        let r = ReportBuilder::new("network.bandwidth.pathload", "1.0")
+            .arg("dest", "tg-login1.caltech.teragrid.org")
+            .metric(
+                "bandwidth",
+                &[
+                    ("upperBound", "998.67", Some("Mbps")),
+                    ("lowerBound", "984.99", Some("Mbps")),
+                ],
+            )
+            .success()
+            .unwrap();
+        let p: IncaPath = "value, statistic=lowerBound, metric=bandwidth".parse().unwrap();
+        assert_eq!(r.body.lookup_text(&p).unwrap(), "984.99");
+        assert_eq!(r.header.get_arg("dest"), Some("tg-login1.caltech.teragrid.org"));
+    }
+
+    #[test]
+    fn duplicate_body_branches_rejected() {
+        let result = ReportBuilder::new("r", "1")
+            .metric("x", &[("a", "1", None)])
+            .metric("x", &[("b", "2", None)])
+            .success();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn built_report_roundtrips() {
+        let r = ReportBuilder::new("r", "1")
+            .host("h")
+            .gmt(Timestamp::from_secs(1_089_158_400))
+            .arg("k", "v")
+            .body_value("x", "y")
+            .success()
+            .unwrap();
+        assert_eq!(Report::parse(&r.to_xml()).unwrap(), r);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let r = ReportBuilder::new("r", "1").success().unwrap();
+        assert_eq!(r.header.host, "localhost");
+        assert_eq!(r.header.working_dir, "/home/inca");
+        assert!(r.body.root().children.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! The uniform report header.
+//!
+//! "A header provides metadata about the reporter, including the machine
+//! it ran on, the time at which it ran, and the input arguments supplied
+//! at run time" (§3.1.2). The header format is identical across all
+//! reporters, which is what lets the framework handle reports
+//! generically.
+
+use inca_xml::{Element, XmlError, XmlResult};
+
+use crate::time::Timestamp;
+
+/// Metadata common to every report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Reporter name, e.g. `version.globus` or `unit.gridftp.copy`.
+    pub reporter: String,
+    /// Reporter version string.
+    pub version: String,
+    /// Fully-qualified hostname the reporter ran on.
+    pub host: String,
+    /// GMT time at which the reporter ran.
+    pub gmt: Timestamp,
+    /// Working directory of the run (the `inca` user's area).
+    pub working_dir: String,
+    /// Input arguments supplied at run time, in order.
+    pub args: Vec<(String, String)>,
+}
+
+impl Header {
+    /// Creates a header with no arguments.
+    pub fn new(
+        reporter: impl Into<String>,
+        version: impl Into<String>,
+        host: impl Into<String>,
+        gmt: Timestamp,
+    ) -> Self {
+        Header {
+            reporter: reporter.into(),
+            version: version.into(),
+            host: host.into(),
+            gmt,
+            working_dir: "/home/inca".to_string(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an input argument (builder style).
+    pub fn arg(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.args.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks up an argument value by name.
+    pub fn get_arg(&self, name: &str) -> Option<&str> {
+        self.args.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the header as its `<header>` element.
+    pub fn to_element(&self) -> Element {
+        let mut header = Element::new("header")
+            .child(Element::with_text("reporter", &self.reporter))
+            .child(Element::with_text("version", &self.version))
+            .child(Element::with_text("host", &self.host))
+            .child(Element::with_text("gmt", self.gmt.to_string()))
+            .child(Element::with_text("workingDir", &self.working_dir));
+        if !self.args.is_empty() {
+            let mut args = Element::new("args");
+            for (n, v) in &self.args {
+                args.push_child(
+                    Element::new("arg")
+                        .child(Element::with_text("name", n))
+                        .child(Element::with_text("value", v)),
+                );
+            }
+            header.push_child(args);
+        }
+        header
+    }
+
+    /// Parses a `<header>` element.
+    pub fn from_element(e: &Element) -> XmlResult<Header> {
+        if e.name != "header" {
+            return Err(XmlError::Constraint {
+                message: format!("expected <header>, found <{}>", e.name),
+            });
+        }
+        let required = |name: &str| -> XmlResult<String> {
+            e.child_text(name).ok_or_else(|| XmlError::Constraint {
+                message: format!("header is missing <{name}>"),
+            })
+        };
+        let gmt_text = required("gmt")?;
+        let gmt: Timestamp = gmt_text.parse().map_err(|err| XmlError::Constraint {
+            message: format!("bad <gmt> in header: {err}"),
+        })?;
+        let mut args = Vec::new();
+        if let Some(args_el) = e.find_child("args") {
+            for arg in args_el.find_children("arg") {
+                let name = arg.child_text("name").ok_or_else(|| XmlError::Constraint {
+                    message: "header <arg> missing <name>".into(),
+                })?;
+                let value = arg.child_text("value").unwrap_or_default();
+                args.push((name, value));
+            }
+        }
+        Ok(Header {
+            reporter: required("reporter")?,
+            version: required("version")?,
+            host: required("host")?,
+            gmt,
+            working_dir: required("workingDir")?,
+            args,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header::new(
+            "version.globus",
+            "1.3",
+            "tg-login1.sdsc.teragrid.org",
+            Timestamp::from_gmt(2004, 7, 7, 14, 20, 0),
+        )
+        .arg("package", "globus")
+        .arg("contact", "tg-login1.sdsc.teragrid.org:2119")
+    }
+
+    #[test]
+    fn roundtrip_via_element() {
+        let h = sample();
+        let parsed = Header::from_element(&h.to_element()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn roundtrip_via_xml_text() {
+        let xml = sample().to_element().to_pretty_xml();
+        let parsed = Header::from_element(&Element::parse(&xml).unwrap()).unwrap();
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn get_arg_lookup() {
+        let h = sample();
+        assert_eq!(h.get_arg("package"), Some("globus"));
+        assert_eq!(h.get_arg("missing"), None);
+    }
+
+    #[test]
+    fn header_without_args_omits_args_element() {
+        let h = Header::new("r", "1", "host", Timestamp::EPOCH);
+        assert!(h.to_element().find_child("args").is_none());
+        let parsed = Header::from_element(&h.to_element()).unwrap();
+        assert!(parsed.args.is_empty());
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let mut e = sample().to_element();
+        e.children.retain(|n| n.as_element().map(|c| c.name != "host").unwrap_or(true));
+        assert!(Header::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn bad_gmt_rejected() {
+        let mut e = sample().to_element();
+        let gmt = e.find_child_mut("gmt").unwrap();
+        gmt.children = vec![inca_xml::Node::Text("yesterday".into())];
+        assert!(Header::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn wrong_root_name_rejected() {
+        let e = Element::new("notheader");
+        assert!(Header::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn gmt_rendered_iso8601() {
+        let xml = sample().to_element().to_xml();
+        assert!(xml.contains("<gmt>2004-07-07T14:20:00Z</gmt>"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the reporter specification: arbitrary
+//! spec-conformant reports must round-trip through XML byte-exactly at
+//! the semantic level, and branch identifiers must round-trip through
+//! their textual form.
+
+use proptest::prelude::*;
+
+use inca_report::{Body, BranchId, Footer, Header, Report, Timestamp};
+use inca_xml::Element;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9_.-]{0,16}").unwrap()
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Leading/trailing whitespace is not significant in this XML
+    // subset (text accessors trim), so generate trimmed values.
+    proptest::string::string_regex("[ -~]{0,48}")
+        .unwrap()
+        .prop_map(|s| s.trim().to_string())
+}
+
+/// Branch-safe values: no comma, no equals, at least one char, and no
+/// surrounding whitespace (parsing trims).
+fn branch_value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9_][a-zA-Z0-9_./:-]{0,14}").unwrap()
+}
+
+fn header_strategy() -> impl Strategy<Value = Header> {
+    (
+        name_strategy(),
+        name_strategy(),
+        name_strategy(),
+        0u64..4_102_444_800,
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..4),
+    )
+        .prop_map(|(reporter, version, host, secs, args)| {
+            let mut h = Header::new(reporter, version, host, Timestamp::from_secs(secs));
+            h.args = args;
+            h
+        })
+}
+
+/// Bodies with unique-ID'd metric branches (always valid).
+fn body_strategy() -> impl Strategy<Value = Body> {
+    proptest::collection::vec((name_strategy(), text_strategy()), 0..5).prop_map(|metrics| {
+        let mut root = Element::new("body");
+        for (i, (name, value)) in metrics.into_iter().enumerate() {
+            root.push_child(
+                Element::new("metric")
+                    .child(Element::with_text("ID", format!("{name}-{i}")))
+                    .child(Element::with_text("value", value)),
+            );
+        }
+        Body::new(root).expect("unique IDs by construction")
+    })
+}
+
+fn footer_strategy() -> impl Strategy<Value = Footer> {
+    prop_oneof![
+        Just(Footer::completed()),
+        proptest::string::string_regex("[ -~]{1,40}")
+            .unwrap()
+            .prop_map(|s| s.trim().to_string())
+            .prop_filter("non-blank", |s| !s.is_empty())
+            .prop_map(Footer::failed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn report_roundtrips(
+        header in header_strategy(),
+        body in body_strategy(),
+        footer in footer_strategy(),
+    ) {
+        let report = Report::new(header, body, footer).unwrap();
+        let parsed = Report::parse(&report.to_xml()).unwrap();
+        prop_assert_eq!(&parsed, &report);
+        // Pretty form parses to the same report too.
+        let parsed_pretty = Report::parse(&report.to_pretty_xml()).unwrap();
+        prop_assert_eq!(parsed_pretty, report);
+    }
+
+    #[test]
+    fn report_size_reflects_payload(pad in 0usize..2_000) {
+        let body = Body::single_value("data", &"x".repeat(pad)).unwrap();
+        let report = Report::new(
+            Header::new("r", "1", "h", Timestamp::EPOCH),
+            body,
+            Footer::completed(),
+        )
+        .unwrap();
+        let base = Report::new(
+            Header::new("r", "1", "h", Timestamp::EPOCH),
+            Body::single_value("data", "").unwrap(),
+            Footer::completed(),
+        )
+        .unwrap();
+        prop_assert_eq!(report.size_bytes(), base.size_bytes() + pad);
+    }
+
+    #[test]
+    fn branch_ids_roundtrip(
+        pairs in proptest::collection::vec(
+            (branch_value_strategy(), branch_value_strategy()),
+            1..6
+        )
+    ) {
+        let id = BranchId::new(pairs).unwrap();
+        let reparsed: BranchId = id.to_string().parse().unwrap();
+        prop_assert_eq!(&reparsed, &id);
+        // Hierarchy reverses the written order.
+        let written: Vec<&str> = id.pairs().iter().map(|(n, _)| n.as_str()).collect();
+        let mut hierarchy: Vec<&str> = id.hierarchy().map(|(n, _)| n).collect();
+        hierarchy.reverse();
+        prop_assert_eq!(written, hierarchy);
+    }
+
+    #[test]
+    fn every_suffix_of_a_branch_matches_it(
+        pairs in proptest::collection::vec(
+            (branch_value_strategy(), branch_value_strategy()),
+            1..6
+        )
+    ) {
+        let id = BranchId::new(pairs.clone()).unwrap();
+        for start in 0..pairs.len() {
+            let suffix = BranchId::new(pairs[start..].to_vec()).unwrap();
+            prop_assert!(
+                id.matches_suffix(&suffix),
+                "suffix {} must match {}", suffix, id
+            );
+        }
+    }
+
+    #[test]
+    fn branch_parser_never_panics(s in "\\PC{0,60}") {
+        let _ = s.parse::<BranchId>();
+    }
+
+    #[test]
+    fn timestamps_roundtrip(secs in 0u64..4_102_444_800) {
+        let t = Timestamp::from_secs(secs);
+        let parsed: Timestamp = t.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn timestamp_date_components_consistent(secs in 0u64..4_102_444_800) {
+        let t = Timestamp::from_secs(secs);
+        let (y, m, d) = t.date();
+        let (hh, mm, ss) = t.time_of_day();
+        let rebuilt = Timestamp::from_gmt(y, m, d, hh, mm, ss);
+        prop_assert_eq!(rebuilt, t);
+    }
+}

@@ -1,0 +1,348 @@
+//! The TeraGrid reporter catalog: Tables 1 and 2 in code.
+//!
+//! Table 1 gives the size distribution of the 130 reporters deployed to
+//! TeraGrid (106 under 50 lines — the version/smoke queries written
+//! with the reporter APIs — up to a 1600–1650-line benchmark). Table 2
+//! gives how many reporter *instances* each of the ten machines
+//! executed per hour (instances exceed the 130 programs because
+//! cross-site probes run once per target).
+//!
+//! [`teragrid_catalog`] reproduces Table 1 exactly: 130 entries whose
+//! line counts land in the paper's buckets with the paper's
+//! multiplicities. [`loc_histogram`] regenerates the table.
+
+use inca_cron::Frequency;
+use inca_sim::ServiceKind;
+
+use crate::grasp::{GraspProbe, GraspReporter};
+use crate::netperf::{BandwidthReporter, NetperfTool};
+use crate::reporter::Reporter;
+use crate::service::ServiceProbeReporter;
+use crate::softenv::SoftEnvReporter;
+use crate::unit::PackageUnitReporter;
+use crate::version::PackageVersionReporter;
+use crate::EnvReporter;
+
+/// What kind of reporter a catalog entry instantiates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReporterKind {
+    /// Package-version query.
+    Version(String),
+    /// Package unit test.
+    Unit {
+        /// Package under test.
+        package: String,
+        /// Test name.
+        test: String,
+    },
+    /// Default-user-environment collection.
+    Environment,
+    /// SoftEnv database collection.
+    SoftEnv,
+    /// Cross-site service probe (target chosen at deployment time).
+    ServiceProbe(ServiceKind),
+    /// Bandwidth measurement (target chosen at deployment time).
+    Bandwidth(NetperfTool),
+    /// GRASP benchmark probe.
+    Grasp(GraspProbe),
+}
+
+impl ReporterKind {
+    /// Whether instantiation needs a target host.
+    pub fn needs_target(&self) -> bool {
+        matches!(self, ReporterKind::ServiceProbe(_) | ReporterKind::Bandwidth(_))
+    }
+}
+
+/// One deployable reporter with its Table 1 metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Reporter name.
+    pub name: String,
+    /// What it does.
+    pub kind: ReporterKind,
+    /// Lines of code of the 2004 Perl implementation (Table 1).
+    pub loc: u32,
+    /// Default execution frequency (Table 2 counts reporters per
+    /// hour, so the deployment default is hourly).
+    pub frequency: Frequency,
+}
+
+impl CatalogEntry {
+    fn new(name: impl Into<String>, kind: ReporterKind, loc: u32) -> CatalogEntry {
+        CatalogEntry { name: name.into(), kind, loc, frequency: Frequency::Hourly }
+    }
+
+    /// Builds the runnable reporter. `target_host` supplies the probe
+    /// target for cross-site kinds and is ignored otherwise.
+    pub fn instantiate(&self, target_host: &str) -> Box<dyn Reporter> {
+        match &self.kind {
+            ReporterKind::Version(pkg) => Box::new(PackageVersionReporter::new(pkg.clone())),
+            ReporterKind::Unit { package, test } => {
+                Box::new(PackageUnitReporter::with_test(package.clone(), test.clone()))
+            }
+            ReporterKind::Environment => Box::new(EnvReporter::new()),
+            ReporterKind::SoftEnv => Box::new(SoftEnvReporter::new()),
+            ReporterKind::ServiceProbe(kind) => {
+                Box::new(ServiceProbeReporter::new(*kind, target_host))
+            }
+            ReporterKind::Bandwidth(tool) => {
+                Box::new(BandwidthReporter::new(*tool, target_host))
+            }
+            ReporterKind::Grasp(probe) => Box::new(GraspReporter::new(*probe)),
+        }
+    }
+}
+
+/// The 18 core CTSS packages (must match
+/// [`inca_sim::SoftwareStack::ctss`]).
+pub const CORE_PACKAGES: [&str; 18] = [
+    "globus", "condor-g", "gridftp", "srb", "gsi-openssh", "myproxy", "gpt", "mpich",
+    "mpich-g2", "atlas", "hdf4", "hdf5", "blas", "gcc", "intel-compilers", "python", "pbs",
+    "softenv",
+];
+
+/// Additional packages tracked by version-only reporters, filling the
+/// Table 1 small-reporter bucket the way the real CTSS software list
+/// did. Exposed so deployments can install them on simulated resources.
+pub const EXTENDED_PACKAGES: [&str; 70] = [
+    "ant", "autoconf", "automake", "bash", "bison", "cvs", "emacs", "expat", "flex", "gawk",
+    "gdb", "ghostscript", "gmake", "gnupg", "gsl", "gtar", "guile", "gzip", "java-sdk",
+    "lapack", "libtool", "libxml2", "m4", "ncftp", "netcdf", "openssl", "papi", "pcre", "perl",
+    "petsc", "pkgconfig", "povray", "pvfs", "readline", "ruby", "scalapack", "sed",
+    "sqlite", "ssh-client", "subversion", "superlu", "swig", "tcl", "tcsh", "texinfo", "tk",
+    "uberftp", "units", "valgrind", "vim", "wget", "xemacs", "xerces-c", "zlib", "zsh",
+    "fftw", "gx-map", "tgcp", "vmi", "mpich-vmi", "charm", "namd", "amber", "gaussian",
+    "gamess", "nwchem", "gromacs", "cactus", "paraview", "visit",
+];
+
+/// Installs the [`EXTENDED_PACKAGES`] onto a stack (Development
+/// category, nominal versions) so the version-only reporters succeed
+/// on simulated resources. Deployments call this on every resource.
+pub fn install_extended_packages(stack: &mut inca_sim::SoftwareStack) {
+    use inca_sim::{Category, Package};
+    for (i, pkg) in EXTENDED_PACKAGES.iter().enumerate() {
+        stack.install(Package::new(
+            *pkg,
+            format!("{}.{}.{}", 1 + i % 3, i % 10, i % 5),
+            Category::Development,
+        ));
+    }
+}
+
+/// The full 130-reporter TeraGrid catalog with Table 1 line counts.
+pub fn teragrid_catalog() -> Vec<CatalogEntry> {
+    let mut entries = Vec::with_capacity(130);
+
+    // --- 0–50 LoC bucket: 106 simple reporters written with the APIs.
+    // 18 core version + 18 core smoke + 70 extended version = 106.
+    for (i, pkg) in CORE_PACKAGES.iter().enumerate() {
+        entries.push(CatalogEntry::new(
+            format!("version.{pkg}"),
+            ReporterKind::Version(pkg.to_string()),
+            18 + (i as u32 % 30), // 18–47 lines
+        ));
+    }
+    for (i, pkg) in CORE_PACKAGES.iter().enumerate() {
+        entries.push(CatalogEntry::new(
+            format!("unit.{pkg}.smoke"),
+            ReporterKind::Unit { package: pkg.to_string(), test: "smoke".into() },
+            22 + (i as u32 % 27), // 22–48 lines
+        ));
+    }
+    for (i, pkg) in EXTENDED_PACKAGES.iter().enumerate() {
+        entries.push(CatalogEntry::new(
+            format!("version.{pkg}"),
+            ReporterKind::Version(pkg.to_string()),
+            15 + (i as u32 % 35), // 15–49 lines
+        ));
+    }
+
+    // --- 50–100 LoC bucket: 9 substantial unit tests.
+    for (pkg, test, loc) in [
+        ("globus", "proxy-init", 72),
+        ("globus", "gatekeeper-auth", 85),
+        ("srb", "connect", 66),
+        ("srb", "put-get", 91),
+        ("condor-g", "submit", 77),
+        ("mpich", "compile-run", 83),
+        ("atlas", "dgemm", 58),
+        ("hdf5", "write-read", 62),
+        ("pbs", "qsub", 55),
+    ] {
+        entries.push(CatalogEntry::new(
+            format!("unit.{pkg}.{test}"),
+            ReporterKind::Unit { package: pkg.into(), test: test.into() },
+            loc,
+        ));
+    }
+
+    // --- 100–150 LoC bucket: 7 reporters (environment collection and
+    // the cross-site probes).
+    entries.push(CatalogEntry::new("user.environment", ReporterKind::Environment, 118));
+    entries.push(CatalogEntry::new("cluster.admin.softenv.db", ReporterKind::SoftEnv, 127));
+    for (kind, loc) in [
+        (ServiceKind::GramGatekeeper, 133),
+        (ServiceKind::GridFtp, 141),
+        (ServiceKind::Ssh, 104),
+        (ServiceKind::Srb, 122),
+    ] {
+        entries.push(CatalogEntry::new(
+            format!("grid.services.{}.probe", kind.as_str()),
+            ReporterKind::ServiceProbe(kind),
+            loc,
+        ));
+    }
+    entries.push(CatalogEntry::new(
+        "unit.globus.gram-submit",
+        ReporterKind::Unit { package: "globus".into(), test: "gram-submit".into() },
+        108,
+    ));
+
+    // --- Table 1 tail: one reporter per remaining bucket.
+    entries.push(CatalogEntry::new(
+        "unit.gridftp.third-party-copy",
+        ReporterKind::Unit { package: "gridftp".into(), test: "third-party-copy".into() },
+        168, // 150–200
+    ));
+    entries.push(CatalogEntry::new(
+        "unit.globus.duroc-mpi",
+        ReporterKind::Unit { package: "globus".into(), test: "duroc-mpi".into() },
+        204, // 200–250
+    ));
+    entries.push(CatalogEntry::new(
+        "network.bandwidth.spruce",
+        ReporterKind::Bandwidth(NetperfTool::Spruce),
+        312, // 300–350
+    ));
+    entries.push(CatalogEntry::new(
+        "network.bandwidth.pathchirp",
+        ReporterKind::Bandwidth(NetperfTool::PathChirp),
+        463, // 450–500
+    ));
+    entries.push(CatalogEntry::new(
+        "network.bandwidth.pathload",
+        ReporterKind::Bandwidth(NetperfTool::Pathload),
+        1_273, // 1250–1300
+    ));
+    entries.push(CatalogEntry::new(
+        "benchmark.grasp.diskio",
+        ReporterKind::Grasp(GraspProbe::DiskIo),
+        1_355, // 1350–1400
+    ));
+    entries.push(CatalogEntry::new(
+        "benchmark.grasp.membw",
+        ReporterKind::Grasp(GraspProbe::MemoryBandwidth),
+        1_519, // 1500–1550
+    ));
+    entries.push(CatalogEntry::new(
+        "benchmark.grasp.flops",
+        ReporterKind::Grasp(GraspProbe::Flops),
+        1_606, // 1600–1650
+    ));
+
+    entries
+}
+
+/// Table 1's bucket boundaries `(lo, hi)` in lines of code.
+pub const TABLE1_BUCKETS: [(u32, u32); 11] = [
+    (0, 50),
+    (50, 100),
+    (100, 150),
+    (150, 200),
+    (200, 250),
+    (300, 350),
+    (450, 500),
+    (1_250, 1_300),
+    (1_350, 1_400),
+    (1_500, 1_550),
+    (1_600, 1_650),
+];
+
+/// Histogram of entry line counts over the Table 1 buckets, in bucket
+/// order — the data behind Table 1.
+pub fn loc_histogram(entries: &[CatalogEntry]) -> Vec<((u32, u32), usize)> {
+    TABLE1_BUCKETS
+        .iter()
+        .map(|&(lo, hi)| {
+            let n = entries.iter().filter(|e| e.loc >= lo && e.loc < hi).count();
+            ((lo, hi), n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_130_reporters() {
+        assert_eq!(teragrid_catalog().len(), 130, "Table 1 total");
+    }
+
+    #[test]
+    fn loc_histogram_matches_table1() {
+        let hist = loc_histogram(&teragrid_catalog());
+        let expected: Vec<usize> = vec![106, 9, 7, 1, 1, 1, 1, 1, 1, 1, 1];
+        let actual: Vec<usize> = hist.iter().map(|&(_, n)| n).collect();
+        assert_eq!(actual, expected, "Table 1 bucket counts");
+        let total: usize = actual.iter().sum();
+        assert_eq!(total, 130);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let entries = teragrid_catalog();
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate reporter names");
+    }
+
+    #[test]
+    fn all_entries_hourly_by_default() {
+        // Table 2 counts reporters per hour; every entry defaults to
+        // the hourly frequency.
+        assert!(teragrid_catalog().iter().all(|e| e.frequency == Frequency::Hourly));
+    }
+
+    #[test]
+    fn every_entry_instantiates() {
+        for entry in teragrid_catalog() {
+            let reporter = entry.instantiate("target.example.org");
+            assert!(!reporter.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn cross_site_entries_flagged() {
+        let entries = teragrid_catalog();
+        let needing: Vec<&str> = entries
+            .iter()
+            .filter(|e| e.kind.needs_target())
+            .map(|e| e.name.as_str())
+            .collect();
+        // 4 service probes + 3 bandwidth tools.
+        assert_eq!(needing.len(), 7, "{needing:?}");
+    }
+
+    #[test]
+    fn core_packages_match_ctss() {
+        let stack = inca_sim::SoftwareStack::ctss();
+        for pkg in CORE_PACKAGES {
+            assert!(stack.get(pkg).is_some(), "{pkg} missing from CTSS stack");
+        }
+        assert_eq!(stack.len(), CORE_PACKAGES.len());
+    }
+
+    #[test]
+    fn version_reporter_names_match_packages() {
+        let entries = teragrid_catalog();
+        for e in &entries {
+            if let ReporterKind::Version(pkg) = &e.kind {
+                assert_eq!(e.name, format!("version.{pkg}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Default-user-environment reporter.
+//!
+//! §4.1: "A reporter was also written to collect the set of environment
+//! variables in the default user environment". The body lists each
+//! variable as an identified branch so agreement verification can
+//! address any single variable with an Inca path
+//! (`value, var=GLOBUS_LOCATION, environment`).
+
+use inca_report::Report;
+use inca_xml::Element;
+
+use crate::reporter::{Reporter, ReporterContext};
+
+/// Collects the default user environment of the resource.
+#[derive(Debug, Clone, Default)]
+pub struct EnvReporter;
+
+impl EnvReporter {
+    /// Creates the reporter.
+    pub fn new() -> Self {
+        EnvReporter
+    }
+}
+
+impl Reporter for EnvReporter {
+    fn name(&self) -> &str {
+        "user.environment"
+    }
+
+    fn run(&self, ctx: &ReporterContext<'_>) -> Report {
+        let builder = ctx.builder(self.name(), self.version());
+        if !ctx.resource.is_up(ctx.now) {
+            return builder
+                .failure(format!("{}: resource unreachable", ctx.resource.hostname()))
+                .expect("failure report is valid");
+        }
+        let mut environment = Element::new("environment");
+        for (name, value) in ctx.resource.env.vars() {
+            environment.push_child(
+                Element::new("var")
+                    .child(Element::with_text("ID", name))
+                    .child(Element::with_text("value", value)),
+            );
+        }
+        builder
+            .body_element(environment)
+            .success()
+            .expect("environment body satisfies unique-branch rule")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::Timestamp;
+    use inca_sim::{NetworkModel, ResourceSpec, Vo, VoResource};
+    use inca_xml::IncaPath;
+
+    fn test_vo() -> Vo {
+        let mut vo = Vo::new("t", vec![], NetworkModel::new(0));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new("h1", "sdsc", 2, "x", 1000, 2.0)));
+        vo
+    }
+
+    #[test]
+    fn collects_all_variables() {
+        let vo = test_vo();
+        let resource = vo.resource("h1").unwrap();
+        let ctx = ReporterContext::new(&vo, resource, Timestamp::from_secs(0));
+        let r = EnvReporter::new().run(&ctx);
+        assert!(r.is_success());
+        let env_el = r.body.root().find_child("environment").unwrap();
+        assert_eq!(env_el.find_children("var").count(), resource.env.len());
+    }
+
+    #[test]
+    fn variables_addressable_by_path() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = EnvReporter::new().run(&ctx);
+        let p: IncaPath = "value, var=GLOBUS_LOCATION, environment".parse().unwrap();
+        assert_eq!(r.body.lookup_text(&p).unwrap(), "/usr/teragrid/globus-2.4.3");
+    }
+
+    #[test]
+    fn body_satisfies_unique_branch_rule() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = EnvReporter::new().run(&ctx);
+        // Reparse enforces validation.
+        Report::parse(&r.to_xml()).unwrap();
+    }
+}

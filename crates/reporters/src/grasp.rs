@@ -1,0 +1,180 @@
+//! GRASP-style benchmark reporters.
+//!
+//! §4.2: "A reporter which executes the GRASP benchmarks has been
+//! implemented and is currently collecting data." GRASP (Grid
+//! Assessment Probes) measures compute, memory and I/O capability of a
+//! resource. The synthetic model derives plausible figures from the
+//! resource's hardware spec with deterministic time noise, so a
+//! misconfigured/slow resource shows up as a benchmark regression just
+//! as §4.2 motivates ("periodic benchmarks can be used to detect and
+//! diagnose performance problems").
+
+use inca_report::{Report, Timestamp};
+
+use crate::reporter::{Reporter, ReporterContext};
+
+/// Which capability the probe measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraspProbe {
+    /// Floating-point throughput (MFLOPS).
+    Flops,
+    /// Memory bandwidth (MB/s).
+    MemoryBandwidth,
+    /// Local scratch I/O throughput (MB/s).
+    DiskIo,
+}
+
+impl GraspProbe {
+    /// Probe name used in reporter names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GraspProbe::Flops => "flops",
+            GraspProbe::MemoryBandwidth => "membw",
+            GraspProbe::DiskIo => "diskio",
+        }
+    }
+
+    /// All probes.
+    pub fn all() -> [GraspProbe; 3] {
+        [GraspProbe::Flops, GraspProbe::MemoryBandwidth, GraspProbe::DiskIo]
+    }
+}
+
+/// Runs one GRASP probe on the local resource.
+#[derive(Debug, Clone)]
+pub struct GraspReporter {
+    name: String,
+    probe: GraspProbe,
+}
+
+impl GraspReporter {
+    /// Creates a reporter for `probe`.
+    pub fn new(probe: GraspProbe) -> Self {
+        GraspReporter { name: format!("benchmark.grasp.{}", probe.as_str()), probe }
+    }
+
+    /// The wrapped probe.
+    pub fn probe(&self) -> GraspProbe {
+        self.probe
+    }
+
+    /// Deterministic ±3 % noise from host+time.
+    fn noise(&self, host: &str, t: Timestamp) -> f64 {
+        let mut h = t.as_secs() ^ 0xA076_1D64_78BD_642F;
+        for b in host.bytes() {
+            h = h.wrapping_mul(0x100_0000_01B3) ^ b as u64;
+        }
+        h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + (unit - 0.5) * 0.06
+    }
+}
+
+impl Reporter for GraspReporter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &ReporterContext<'_>) -> Report {
+        let builder = ctx
+            .builder(&self.name, self.version())
+            .arg("probe", self.probe.as_str());
+        if !ctx.resource.is_up(ctx.now) {
+            return builder
+                .failure(format!("{}: resource unreachable", ctx.resource.hostname()))
+                .expect("failure report is valid");
+        }
+        let spec = &ctx.resource.spec;
+        let noise = self.noise(&spec.hostname, ctx.now);
+        let (value, units) = match self.probe {
+            // 2 flops/cycle per CPU, derated to 65% efficiency.
+            GraspProbe::Flops => {
+                (spec.cpu_mhz as f64 * spec.cpus as f64 * 2.0 * 0.65 * noise, "MFLOPS")
+            }
+            // Memory bandwidth roughly tracks clock on 2004 hardware.
+            GraspProbe::MemoryBandwidth => (spec.cpu_mhz as f64 * 1.6 * noise, "MB/s"),
+            // Shared scratch filesystem: tens of MB/s.
+            GraspProbe::DiskIo => (55.0 * noise, "MB/s"),
+        };
+        builder
+            .metric(
+                self.probe.as_str(),
+                &[("measured", format!("{value:.1}").as_str(), Some(units))],
+            )
+            .success()
+            .expect("benchmark report is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_sim::{NetworkModel, ResourceSpec, Vo, VoResource};
+    use inca_xml::IncaPath;
+
+    fn vo_with_spec(spec: ResourceSpec) -> Vo {
+        let mut vo = Vo::new("t", vec![], NetworkModel::new(0));
+        vo.add_resource(VoResource::healthy(spec));
+        vo
+    }
+
+    fn measured(r: &Report, probe: GraspProbe) -> f64 {
+        let p: IncaPath =
+            format!("value, statistic=measured, metric={}", probe.as_str()).parse().unwrap();
+        r.body.lookup_text(&p).unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn flops_scale_with_hardware() {
+        let slow = vo_with_spec(ResourceSpec::new("slow", "a", 1, "x", 1_000, 2.0));
+        let fast = vo_with_spec(ResourceSpec::new("fast", "a", 4, "x", 2_457, 2.0));
+        let t = Timestamp::from_secs(600);
+        let r_slow = GraspReporter::new(GraspProbe::Flops)
+            .run(&ReporterContext::new(&slow, slow.resource("slow").unwrap(), t));
+        let r_fast = GraspReporter::new(GraspProbe::Flops)
+            .run(&ReporterContext::new(&fast, fast.resource("fast").unwrap(), t));
+        assert!(measured(&r_fast, GraspProbe::Flops) > 5.0 * measured(&r_slow, GraspProbe::Flops));
+    }
+
+    #[test]
+    fn noise_is_bounded_and_deterministic() {
+        let vo = vo_with_spec(ResourceSpec::new("h", "a", 2, "x", 1_296, 6.0));
+        let reporter = GraspReporter::new(GraspProbe::MemoryBandwidth);
+        let t = Timestamp::from_secs(3_600);
+        let ctx = ReporterContext::new(&vo, vo.resource("h").unwrap(), t);
+        let a = measured(&reporter.run(&ctx), GraspProbe::MemoryBandwidth);
+        let b = measured(&reporter.run(&ctx), GraspProbe::MemoryBandwidth);
+        assert_eq!(a, b, "same time, same value");
+        let base = 1_296.0 * 1.6;
+        assert!((a - base).abs() / base < 0.035, "noise out of bounds: {a} vs {base}");
+    }
+
+    #[test]
+    fn all_probes_succeed_on_healthy_resource() {
+        let vo = vo_with_spec(ResourceSpec::new("h", "a", 2, "x", 1_296, 6.0));
+        let ctx = ReporterContext::new(&vo, vo.resource("h").unwrap(), Timestamp::from_secs(0));
+        for probe in GraspProbe::all() {
+            let r = GraspReporter::new(probe).run(&ctx);
+            assert!(r.is_success(), "{} failed", GraspReporter::new(probe).name());
+            assert!(measured(&r, probe) > 0.0);
+        }
+    }
+
+    #[test]
+    fn values_vary_over_time() {
+        let vo = vo_with_spec(ResourceSpec::new("h", "a", 2, "x", 1_296, 6.0));
+        let reporter = GraspReporter::new(GraspProbe::DiskIo);
+        let r1 = reporter.run(&ReporterContext::new(
+            &vo,
+            vo.resource("h").unwrap(),
+            Timestamp::from_secs(0),
+        ));
+        let r2 = reporter.run(&ReporterContext::new(
+            &vo,
+            vo.resource("h").unwrap(),
+            Timestamp::from_secs(3_600),
+        ));
+        assert_ne!(measured(&r1, GraspProbe::DiskIo), measured(&r2, GraspProbe::DiskIo));
+    }
+}

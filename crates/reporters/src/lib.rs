@@ -1,0 +1,45 @@
+//! The Inca reporter library.
+//!
+//! "A reporter interacts directly with a resource to perform a test,
+//! benchmark, or query" (§3.1.2). The paper deploys 130 reporters on
+//! TeraGrid (Table 1); this crate provides Rust implementations of
+//! every reporter family named in the paper, plus the deployment
+//! catalog reproducing Table 1's size distribution and Table 2's
+//! per-machine assignments:
+//!
+//! * [`version`] — package-version queries,
+//! * [`unit`] — package unit tests,
+//! * [`env`] — default-user-environment collection,
+//! * [`softenv`] — SoftEnv database collection (§4.1),
+//! * [`service`] — cross-site service probes (GRAM, GridFTP, SSH,
+//!   SRB),
+//! * [`netperf`] — Pathload/PathChirp/Spruce-style bandwidth
+//!   reporters (Figures 2 and 6),
+//! * [`grasp`] — GRASP-style benchmark probes (§4.2),
+//! * [`catalog`] — the TeraGrid reporter catalog.
+//!
+//! All reporters implement [`Reporter`]: given a read-only view of the
+//! simulated VO and a timestamp, produce a spec-conformant
+//! [`inca_report::Report`]. Reporters never schedule themselves —
+//! "scheduling is directly controlled by the distributed controllers".
+
+pub mod catalog;
+pub mod env;
+pub mod grasp;
+pub mod netperf;
+pub mod service;
+pub mod softenv;
+pub mod unit;
+pub mod version;
+
+mod reporter;
+
+pub use catalog::{CatalogEntry, ReporterKind};
+pub use env::EnvReporter;
+pub use grasp::{GraspProbe, GraspReporter};
+pub use netperf::{BandwidthReporter, NetperfTool};
+pub use reporter::{Reporter, ReporterContext};
+pub use service::ServiceProbeReporter;
+pub use softenv::SoftEnvReporter;
+pub use unit::PackageUnitReporter;
+pub use version::PackageVersionReporter;

@@ -1,0 +1,195 @@
+//! Network bandwidth reporters.
+//!
+//! §4.2: "We have also implemented a number of network reporters that
+//! execute nonintrusive network monitoring tools such as Pathload,
+//! Pathchirp, and Spruce. Figure 6 shows bandwidth measurements
+//! collected from the Pathload tool every hour from SDSC to Caltech."
+//! The report body is the paper's Figure 2 shape: a bandwidth metric
+//! with lower/upper bound statistics in Mbps.
+
+use inca_report::Report;
+
+use crate::reporter::{Reporter, ReporterContext};
+
+/// Which measurement tool the reporter wraps. All three estimate
+/// available bandwidth; they differ (here) only in how wide their
+/// reported uncertainty range is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetperfTool {
+    /// Pathload: reports a [low, high] available-bandwidth range.
+    Pathload,
+    /// PathChirp: single exponential-chirp estimate, wider range.
+    PathChirp,
+    /// Spruce: lighter-weight, widest range.
+    Spruce,
+}
+
+impl NetperfTool {
+    /// Tool name as used in reporter names and branch ids.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetperfTool::Pathload => "pathload",
+            NetperfTool::PathChirp => "pathchirp",
+            NetperfTool::Spruce => "spruce",
+        }
+    }
+
+    /// Multiplier applied to the model's uncertainty range.
+    fn range_factor(self) -> f64 {
+        match self {
+            NetperfTool::Pathload => 1.0,
+            NetperfTool::PathChirp => 1.8,
+            NetperfTool::Spruce => 2.5,
+        }
+    }
+}
+
+/// Measures available bandwidth from the running resource to a target.
+#[derive(Debug, Clone)]
+pub struct BandwidthReporter {
+    name: String,
+    tool: NetperfTool,
+    target_host: String,
+}
+
+impl BandwidthReporter {
+    /// A bandwidth reporter using `tool` against `target_host`.
+    pub fn new(tool: NetperfTool, target_host: impl Into<String>) -> Self {
+        let target_host = target_host.into();
+        BandwidthReporter {
+            name: format!("network.bandwidth.{}", tool.as_str()),
+            tool,
+            target_host,
+        }
+    }
+
+    /// The wrapped tool.
+    pub fn tool(&self) -> NetperfTool {
+        self.tool
+    }
+
+    /// The measurement target.
+    pub fn target_host(&self) -> &str {
+        &self.target_host
+    }
+}
+
+impl Reporter for BandwidthReporter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &ReporterContext<'_>) -> Report {
+        let builder = ctx
+            .builder(&self.name, self.version())
+            .arg("tool", self.tool.as_str())
+            .arg("dest", &self.target_host);
+        match ctx.vo.measure_bandwidth(ctx.resource.hostname(), &self.target_host, ctx.now) {
+            Ok(m) => {
+                // Widen the range per tool characteristics around the
+                // measurement midpoint.
+                let mid = m.midpoint();
+                let half = (m.upper_mbps - m.lower_mbps) / 2.0 * self.tool.range_factor();
+                let lower = format!("{:.2}", (mid - half).max(0.0));
+                let upper = format!("{:.2}", mid + half);
+                builder
+                    .metric(
+                        "bandwidth",
+                        &[
+                            ("upperBound", upper.as_str(), Some("Mbps")),
+                            ("lowerBound", lower.as_str(), Some("Mbps")),
+                        ],
+                    )
+                    .success()
+                    .expect("bandwidth report is valid")
+            }
+            Err(message) => builder.failure(message).expect("failure report is valid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::Timestamp;
+    use inca_sim::{NetworkModel, ResourceSpec, Vo, VoResource};
+    use inca_xml::IncaPath;
+
+    fn test_vo() -> Vo {
+        let mut vo = Vo::new("t", vec![], NetworkModel::full_mesh(42, &["sdsc", "caltech"]));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new(
+            "tg-login1.sdsc.teragrid.org",
+            "sdsc",
+            2,
+            "x",
+            1000,
+            2.0,
+        )));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new(
+            "tg-login1.caltech.teragrid.org",
+            "caltech",
+            2,
+            "x",
+            1000,
+            2.0,
+        )));
+        vo
+    }
+
+    fn run_tool(tool: NetperfTool) -> Report {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(
+            &vo,
+            vo.resource("tg-login1.sdsc.teragrid.org").unwrap(),
+            Timestamp::from_gmt(2004, 7, 7, 3, 0, 0),
+        );
+        BandwidthReporter::new(tool, "tg-login1.caltech.teragrid.org").run(&ctx)
+    }
+
+    #[test]
+    fn produces_figure2_shape() {
+        let r = run_tool(NetperfTool::Pathload);
+        assert!(r.is_success());
+        let lower: IncaPath = "value, statistic=lowerBound, metric=bandwidth".parse().unwrap();
+        let upper: IncaPath = "value, statistic=upperBound, metric=bandwidth".parse().unwrap();
+        let lo: f64 = r.body.lookup_text(&lower).unwrap().parse().unwrap();
+        let hi: f64 = r.body.lookup_text(&upper).unwrap().parse().unwrap();
+        assert!(lo <= hi);
+        assert!(lo > 800.0 && hi < 1_050.0, "bounds {lo}/{hi} off the ~1 Gb/s path");
+    }
+
+    #[test]
+    fn tools_report_widening_ranges() {
+        let width = |r: &Report| {
+            let lower: IncaPath = "value, statistic=lowerBound, metric=bandwidth".parse().unwrap();
+            let upper: IncaPath = "value, statistic=upperBound, metric=bandwidth".parse().unwrap();
+            let lo: f64 = r.body.lookup_text(&lower).unwrap().parse().unwrap();
+            let hi: f64 = r.body.lookup_text(&upper).unwrap().parse().unwrap();
+            hi - lo
+        };
+        let pathload = width(&run_tool(NetperfTool::Pathload));
+        let chirp = width(&run_tool(NetperfTool::PathChirp));
+        let spruce = width(&run_tool(NetperfTool::Spruce));
+        assert!(pathload < chirp && chirp < spruce, "{pathload} {chirp} {spruce}");
+    }
+
+    #[test]
+    fn header_records_tool_and_dest() {
+        let r = run_tool(NetperfTool::Pathload);
+        assert_eq!(r.header.get_arg("tool"), Some("pathload"));
+        assert_eq!(r.header.get_arg("dest"), Some("tg-login1.caltech.teragrid.org"));
+        assert_eq!(r.header.reporter, "network.bandwidth.pathload");
+    }
+
+    #[test]
+    fn fails_for_unknown_target() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(
+            &vo,
+            vo.resource("tg-login1.sdsc.teragrid.org").unwrap(),
+            Timestamp::from_secs(0),
+        );
+        let r = BandwidthReporter::new(NetperfTool::Spruce, "ghost.example.org").run(&ctx);
+        assert!(!r.is_success());
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-site service probe reporters.
+//!
+//! §4.1: "we deployed a set of cross-site tests to check for basic
+//! service availability including Globus Toolkit GRAM gatekeepers,
+//! GridFTP, OpenSSH, and SRB." A probe runs *from* one resource
+//! *against* another and reports the observed latency — exactly the
+//! data the §3.3 Grid-availability metric consumes ("at least one site
+//! can access the resource's Grid service…").
+
+use inca_report::Report;
+use inca_sim::ServiceKind;
+
+use crate::reporter::{Reporter, ReporterContext};
+
+/// Probes one service on a (usually remote) resource.
+#[derive(Debug, Clone)]
+pub struct ServiceProbeReporter {
+    name: String,
+    kind: ServiceKind,
+    target_host: String,
+}
+
+impl ServiceProbeReporter {
+    /// A probe of `kind` against `target_host`.
+    pub fn new(kind: ServiceKind, target_host: impl Into<String>) -> Self {
+        let target_host = target_host.into();
+        ServiceProbeReporter {
+            name: format!("grid.services.{}.probe", kind.as_str()),
+            kind,
+            target_host,
+        }
+    }
+
+    /// The probed service.
+    pub fn kind(&self) -> ServiceKind {
+        self.kind
+    }
+
+    /// The probed host.
+    pub fn target_host(&self) -> &str {
+        &self.target_host
+    }
+}
+
+impl Reporter for ServiceProbeReporter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &ReporterContext<'_>) -> Report {
+        let contact = format!("{}:{}", self.target_host, self.kind.default_port());
+        let builder = ctx
+            .builder(&self.name, self.version())
+            .arg("service", self.kind.as_str())
+            .arg("contact", &contact);
+        match ctx.vo.probe_service(ctx.resource.hostname(), &self.target_host, self.kind, ctx.now)
+        {
+            Ok(latency_ms) => builder
+                .body_value("target", &self.target_host)
+                .metric(
+                    "availability",
+                    &[("latency", &format!("{latency_ms:.2}"), Some("ms"))],
+                )
+                .success()
+                .expect("probe report is valid"),
+            Err(message) => builder.failure(message).expect("failure report is valid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::Timestamp;
+    use inca_sim::{FailureModel, NetworkModel, OutageSchedule, ResourceSpec, Vo, VoResource};
+    use inca_xml::IncaPath;
+    use std::collections::BTreeMap;
+
+    fn two_host_vo() -> Vo {
+        let mut vo = Vo::new("t", vec![], NetworkModel::full_mesh(1, &["sdsc", "caltech"]));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new("a.sdsc.edu", "sdsc", 2, "x", 1000, 2.0)));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new("b.caltech.edu", "caltech", 2, "x", 1000, 2.0)));
+        vo
+    }
+
+    #[test]
+    fn successful_probe_reports_latency() {
+        let vo = two_host_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("a.sdsc.edu").unwrap(), Timestamp::from_secs(100));
+        let r = ServiceProbeReporter::new(ServiceKind::GramGatekeeper, "b.caltech.edu").run(&ctx);
+        assert!(r.is_success());
+        let p: IncaPath = "value, statistic=latency, metric=availability".parse().unwrap();
+        let latency: f64 = r.body.lookup_text(&p).unwrap().parse().unwrap();
+        assert!(latency > 0.0);
+        assert_eq!(r.header.get_arg("contact"), Some("b.caltech.edu:2119"));
+    }
+
+    #[test]
+    fn probe_fails_when_target_service_down() {
+        let mut service_outages = BTreeMap::new();
+        service_outages.insert(
+            ServiceKind::Srb,
+            OutageSchedule::from_intervals(vec![(Timestamp::from_secs(0), Timestamp::from_secs(1_000))]),
+        );
+        let mut vo = Vo::new("t", vec![], NetworkModel::full_mesh(1, &["sdsc", "caltech"]));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new("a.sdsc.edu", "sdsc", 2, "x", 1000, 2.0)));
+        vo.add_resource(
+            VoResource::healthy(ResourceSpec::new("b.caltech.edu", "caltech", 2, "x", 1000, 2.0))
+                .with_failure(FailureModel { service_outages, ..FailureModel::none() }),
+        );
+        let ctx = ReporterContext::new(&vo, vo.resource("a.sdsc.edu").unwrap(), Timestamp::from_secs(500));
+        let r = ServiceProbeReporter::new(ServiceKind::Srb, "b.caltech.edu").run(&ctx);
+        assert!(!r.is_success());
+        assert!(r.footer.error_message.unwrap().contains("did not answer"));
+        // Other services on the same host still answer.
+        let r = ServiceProbeReporter::new(ServiceKind::Ssh, "b.caltech.edu").run(&ctx);
+        assert!(r.is_success());
+    }
+
+    #[test]
+    fn probe_fails_for_unknown_target() {
+        let vo = two_host_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("a.sdsc.edu").unwrap(), Timestamp::from_secs(0));
+        let r = ServiceProbeReporter::new(ServiceKind::GridFtp, "ghost.example.org").run(&ctx);
+        assert!(!r.is_success());
+    }
+
+    #[test]
+    fn reporter_names_distinguish_services() {
+        assert_eq!(
+            ServiceProbeReporter::new(ServiceKind::GridFtp, "h").name(),
+            "grid.services.gridftp.probe"
+        );
+        assert_eq!(
+            ServiceProbeReporter::new(ServiceKind::Ssh, "h").name(),
+            "grid.services.ssh.probe"
+        );
+    }
+}

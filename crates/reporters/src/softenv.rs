@@ -1,0 +1,91 @@
+//! SoftEnv database reporter.
+//!
+//! §4.1: the TeraGrid Hosting Environment includes "common methods for
+//! manipulating their environment through a tool called SoftEnv"; a
+//! reporter collects "a resource's SoftEnv database" so the status
+//! pages can verify every required key is defined at every site.
+
+use inca_report::Report;
+use inca_xml::Element;
+
+use crate::reporter::{Reporter, ReporterContext};
+
+/// Collects the SoftEnv database of the resource.
+#[derive(Debug, Clone, Default)]
+pub struct SoftEnvReporter;
+
+impl SoftEnvReporter {
+    /// Creates the reporter.
+    pub fn new() -> Self {
+        SoftEnvReporter
+    }
+}
+
+impl Reporter for SoftEnvReporter {
+    fn name(&self) -> &str {
+        "cluster.admin.softenv.db"
+    }
+
+    fn run(&self, ctx: &ReporterContext<'_>) -> Report {
+        let builder = ctx.builder(self.name(), self.version());
+        if !ctx.resource.is_up(ctx.now) {
+            return builder
+                .failure(format!("{}: resource unreachable", ctx.resource.hostname()))
+                .expect("failure report is valid");
+        }
+        let mut db = Element::new("softenv");
+        for (key, expansion) in ctx.resource.softenv.keys() {
+            db.push_child(
+                Element::new("key")
+                    .child(Element::with_text("ID", key))
+                    .child(Element::with_text("expansion", expansion)),
+            );
+        }
+        builder
+            .body_element(db)
+            .success()
+            .expect("softenv body satisfies unique-branch rule")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::Timestamp;
+    use inca_sim::{NetworkModel, ResourceSpec, Vo, VoResource};
+    use inca_xml::IncaPath;
+
+    fn test_vo() -> Vo {
+        let mut vo = Vo::new("t", vec![], NetworkModel::new(0));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new("h1", "sdsc", 2, "x", 1000, 2.0)));
+        vo
+    }
+
+    #[test]
+    fn collects_all_keys() {
+        let vo = test_vo();
+        let resource = vo.resource("h1").unwrap();
+        let ctx = ReporterContext::new(&vo, resource, Timestamp::from_secs(0));
+        let r = SoftEnvReporter::new().run(&ctx);
+        assert!(r.is_success());
+        let db = r.body.root().find_child("softenv").unwrap();
+        assert_eq!(db.find_children("key").count(), resource.softenv.len());
+    }
+
+    #[test]
+    fn keys_addressable_by_path() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = SoftEnvReporter::new().run(&ctx);
+        let p: IncaPath = "expansion, key=+globus, softenv".parse().unwrap();
+        assert!(r.body.lookup_text(&p).unwrap().contains("globus"));
+    }
+
+    #[test]
+    fn roundtrips() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = SoftEnvReporter::new().run(&ctx);
+        Report::parse(&r.to_xml()).unwrap();
+    }
+}

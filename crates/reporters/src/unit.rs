@@ -1,0 +1,127 @@
+//! Package unit-test reporters.
+//!
+//! §4.1: reporters "test package functionality" — e.g. the status page
+//! of Figure 4 lists a failing `duroc mpi helloworld to jobmanager-pbs
+//! test` under globus. A unit reporter runs a named test of one
+//! package against the resource and reports pass/fail; the failure
+//! message is what the status page links to for debugging.
+
+use inca_report::Report;
+
+use crate::reporter::{Reporter, ReporterContext};
+
+/// Runs one named unit test of a package.
+#[derive(Debug, Clone)]
+pub struct PackageUnitReporter {
+    name: String,
+    package: String,
+    test: String,
+}
+
+impl PackageUnitReporter {
+    /// A reporter running `package`'s default smoke test.
+    pub fn new(package: impl Into<String>) -> Self {
+        Self::with_test(package, "smoke")
+    }
+
+    /// A reporter running a specific named test of `package`.
+    pub fn with_test(package: impl Into<String>, test: impl Into<String>) -> Self {
+        let package = package.into();
+        let test = test.into();
+        PackageUnitReporter { name: format!("unit.{package}.{test}"), package, test }
+    }
+
+    /// The package under test.
+    pub fn package(&self) -> &str {
+        &self.package
+    }
+
+    /// The test name.
+    pub fn test(&self) -> &str {
+        &self.test
+    }
+}
+
+impl Reporter for PackageUnitReporter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &ReporterContext<'_>) -> Report {
+        let builder = ctx
+            .builder(&self.name, self.version())
+            .arg("package", &self.package)
+            .arg("test", &self.test);
+        match ctx.resource.unit_test(&self.package, ctx.now) {
+            Ok(()) => builder
+                .body_value("testName", &self.test)
+                .body_value("testResult", "passed")
+                .success()
+                .expect("success report is valid"),
+            Err(message) => builder.failure(message).expect("failure report is valid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::Timestamp;
+    use inca_sim::{
+        FailureModel, NetworkModel, PackageFault, ResourceSpec, Vo, VoResource,
+    };
+
+    fn vo_with(failure: FailureModel) -> Vo {
+        let mut vo = Vo::new("t", vec![], NetworkModel::new(0));
+        vo.add_resource(
+            VoResource::healthy(ResourceSpec::new("h1", "sdsc", 2, "x", 1000, 2.0))
+                .with_failure(failure),
+        );
+        vo
+    }
+
+    #[test]
+    fn passes_on_healthy_resource() {
+        let vo = vo_with(FailureModel::none());
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(10));
+        let r = PackageUnitReporter::new("globus").run(&ctx);
+        assert!(r.is_success());
+        assert_eq!(r.header.reporter, "unit.globus.smoke");
+    }
+
+    #[test]
+    fn fails_during_package_fault_with_fault_message() {
+        let fault = PackageFault {
+            package: "globus".into(),
+            from: Timestamp::from_secs(0),
+            until: Timestamp::from_secs(100),
+            message: "duroc mpi helloworld to jobmanager-pbs test failed".into(),
+        };
+        let vo = vo_with(FailureModel { package_faults: vec![fault], ..FailureModel::none() });
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(50));
+        let r = PackageUnitReporter::new("globus").run(&ctx);
+        assert!(!r.is_success());
+        assert!(r.footer.error_message.unwrap().contains("jobmanager-pbs"));
+        // After the fault window the test passes again.
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(150));
+        assert!(PackageUnitReporter::new("globus").run(&ctx).is_success());
+    }
+
+    #[test]
+    fn named_tests_get_distinct_reporter_names() {
+        let a = PackageUnitReporter::with_test("gridftp", "third-party-copy");
+        let b = PackageUnitReporter::with_test("gridftp", "auth");
+        assert_eq!(a.name(), "unit.gridftp.third-party-copy");
+        assert_ne!(a.name(), b.name());
+        assert_eq!(a.package(), "gridftp");
+        assert_eq!(a.test(), "third-party-copy");
+    }
+
+    #[test]
+    fn fails_for_missing_package() {
+        let vo = vo_with(FailureModel::none());
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = PackageUnitReporter::new("ghostware").run(&ctx);
+        assert!(!r.is_success());
+    }
+}

@@ -1,0 +1,116 @@
+//! Package-version reporters.
+//!
+//! §4.1: "reporters were written to collect versions of installed
+//! packages". A version reporter succeeds with the installed version
+//! in its body, or fails when the package is absent — the data
+//! consumers then compare the version against the service agreement.
+
+use inca_report::Report;
+
+use crate::reporter::{Reporter, ReporterContext};
+
+/// Reports the installed version of one package.
+#[derive(Debug, Clone)]
+pub struct PackageVersionReporter {
+    name: String,
+    package: String,
+}
+
+impl PackageVersionReporter {
+    /// Creates a reporter for `package`.
+    pub fn new(package: impl Into<String>) -> Self {
+        let package = package.into();
+        PackageVersionReporter { name: format!("version.{package}"), package }
+    }
+
+    /// The package this reporter queries.
+    pub fn package(&self) -> &str {
+        &self.package
+    }
+}
+
+impl Reporter for PackageVersionReporter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &ReporterContext<'_>) -> Report {
+        let builder = ctx
+            .builder(&self.name, self.version())
+            .arg("package", &self.package);
+        if !ctx.resource.is_up(ctx.now) {
+            return builder
+                .failure(format!("{}: resource unreachable", ctx.resource.hostname()))
+                .expect("failure report is valid");
+        }
+        match ctx.resource.package_version(&self.package) {
+            Some(version) => builder
+                .body_value("packageName", &self.package)
+                .body_value("packageVersion", version)
+                .success()
+                .expect("success report is valid"),
+            None => builder
+                .failure(format!("{}: package not installed", self.package))
+                .expect("failure report is valid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::Timestamp;
+    use inca_sim::{NetworkModel, ResourceSpec, Vo, VoResource};
+    use inca_xml::IncaPath;
+
+    fn test_vo() -> Vo {
+        let mut vo = Vo::new("t", vec![], NetworkModel::new(0));
+        vo.add_resource(VoResource::healthy(ResourceSpec::new("h1", "sdsc", 2, "x", 1000, 2.0)));
+        vo
+    }
+
+    #[test]
+    fn reports_installed_version() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = PackageVersionReporter::new("globus").run(&ctx);
+        assert!(r.is_success());
+        let p: IncaPath = "packageVersion".parse().unwrap();
+        assert_eq!(r.body.lookup_text(&p).unwrap(), "2.4.3");
+        assert_eq!(r.header.get_arg("package"), Some("globus"));
+        assert_eq!(r.header.reporter, "version.globus");
+    }
+
+    #[test]
+    fn fails_for_missing_package() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = PackageVersionReporter::new("nonexistent").run(&ctx);
+        assert!(!r.is_success());
+        assert!(r.footer.error_message.unwrap().contains("not installed"));
+    }
+
+    #[test]
+    fn fails_when_resource_down() {
+        let mut vo = Vo::new("t", vec![], NetworkModel::new(0));
+        let mut res = VoResource::healthy(ResourceSpec::new("h1", "sdsc", 2, "x", 1000, 2.0));
+        res.failure.resource_outages = inca_sim::OutageSchedule::from_intervals(vec![(
+            Timestamp::from_secs(0),
+            Timestamp::from_secs(1_000),
+        )]);
+        vo.add_resource(res);
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(500));
+        let r = PackageVersionReporter::new("globus").run(&ctx);
+        assert!(!r.is_success());
+        assert!(r.footer.error_message.unwrap().contains("unreachable"));
+    }
+
+    #[test]
+    fn report_roundtrips_through_xml() {
+        let vo = test_vo();
+        let ctx = ReporterContext::new(&vo, vo.resource("h1").unwrap(), Timestamp::from_secs(0));
+        let r = PackageVersionReporter::new("mpich").run(&ctx);
+        let parsed = Report::parse(&r.to_xml()).unwrap();
+        assert_eq!(parsed, r);
+    }
+}

@@ -1,0 +1,182 @@
+//! Data sources: how raw updates become rates.
+//!
+//! As in RRDTool, a data source defines the semantics of the numbers a
+//! reporter submits: a `Gauge` is stored as-is (bandwidth in Mbps, a
+//! pass percentage), while `Counter`/`Derive`/`Absolute` are converted
+//! to per-second rates from successive readings. A `heartbeat` bounds
+//! how stale the previous update may be before the interval is treated
+//! as unknown.
+
+/// Semantics of a data source's raw values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DsType {
+    /// Values are stored as given (e.g. a measured bandwidth).
+    Gauge,
+    /// Monotonically increasing counter; rate = delta / seconds. A
+    /// decrease is treated as a counter reset (unknown interval).
+    Counter,
+    /// Like `Counter` but decreases are legal (signed rate).
+    Derive,
+    /// Value is the amount accumulated *since the last update*;
+    /// rate = value / seconds.
+    Absolute,
+}
+
+/// A named data source within an RRD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSource {
+    /// Identifier (unique within one RRD).
+    pub name: String,
+    /// Value semantics.
+    pub ds_type: DsType,
+    /// Maximum seconds between updates before data is unknown.
+    pub heartbeat: u64,
+    /// Lower clamp; rates below become unknown.
+    pub min: Option<f64>,
+    /// Upper clamp; rates above become unknown.
+    pub max: Option<f64>,
+}
+
+impl DataSource {
+    /// A gauge with the given heartbeat and no clamping — the common
+    /// case for Inca metrics.
+    pub fn gauge(name: impl Into<String>, heartbeat: u64) -> Self {
+        DataSource { name: name.into(), ds_type: DsType::Gauge, heartbeat, min: None, max: None }
+    }
+
+    /// A counter data source.
+    pub fn counter(name: impl Into<String>, heartbeat: u64) -> Self {
+        DataSource {
+            name: name.into(),
+            ds_type: DsType::Counter,
+            heartbeat,
+            min: Some(0.0),
+            max: None,
+        }
+    }
+
+    /// Builder-style min clamp.
+    pub fn with_min(mut self, min: f64) -> Self {
+        self.min = Some(min);
+        self
+    }
+
+    /// Builder-style max clamp.
+    pub fn with_max(mut self, max: f64) -> Self {
+        self.max = Some(max);
+        self
+    }
+
+    /// Converts a raw update into a per-second rate given the previous
+    /// raw value and the elapsed seconds. Returns `None` (unknown) for
+    /// heartbeat violations, counter resets, or out-of-range results.
+    pub fn rate(&self, prev_raw: Option<f64>, raw: f64, elapsed: u64) -> Option<f64> {
+        if elapsed == 0 || elapsed > self.heartbeat || !raw.is_finite() {
+            return None;
+        }
+        let value = match self.ds_type {
+            DsType::Gauge => raw,
+            DsType::Counter => {
+                let prev = prev_raw?;
+                if raw < prev {
+                    return None; // counter reset
+                }
+                (raw - prev) / elapsed as f64
+            }
+            DsType::Derive => {
+                let prev = prev_raw?;
+                (raw - prev) / elapsed as f64
+            }
+            DsType::Absolute => raw / elapsed as f64,
+        };
+        if let Some(min) = self.min {
+            if value < min {
+                return None;
+            }
+        }
+        if let Some(max) = self.max {
+            if value > max {
+                return None;
+            }
+        }
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_passes_value_through() {
+        let ds = DataSource::gauge("bw", 600);
+        assert_eq!(ds.rate(None, 984.99, 60), Some(984.99));
+        assert_eq!(ds.rate(Some(1.0), 984.99, 60), Some(984.99));
+    }
+
+    #[test]
+    fn heartbeat_violation_is_unknown() {
+        let ds = DataSource::gauge("bw", 600);
+        assert_eq!(ds.rate(None, 1.0, 601), None);
+        assert_eq!(ds.rate(None, 1.0, 600), Some(1.0));
+    }
+
+    #[test]
+    fn zero_elapsed_is_unknown() {
+        let ds = DataSource::gauge("bw", 600);
+        assert_eq!(ds.rate(None, 1.0, 0), None);
+    }
+
+    #[test]
+    fn counter_rate() {
+        let ds = DataSource::counter("reports", 600);
+        assert_eq!(ds.rate(Some(100.0), 160.0, 60), Some(1.0));
+        // First update has no previous value.
+        assert_eq!(ds.rate(None, 160.0, 60), None);
+    }
+
+    #[test]
+    fn counter_reset_is_unknown() {
+        let ds = DataSource::counter("reports", 600);
+        assert_eq!(ds.rate(Some(100.0), 50.0, 60), None);
+    }
+
+    #[test]
+    fn derive_allows_negative() {
+        let ds = DataSource {
+            name: "queue".into(),
+            ds_type: DsType::Derive,
+            heartbeat: 600,
+            min: None,
+            max: None,
+        };
+        assert_eq!(ds.rate(Some(100.0), 40.0, 60), Some(-1.0));
+    }
+
+    #[test]
+    fn absolute_divides_by_elapsed() {
+        let ds = DataSource {
+            name: "bytes".into(),
+            ds_type: DsType::Absolute,
+            heartbeat: 600,
+            min: None,
+            max: None,
+        };
+        assert_eq!(ds.rate(None, 120.0, 60), Some(2.0));
+    }
+
+    #[test]
+    fn clamping() {
+        let ds = DataSource::gauge("pct", 600).with_min(0.0).with_max(100.0);
+        assert_eq!(ds.rate(None, 50.0, 60), Some(50.0));
+        assert_eq!(ds.rate(None, -1.0, 60), None);
+        assert_eq!(ds.rate(None, 100.5, 60), None);
+    }
+
+    #[test]
+    fn non_finite_is_unknown() {
+        let ds = DataSource::gauge("x", 600);
+        assert_eq!(ds.rate(None, f64::NAN, 60), None);
+        assert_eq!(ds.rate(None, f64::INFINITY, 60), None);
+    }
+}

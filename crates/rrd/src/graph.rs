@@ -1,0 +1,200 @@
+//! Series extraction for graphing consumers.
+//!
+//! "Archived data is also retrieved through a Web service call, which
+//! wraps the interface provided by RRDTool" (§3.2.3). The graphing
+//! consumers (Figures 5 and 6) need labelled series, summary statistics
+//! and a text rendering; this module supplies those on top of
+//! [`FetchResult`].
+
+use inca_report::Timestamp;
+
+use crate::rrd::FetchResult;
+
+/// A labelled time series ready for plotting or text rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSeries {
+    /// Legend label, e.g. `"SDSC -> Caltech bandwidth (Mbps)"`.
+    pub label: String,
+    /// Seconds between points.
+    pub step: u64,
+    /// `(interval_end, value)` pairs, oldest first; NaN = unknown.
+    pub points: Vec<(Timestamp, f64)>,
+}
+
+/// Summary statistics over the known points of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Number of known points.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl GraphSeries {
+    /// Wraps a fetch result with a label.
+    pub fn from_fetch(label: impl Into<String>, fetch: FetchResult) -> GraphSeries {
+        GraphSeries { label: label.into(), step: fetch.step, points: fetch.points }
+    }
+
+    /// Known (non-NaN) points.
+    pub fn known(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        self.points.iter().copied().filter(|(_, v)| !v.is_nan())
+    }
+
+    /// Summary statistics, or `None` when no point is known.
+    pub fn stats(&self) -> Option<SeriesStats> {
+        let values: Vec<f64> = self.known().map(|(_, v)| v).collect();
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(SeriesStats { count, mean, min, max, std_dev: var.sqrt() })
+    }
+
+    /// Fraction of points that are unknown (gaps in monitoring).
+    pub fn unknown_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let unknown = self.points.iter().filter(|(_, v)| v.is_nan()).count();
+        unknown as f64 / self.points.len() as f64
+    }
+
+    /// Renders the series as CSV (`end_time,value`; unknown = empty).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.points.len() * 32);
+        out.push_str("time,value\n");
+        for (t, v) in &self.points {
+            if v.is_nan() {
+                out.push_str(&format!("{t},\n"));
+            } else {
+                out.push_str(&format!("{t},{v}\n"));
+            }
+        }
+        out
+    }
+
+    /// A fixed-height ASCII chart of the series — the text-mode analog
+    /// of the paper's Web graphs. Unknown points render as spaces.
+    pub fn to_ascii_chart(&self, height: usize) -> String {
+        let height = height.max(1);
+        let stats = match self.stats() {
+            Some(s) => s,
+            None => return format!("{}\n(no data)\n", self.label),
+        };
+        let range = (stats.max - stats.min).max(f64::EPSILON);
+        let mut rows = vec![String::new(); height];
+        for (_, v) in &self.points {
+            if v.is_nan() {
+                for row in rows.iter_mut() {
+                    row.push(' ');
+                }
+                continue;
+            }
+            let level = (((v - stats.min) / range) * (height - 1) as f64).round() as usize;
+            for (i, row) in rows.iter_mut().enumerate() {
+                // Row 0 is the top of the chart.
+                let row_level = height - 1 - i;
+                row.push(if level >= row_level { '#' } else { ' ' });
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{} [{:.2} .. {:.2}]\n", self.label, stats.min, stats.max));
+        for row in rows {
+            out.push('|');
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> GraphSeries {
+        GraphSeries {
+            label: "test".into(),
+            step: 60,
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (Timestamp::from_secs((i as u64 + 1) * 60), v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]).stats().unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - 1.118).abs() < 0.001);
+    }
+
+    #[test]
+    fn stats_skip_unknown() {
+        let s = series(&[1.0, f64::NAN, 3.0]).stats().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn stats_none_when_empty() {
+        assert!(series(&[]).stats().is_none());
+        assert!(series(&[f64::NAN]).stats().is_none());
+    }
+
+    #[test]
+    fn unknown_fraction() {
+        assert_eq!(series(&[]).unknown_fraction(), 0.0);
+        assert_eq!(series(&[1.0, f64::NAN, f64::NAN, 2.0]).unknown_fraction(), 0.5);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = series(&[1.5, f64::NAN]).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,value");
+        assert!(lines[1].ends_with(",1.5"));
+        assert!(lines[2].ends_with(","));
+    }
+
+    #[test]
+    fn ascii_chart_shape() {
+        let chart = series(&[0.0, 5.0, 10.0]).to_ascii_chart(3);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        // Highest point fills the top row at its column only.
+        assert_eq!(lines[1], "|  #");
+        assert_eq!(lines[2], "| ##");
+        assert_eq!(lines[3], "|###");
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty() {
+        let chart = series(&[]).to_ascii_chart(4);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn from_fetch_carries_step() {
+        let f = FetchResult { step: 600, points: vec![(Timestamp::from_secs(600), 7.0)] };
+        let s = GraphSeries::from_fetch("bw", f);
+        assert_eq!(s.step, 600);
+        assert_eq!(s.known().count(), 1);
+    }
+}

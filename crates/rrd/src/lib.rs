@@ -1,0 +1,37 @@
+//! A round-robin database, modeled on RRDTool.
+//!
+//! The Inca depot archives numerical data with RRDTool (§3.2.2): "the
+//! archival policy describes the granularity of archiving (e.g., every
+//! fifth measurement) and the length of history to keep. … RRDTool is a
+//! scalable solution for archiving numerical data and supports a
+//! querying interface that is both fast and flexible."
+//!
+//! This crate is that substrate, built from scratch:
+//!
+//! * [`ds`] — data sources (GAUGE/COUNTER/DERIVE/ABSOLUTE semantics,
+//!   heartbeats, min/max clamping),
+//! * [`rra`] — round-robin archives: fixed-size rings of consolidated
+//!   data points (AVERAGE/MIN/MAX/LAST) with an xff threshold,
+//! * [`rrd`] — the database: rate conversion, primary-data-point
+//!   assembly at step boundaries, fan-out to archives, and temporal
+//!   `fetch`,
+//! * [`policy`] — Inca archival policies (granularity + history) that
+//!   compile down to RRD definitions,
+//! * [`graph`] — series extraction and summary statistics for the
+//!   consumer-side "graphing" interface (Figures 5 and 6).
+//!
+//! Storage is bounded by construction: a week of ten-minute samples is
+//! ~1000 rows regardless of how long the deployment runs — the property
+//! that made RRDTool "require very little administration".
+
+pub mod ds;
+pub mod graph;
+pub mod policy;
+pub mod rra;
+pub mod rrd;
+
+pub use ds::{DataSource, DsType};
+pub use graph::{GraphSeries, SeriesStats};
+pub use policy::ArchivePolicy;
+pub use rra::{ConsolidationFn, Rra};
+pub use rrd::{ArchiveDef, FetchResult, Rrd, RrdError};

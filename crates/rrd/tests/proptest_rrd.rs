@@ -1,0 +1,112 @@
+//! Property tests for the round-robin database: storage stays bounded,
+//! gauge averages stay within input range, and fetch output is always
+//! time-ordered on step boundaries.
+
+use proptest::prelude::*;
+
+use inca_report::Timestamp;
+use inca_rrd::{ArchiveDef, ArchivePolicy, ConsolidationFn, DataSource, Rrd};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn storage_never_grows(updates in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut rrd = Rrd::single_gauge(Timestamp::from_secs(0), 60, 50);
+        let initial = rrd.storage_bytes();
+        for (i, v) in updates.iter().enumerate() {
+            rrd.update_single(Timestamp::from_secs((i as u64 + 1) * 60), *v).unwrap();
+            prop_assert_eq!(rrd.storage_bytes(), initial);
+        }
+        let fetched = rrd
+            .fetch(ConsolidationFn::Average, Timestamp::from_secs(0), rrd.last_update() + 1)
+            .unwrap();
+        prop_assert!(fetched.points.len() <= 50);
+    }
+
+    #[test]
+    fn averages_bounded_by_inputs(
+        updates in proptest::collection::vec(10.0f64..100.0, 4..120),
+        steps in 1u32..8,
+    ) {
+        let mut rrd = Rrd::new(
+            Timestamp::from_secs(0),
+            60,
+            vec![DataSource::gauge("v", 120)],
+            vec![ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps, rows: 100 }],
+        )
+        .unwrap();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (i, v) in updates.iter().enumerate() {
+            rrd.update_single(Timestamp::from_secs((i as u64 + 1) * 60), *v).unwrap();
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        let fetched = rrd
+            .fetch(ConsolidationFn::Average, Timestamp::from_secs(0), rrd.last_update() + 1)
+            .unwrap();
+        for (_, v) in fetched.known_points() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn min_leq_avg_leq_max(
+        updates in proptest::collection::vec(0.0f64..1e3, 10..80),
+    ) {
+        let policy = ArchivePolicy::every_nth("p", 5, 86_400).with_extremes();
+        let mut rrd = policy.build(Timestamp::from_secs(0), 60).unwrap();
+        for (i, v) in updates.iter().enumerate() {
+            rrd.update_single(Timestamp::from_secs((i as u64 + 1) * 60), *v).unwrap();
+        }
+        let range = (Timestamp::from_secs(0), rrd.last_update() + 1);
+        let avg = rrd.fetch(ConsolidationFn::Average, range.0, range.1).unwrap();
+        let min = rrd.fetch(ConsolidationFn::Min, range.0, range.1).unwrap();
+        let max = rrd.fetch(ConsolidationFn::Max, range.0, range.1).unwrap();
+        for ((ta, a), ((tm, m), (tx, x))) in
+            avg.known_points().zip(min.known_points().zip(max.known_points()))
+        {
+            prop_assert_eq!(ta, tm);
+            prop_assert_eq!(ta, tx);
+            prop_assert!(m <= a + 1e-9 && a <= x + 1e-9, "min {m} avg {a} max {x}");
+        }
+    }
+
+    #[test]
+    fn fetch_points_are_ordered_on_boundaries(
+        n in 5u64..100,
+        step in proptest::sample::select(vec![60u64, 300, 600]),
+    ) {
+        let mut rrd = Rrd::single_gauge(Timestamp::from_secs(0), step, 200);
+        for i in 1..=n {
+            rrd.update_single(Timestamp::from_secs(i * step), (i % 9) as f64).unwrap();
+        }
+        let fetched = rrd
+            .fetch(ConsolidationFn::Average, Timestamp::from_secs(0), rrd.last_update() + 1)
+            .unwrap();
+        prop_assert_eq!(fetched.step, step);
+        let mut prev = None;
+        for (t, _) in &fetched.points {
+            prop_assert_eq!(t.as_secs() % step, 0, "point off boundary");
+            if let Some(p) = prev {
+                prop_assert!(t.as_secs() > p, "points out of order");
+            }
+            prev = Some(t.as_secs());
+        }
+    }
+
+    #[test]
+    fn out_of_order_updates_always_rejected(
+        offsets in proptest::collection::vec(1u64..1_000, 2..20)
+    ) {
+        let mut rrd = Rrd::single_gauge(Timestamp::from_secs(10_000), 60, 10);
+        rrd.update_single(Timestamp::from_secs(20_000), 1.0).unwrap();
+        for off in offsets {
+            let t = Timestamp::from_secs(20_000 - off.min(19_999));
+            prop_assert!(rrd.update_single(t, 2.0).is_err());
+        }
+        // State unharmed: a later update still works.
+        rrd.update_single(Timestamp::from_secs(20_060), 3.0).unwrap();
+    }
+}

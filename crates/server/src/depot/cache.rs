@@ -1,0 +1,550 @@
+//! The depot cache: one XML document, updated by streaming parse.
+//!
+//! "The cache is implemented by using a SAX parser and a single XML
+//! file. The SAX parser is used for both updates and queries to the
+//! cache. The initial design included the use of DOM parsing on the
+//! cache, but it was quickly discovered that the memory requirements of
+//! the DOM parser grew too rapidly" (§3.2.2).
+//!
+//! The cache document nests `<branch name="…" id="…">` elements
+//! following the branch identifier's hierarchy (general component
+//! outermost: `vo`, then `site`, …) with the raw `<incaReport>` spliced
+//! at the innermost level. "Further updates of the report will result
+//! in the replacement of the previous copy" — an update streams through
+//! the document exactly once, locating the splice point by token
+//! offsets, and rebuilds the string around it. No tree is ever built,
+//! so memory stays at two document buffers regardless of report count;
+//! time is linear in cache size, which is precisely the behaviour
+//! Figure 9 measures.
+
+use std::fmt;
+
+use inca_report::BranchId;
+use inca_xml::{escape::escape_attr, Token, Tokenizer, XmlError};
+
+/// Errors from cache operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// The cache document itself failed to parse (corruption).
+    Corrupt(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Corrupt(m) => write!(f, "cache corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<XmlError> for CacheError {
+    fn from(e: XmlError) -> Self {
+        CacheError::Corrupt(e.to_string())
+    }
+}
+
+/// Where an update must touch the document.
+#[derive(Debug, PartialEq, Eq)]
+enum Splice {
+    /// Replace the byte range of an existing `<incaReport>`.
+    Replace { start: usize, end: usize },
+    /// Insert at `at`, creating hierarchy levels from `missing_from`.
+    Insert { at: usize, missing_from: usize },
+}
+
+/// The single-document XML cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlCache {
+    doc: String,
+}
+
+impl Default for XmlCache {
+    fn default() -> Self {
+        XmlCache::new()
+    }
+}
+
+impl XmlCache {
+    /// An empty cache.
+    pub fn new() -> XmlCache {
+        XmlCache { doc: "<incaCache></incaCache>".to_string() }
+    }
+
+    /// The full document (the "no branch identifier supplied" query of
+    /// §3.2.3: "the entire contents of the cache is returned").
+    pub fn document(&self) -> &str {
+        &self.doc
+    }
+
+    /// Rebuilds a cache from a persisted document, validating the root
+    /// and well-formedness (persistence support).
+    pub fn from_document(doc: String) -> Result<XmlCache, CacheError> {
+        // A full walk validates well-formedness and the root element.
+        let cache = XmlCache { doc };
+        cache.reports(None)?;
+        if !cache.doc.starts_with("<incaCache") {
+            return Err(CacheError::Corrupt("document root is not <incaCache>".into()));
+        }
+        Ok(cache)
+    }
+
+    /// Document size in bytes — the x-axis of Figure 9.
+    pub fn size_bytes(&self) -> usize {
+        self.doc.len()
+    }
+
+    /// Number of cached reports.
+    pub fn report_count(&self) -> usize {
+        // Report bodies escape all '<', so the literal tag text cannot
+        // occur inside report content; substring counting is exact.
+        self.doc.matches("<incaReport").count()
+    }
+
+    /// Inserts or replaces the report stored at `branch`.
+    ///
+    /// The report XML is spliced verbatim (it was validated upstream by
+    /// the envelope decode), so the cost here is the stream walk to the
+    /// splice point plus the rebuild of the document string.
+    pub fn update(&mut self, branch: &BranchId, report_xml: &str) -> Result<(), CacheError> {
+        let hierarchy: Vec<(&str, &str)> = branch.hierarchy().collect();
+        let splice = Self::find_splice(&self.doc, &hierarchy)?;
+        match splice {
+            Splice::Replace { start, end } => {
+                let mut out = String::with_capacity(self.doc.len() + report_xml.len());
+                out.push_str(&self.doc[..start]);
+                out.push_str(report_xml);
+                out.push_str(&self.doc[end..]);
+                self.doc = out;
+            }
+            Splice::Insert { at, missing_from } => {
+                let mut fragment = String::with_capacity(report_xml.len() + 128);
+                for (name, id) in &hierarchy[missing_from..] {
+                    fragment.push_str(&format!(
+                        "<branch name=\"{}\" id=\"{}\">",
+                        escape_attr(name),
+                        escape_attr(id)
+                    ));
+                }
+                fragment.push_str(report_xml);
+                for _ in &hierarchy[missing_from..] {
+                    fragment.push_str("</branch>");
+                }
+                let mut out = String::with_capacity(self.doc.len() + fragment.len());
+                out.push_str(&self.doc[..at]);
+                out.push_str(&fragment);
+                out.push_str(&self.doc[at..]);
+                self.doc = out;
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams to the point where `hierarchy` lives (or should live).
+    fn find_splice(doc: &str, hierarchy: &[(&str, &str)]) -> Result<Splice, CacheError> {
+        let mut tok = Tokenizer::new(doc);
+        // Consume the root start tag.
+        match tok.next_token()? {
+            Some(Token::StartTag { name, .. }) if name == "incaCache" => {}
+            other => return Err(CacheError::Corrupt(format!("bad root: {other:?}"))),
+        }
+        let mut matched = 0usize;
+        loop {
+            let pre = tok.offset();
+            let token = tok
+                .next_token()?
+                .ok_or_else(|| CacheError::Corrupt("unexpected end of cache".into()))?;
+            match token {
+                Token::StartTag { name: "branch", ref attrs, self_closing } => {
+                    let pair = (attr(attrs, "name"), attr(attrs, "id"));
+                    let want = hierarchy.get(matched).copied();
+                    if !self_closing
+                        && want.map_or(false, |(n, v)| pair == (Some(n), Some(v)))
+                    {
+                        matched += 1;
+                    } else if !self_closing {
+                        skip_subtree(&mut tok, "branch")?;
+                    }
+                }
+                Token::StartTag { name: "incaReport", self_closing, .. } => {
+                    if matched == hierarchy.len() {
+                        let end = if self_closing {
+                            tok.offset()
+                        } else {
+                            skip_subtree(&mut tok, "incaReport")?
+                        };
+                        return Ok(Splice::Replace { start: pre, end });
+                    }
+                    if !self_closing {
+                        skip_subtree(&mut tok, "incaReport")?;
+                    }
+                }
+                Token::EndTag { name: "branch" } => {
+                    // The level we were inside closed without the next
+                    // target component: insert just before this close.
+                    return Ok(Splice::Insert { at: pre, missing_from: matched });
+                }
+                Token::EndTag { name: "incaCache" } => {
+                    return Ok(Splice::Insert { at: pre, missing_from: matched });
+                }
+                Token::StartTag { self_closing, name, .. } => {
+                    // Unknown element (future cache extensions): skip.
+                    if !self_closing {
+                        skip_subtree(&mut tok, name)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Returns the raw subtree for the deepest level of `query`
+    /// (general-first hierarchy from a suffix query), or `None` when
+    /// the branch does not exist.
+    ///
+    /// A full branch identifier yields `<branch …><incaReport>…` for a
+    /// single report; a shorter (suffix) query yields the containing
+    /// level with every report below it — "this can either be a single
+    /// report, a set of related reports, or a specific portion of a
+    /// report" (§3.2.3).
+    pub fn subtree(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
+        let hierarchy: Vec<(&str, &str)> = query.hierarchy().collect();
+        let mut tok = Tokenizer::new(&self.doc);
+        match tok.next_token()? {
+            Some(Token::StartTag { name, .. }) if name == "incaCache" => {}
+            other => return Err(CacheError::Corrupt(format!("bad root: {other:?}"))),
+        }
+        let mut matched = 0usize;
+        loop {
+            let pre = tok.offset();
+            let token = match tok.next_token()? {
+                Some(t) => t,
+                None => return Ok(None),
+            };
+            match token {
+                Token::StartTag { name: "branch", ref attrs, self_closing } => {
+                    let pair = (attr(attrs, "name"), attr(attrs, "id"));
+                    let want = hierarchy.get(matched).copied();
+                    if !self_closing
+                        && want.map_or(false, |(n, v)| pair == (Some(n), Some(v)))
+                    {
+                        matched += 1;
+                        if matched == hierarchy.len() {
+                            let end = skip_subtree(&mut tok, "branch")?;
+                            return Ok(Some(self.doc[pre..end].to_string()));
+                        }
+                    } else if !self_closing {
+                        skip_subtree(&mut tok, "branch")?;
+                    }
+                }
+                Token::StartTag { name, self_closing, .. } => {
+                    if !self_closing {
+                        skip_subtree(&mut tok, name)?;
+                    }
+                }
+                Token::EndTag { name: "branch" } | Token::EndTag { name: "incaCache" } => {
+                    // Either a matched level closed without the target
+                    // (ids are unique per level, so it cannot exist
+                    // elsewhere) or the document ended: not found.
+                    return Ok(None);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Walks the whole cache collecting `(branch, report_xml)` pairs
+    /// whose branch matches the suffix `query` (or all reports when
+    /// `query` is `None`). Used by data consumers.
+    pub fn reports(&self, query: Option<&BranchId>) -> Result<Vec<(BranchId, String)>, CacheError> {
+        let mut tok = Tokenizer::new(&self.doc);
+        match tok.next_token()? {
+            Some(Token::StartTag { name, .. }) if name == "incaCache" => {}
+            other => return Err(CacheError::Corrupt(format!("bad root: {other:?}"))),
+        }
+        let mut path: Vec<(String, String)> = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            let pre = tok.offset();
+            let token = match tok.next_token()? {
+                Some(t) => t,
+                None => break,
+            };
+            match token {
+                Token::StartTag { name: "branch", ref attrs, self_closing } => {
+                    if !self_closing {
+                        match (attr(attrs, "name"), attr(attrs, "id")) {
+                            (Some(n), Some(v)) => path.push((n.to_string(), v.to_string())),
+                            _ => {
+                                return Err(CacheError::Corrupt(
+                                    "branch element missing name/id".into(),
+                                ))
+                            }
+                        }
+                    }
+                }
+                Token::EndTag { name: "branch" } => {
+                    path.pop();
+                }
+                Token::StartTag { name: "incaReport", self_closing, .. } => {
+                    let end = if self_closing {
+                        tok.offset()
+                    } else {
+                        skip_subtree(&mut tok, "incaReport")?
+                    };
+                    // The branch id is the path reversed back to
+                    // specific-first order.
+                    let pairs: Vec<(String, String)> = path.iter().rev().cloned().collect();
+                    let branch = BranchId::new(pairs)
+                        .map_err(|e| CacheError::Corrupt(e.to_string()))?;
+                    let keep = query.map_or(true, |q| branch.matches_suffix(q));
+                    if keep {
+                        out.push((branch, self.doc[pre..end].to_string()));
+                    }
+                }
+                Token::EndTag { name: "incaCache" } => break,
+                Token::StartTag { name, self_closing, .. } => {
+                    if !self_closing {
+                        skip_subtree(&mut tok, name)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+
+fn attr<'a>(attrs: &'a [inca_xml::Attribute<'a>], name: &str) -> Option<&'a str> {
+    attrs.iter().find(|a| a.name == name).map(|a| a.value.as_ref())
+}
+
+/// Consumes tokens until the already-opened element `name` closes;
+/// returns the byte offset just past its end tag.
+fn skip_subtree(tok: &mut Tokenizer<'_>, name: &str) -> Result<usize, CacheError> {
+    let mut depth = 1usize;
+    loop {
+        let token = tok
+            .next_token()?
+            .ok_or_else(|| CacheError::Corrupt(format!("<{name}> never closes")))?;
+        match token {
+            Token::StartTag { self_closing: false, .. } => depth += 1,
+            Token::EndTag { .. } => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(tok.offset());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::{Report, ReportBuilder, Timestamp};
+
+    fn report(name: &str, value: &str) -> String {
+        ReportBuilder::new(name, "1.0")
+            .host("h")
+            .gmt(Timestamp::from_secs(0))
+            .body_value("v", value)
+            .success()
+            .unwrap()
+            .to_xml()
+    }
+
+    fn branch(s: &str) -> BranchId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_cache() {
+        let cache = XmlCache::new();
+        assert_eq!(cache.report_count(), 0);
+        assert!(cache.size_bytes() > 0);
+        assert_eq!(cache.subtree(&branch("vo=t")).unwrap(), None);
+        assert!(cache.reports(None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_creates_hierarchy() {
+        let mut cache = XmlCache::new();
+        let b = branch("reporter=version.globus,resource=tg1,site=sdsc,vo=teragrid");
+        cache.update(&b, &report("version.globus", "2.4.3")).unwrap();
+        assert_eq!(cache.report_count(), 1);
+        let doc = cache.document();
+        assert!(doc.contains(r#"<branch name="vo" id="teragrid">"#));
+        assert!(doc.contains(r#"<branch name="reporter" id="version.globus">"#));
+        // vo is outermost.
+        assert!(
+            doc.find(r#"id="teragrid""#).unwrap() < doc.find(r#"id="sdsc""#).unwrap()
+        );
+    }
+
+    #[test]
+    fn update_replaces_previous_copy() {
+        let mut cache = XmlCache::new();
+        let b = branch("reporter=version.globus,resource=tg1,site=sdsc,vo=teragrid");
+        cache.update(&b, &report("version.globus", "2.4.0")).unwrap();
+        let size_before = cache.size_bytes();
+        cache.update(&b, &report("version.globus", "2.4.3")).unwrap();
+        assert_eq!(cache.report_count(), 1, "update must replace, not append");
+        assert!(cache.document().contains("2.4.3"));
+        assert!(!cache.document().contains("2.4.0"));
+        // Same-size reports keep the cache size steady, as §5.2.1
+        // observed ("the cache size remained steady at 1.5 MB").
+        assert_eq!(cache.size_bytes(), size_before);
+    }
+
+    #[test]
+    fn sibling_reports_share_hierarchy_levels() {
+        let mut cache = XmlCache::new();
+        cache
+            .update(
+                &branch("reporter=a,resource=r1,site=sdsc,vo=tg"),
+                &report("a", "1"),
+            )
+            .unwrap();
+        cache
+            .update(
+                &branch("reporter=b,resource=r1,site=sdsc,vo=tg"),
+                &report("b", "2"),
+            )
+            .unwrap();
+        cache
+            .update(
+                &branch("reporter=a,resource=r2,site=sdsc,vo=tg"),
+                &report("a", "3"),
+            )
+            .unwrap();
+        assert_eq!(cache.report_count(), 3);
+        // Only one vo level and one site level exist.
+        assert_eq!(cache.document().matches(r#"name="vo""#).count(), 1);
+        assert_eq!(cache.document().matches(r#"name="site""#).count(), 1);
+        assert_eq!(cache.document().matches(r#"name="resource""#).count(), 2);
+    }
+
+    #[test]
+    fn subtree_full_branch_returns_single_report() {
+        let mut cache = XmlCache::new();
+        let b = branch("reporter=a,resource=r1,site=sdsc,vo=tg");
+        cache.update(&b, &report("a", "1")).unwrap();
+        cache.update(&branch("reporter=b,resource=r1,site=sdsc,vo=tg"), &report("b", "2")).unwrap();
+        let sub = cache.subtree(&b).unwrap().unwrap();
+        assert!(sub.contains("<incaReport"));
+        assert!(sub.contains(">1</"));
+        assert!(!sub.contains(">2</"));
+    }
+
+    #[test]
+    fn subtree_suffix_returns_related_reports() {
+        let mut cache = XmlCache::new();
+        cache.update(&branch("reporter=a,resource=r1,site=sdsc,vo=tg"), &report("a", "1")).unwrap();
+        cache.update(&branch("reporter=b,resource=r2,site=sdsc,vo=tg"), &report("b", "2")).unwrap();
+        cache.update(&branch("reporter=c,resource=r3,site=ncsa,vo=tg"), &report("c", "3")).unwrap();
+        let sdsc = cache.subtree(&branch("site=sdsc,vo=tg")).unwrap().unwrap();
+        assert!(sdsc.contains(">1</") && sdsc.contains(">2</"));
+        assert!(!sdsc.contains(">3</"));
+        let whole = cache.subtree(&branch("vo=tg")).unwrap().unwrap();
+        assert_eq!(whole.matches("<incaReport").count(), 3);
+    }
+
+    #[test]
+    fn subtree_missing_returns_none() {
+        let mut cache = XmlCache::new();
+        cache.update(&branch("reporter=a,resource=r1,site=sdsc,vo=tg"), &report("a", "1")).unwrap();
+        assert_eq!(cache.subtree(&branch("site=psc,vo=tg")).unwrap(), None);
+        assert_eq!(cache.subtree(&branch("vo=other")).unwrap(), None);
+        assert_eq!(
+            cache.subtree(&branch("reporter=zzz,resource=r1,site=sdsc,vo=tg")).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn reports_lists_with_branches() {
+        let mut cache = XmlCache::new();
+        let b1 = branch("reporter=a,resource=r1,site=sdsc,vo=tg");
+        let b2 = branch("reporter=b,resource=r2,site=ncsa,vo=tg");
+        cache.update(&b1, &report("a", "1")).unwrap();
+        cache.update(&b2, &report("b", "2")).unwrap();
+        let all = cache.reports(None).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().any(|(b, _)| *b == b1));
+        assert!(all.iter().any(|(b, _)| *b == b2));
+        let sdsc_only = cache.reports(Some(&branch("site=sdsc,vo=tg"))).unwrap();
+        assert_eq!(sdsc_only.len(), 1);
+        assert_eq!(sdsc_only[0].0, b1);
+        // Every extracted report parses.
+        for (_, xml) in all {
+            Report::parse(&xml).unwrap();
+        }
+    }
+
+    #[test]
+    fn cached_report_roundtrips_exactly() {
+        let mut cache = XmlCache::new();
+        let xml = report("escaping.test", "tricky < & > \"text\"");
+        let b = branch("reporter=escaping.test,resource=r,site=s,vo=v");
+        cache.update(&b, &xml).unwrap();
+        let (_, got) = &cache.reports(Some(&b)).unwrap()[0];
+        assert_eq!(*got, xml, "splice must be byte-exact");
+    }
+
+    #[test]
+    fn branch_values_with_xml_specials_escaped_in_attrs() {
+        let mut cache = XmlCache::new();
+        let b = BranchId::new([("reporter", "a&b\"c"), ("vo", "t<g")]).unwrap();
+        cache.update(&b, &report("x", "1")).unwrap();
+        let all = cache.reports(None).unwrap();
+        assert_eq!(all[0].0, b, "attribute escaping must roundtrip");
+        // And the subtree query still finds it.
+        assert!(cache.subtree(&b).unwrap().is_some());
+    }
+
+    #[test]
+    fn many_updates_scale_linearly_not_quadratically_in_count() {
+        // Structural check only: 200 distinct reports all present.
+        let mut cache = XmlCache::new();
+        for i in 0..200 {
+            let b = branch(&format!("reporter=r{i},resource=m{},site=s{},vo=tg", i % 10, i % 3));
+            cache.update(&b, &report(&format!("r{i}"), &i.to_string())).unwrap();
+        }
+        assert_eq!(cache.report_count(), 200);
+        // Re-update them all; count must not grow.
+        for i in 0..200 {
+            let b = branch(&format!("reporter=r{i},resource=m{},site=s{},vo=tg", i % 10, i % 3));
+            cache.update(&b, &report(&format!("r{i}"), "updated")).unwrap();
+        }
+        assert_eq!(cache.report_count(), 200);
+    }
+
+    #[test]
+    fn single_component_branch() {
+        let mut cache = XmlCache::new();
+        let b = branch("series=depot-response");
+        cache.update(&b, &report("s", "1")).unwrap();
+        assert_eq!(cache.report_count(), 1);
+        assert!(cache.subtree(&b).unwrap().is_some());
+    }
+
+    #[test]
+    fn report_at_intermediate_level_coexists_with_deeper_reports() {
+        // A report stored at site level and another at reporter level
+        // below the same site.
+        let mut cache = XmlCache::new();
+        cache.update(&branch("site=sdsc,vo=tg"), &report("site-summary", "ok")).unwrap();
+        cache
+            .update(&branch("reporter=a,resource=r1,site=sdsc,vo=tg"), &report("a", "1"))
+            .unwrap();
+        assert_eq!(cache.report_count(), 2);
+        let site = cache.subtree(&branch("site=sdsc,vo=tg")).unwrap().unwrap();
+        assert_eq!(site.matches("<incaReport").count(), 2);
+        let deep = cache.subtree(&branch("reporter=a,resource=r1,site=sdsc,vo=tg")).unwrap();
+        assert_eq!(deep.unwrap().matches("<incaReport").count(), 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! The depot proper: receive → unpack → cache → archive, timed.
+//!
+//! §5.2 defines *response time* as "the time that the centralized
+//! controller must wait while the depot receives and processes the
+//! envelope" and breaks it into "(1) receiving the report and unpacking
+//! the SOAP envelope … and (2) processing the cache to find the
+//! appropriate location for the report". [`Depot::receive`] reproduces
+//! exactly that decomposition and returns both components in
+//! [`DepotTiming`] — the data behind Table 4 and Figure 9.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use inca_report::{Report, Timestamp};
+use inca_wire::envelope::Envelope;
+use inca_wire::message::WireError;
+
+use crate::depot::archive::{ArchiveRule, ArchiveStore};
+use crate::depot::cache::{CacheError, XmlCache};
+use crate::stats::ResponseStats;
+
+/// Errors from depot processing.
+#[derive(Debug)]
+pub enum DepotError {
+    /// The envelope could not be unpacked or its report was invalid.
+    Envelope(WireError),
+    /// The cache update failed (corruption).
+    Cache(CacheError),
+}
+
+impl fmt::Display for DepotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepotError::Envelope(e) => write!(f, "envelope error: {e}"),
+            DepotError::Cache(e) => write!(f, "cache error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DepotError {}
+
+impl From<WireError> for DepotError {
+    fn from(e: WireError) -> Self {
+        DepotError::Envelope(e)
+    }
+}
+
+impl From<CacheError> for DepotError {
+    fn from(e: CacheError) -> Self {
+        DepotError::Cache(e)
+    }
+}
+
+/// The timing decomposition of one received envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepotTiming {
+    /// Unpacking the envelope (grows with report size — Figure 9's
+    /// gap between the two lines).
+    pub unpack: Duration,
+    /// Locating and splicing into the cache (grows with cache size —
+    /// Figure 9's lower line).
+    pub insert: Duration,
+    /// Feeding matching archive rules.
+    pub archive: Duration,
+    /// Size of the unpacked report in bytes.
+    pub report_size: usize,
+}
+
+impl DepotTiming {
+    /// Unpack + insert: the paper's "response time" (archival happens
+    /// after the controller has been released).
+    pub fn response(&self) -> Duration {
+        self.unpack + self.insert
+    }
+}
+
+/// The depot: cache, archive, statistics.
+#[derive(Debug, Default)]
+pub struct Depot {
+    cache: XmlCache,
+    archive: ArchiveStore,
+    stats: ResponseStats,
+}
+
+impl Depot {
+    /// An empty depot.
+    pub fn new() -> Depot {
+        Depot { cache: XmlCache::new(), archive: ArchiveStore::new(), stats: ResponseStats::new() }
+    }
+
+    /// Uploads an archival policy rule.
+    pub fn add_archive_rule(&mut self, rule: ArchiveRule) {
+        self.archive.add_rule(rule);
+    }
+
+    /// Receives one encoded envelope at (virtual) time `now`,
+    /// returning the measured timing decomposition.
+    pub fn receive(&mut self, envelope_bytes: &[u8], now: Timestamp) -> Result<DepotTiming, DepotError> {
+        let t0 = Instant::now();
+        let envelope = Envelope::decode(envelope_bytes)?;
+        let t1 = Instant::now();
+        self.cache.update(&envelope.address, &envelope.report_xml)?;
+        let t2 = Instant::now();
+        // Archival: only if some rule matches does the report get
+        // re-parsed for value extraction.
+        if self
+            .archive
+            .rules()
+            .iter()
+            .any(|r| envelope.address.matches_suffix(&r.query))
+        {
+            if let Ok(report) = Report::parse(&envelope.report_xml) {
+                self.archive.ingest(&envelope.address, &report, now);
+            }
+        }
+        let t3 = Instant::now();
+        let timing = DepotTiming {
+            unpack: t1 - t0,
+            insert: t2 - t1,
+            archive: t3 - t2,
+            report_size: envelope.report_xml.len(),
+        };
+        self.stats
+            .record(timing.report_size, timing.response().as_secs_f64());
+        Ok(timing)
+    }
+
+    /// The cache (read access for the querying interface).
+    pub fn cache(&self) -> &XmlCache {
+        &self.cache
+    }
+
+    /// The archive store (read access for the querying interface).
+    pub fn archive(&self) -> &ArchiveStore {
+        &self.archive
+    }
+
+    /// Mutable archive access (consumer-side series recording).
+    pub fn archive_mut(&mut self) -> &mut ArchiveStore {
+        &mut self.archive
+    }
+
+    /// Accumulated response statistics.
+    pub fn stats(&self) -> &ResponseStats {
+        &self.stats
+    }
+
+    /// Persists cache and archives to a directory (`cache.xml` +
+    /// `archives.txt`) — the paper's Persistent Data Storage
+    /// requirement. Response statistics are runtime-only and not
+    /// persisted.
+    pub fn save_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("cache.xml"), self.cache.document())?;
+        std::fs::write(dir.join("archives.txt"), self.archive.dump())?;
+        Ok(())
+    }
+
+    /// Restores a depot persisted with [`Depot::save_to`].
+    pub fn load_from(dir: &std::path::Path) -> std::io::Result<Depot> {
+        let cache_doc = std::fs::read_to_string(dir.join("cache.xml"))?;
+        let archive_text = std::fs::read_to_string(dir.join("archives.txt"))?;
+        let cache = XmlCache::from_document(cache_doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let archive = ArchiveStore::restore(&archive_text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(Depot { cache, archive, stats: ResponseStats::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::{BranchId, ReportBuilder};
+    use inca_rrd::{ArchivePolicy, ConsolidationFn};
+    use inca_wire::envelope::EnvelopeMode;
+
+    fn envelope_bytes(branch: &str, value: &str, mode: EnvelopeMode) -> Vec<u8> {
+        let report = ReportBuilder::new("r", "1.0")
+            .gmt(Timestamp::from_secs(1_000))
+            .body_value("v", value)
+            .success()
+            .unwrap();
+        Envelope::new(branch.parse().unwrap(), report.to_xml()).encode(mode)
+    }
+
+    #[test]
+    fn receive_caches_report() {
+        let mut depot = Depot::new();
+        let t = Timestamp::from_secs(1_000);
+        let timing = depot
+            .receive(&envelope_bytes("reporter=r,resource=m,vo=tg", "42", EnvelopeMode::Body), t)
+            .unwrap();
+        assert_eq!(depot.cache().report_count(), 1);
+        assert!(timing.report_size > 0);
+        assert!(timing.response() >= timing.insert);
+        assert_eq!(depot.stats().report_count(), 1);
+    }
+
+    #[test]
+    fn receive_both_envelope_modes() {
+        let mut depot = Depot::new();
+        let t = Timestamp::from_secs(1_000);
+        depot
+            .receive(&envelope_bytes("reporter=a,vo=tg", "1", EnvelopeMode::Body), t)
+            .unwrap();
+        depot
+            .receive(&envelope_bytes("reporter=b,vo=tg", "2", EnvelopeMode::Attachment), t)
+            .unwrap();
+        assert_eq!(depot.cache().report_count(), 2);
+    }
+
+    #[test]
+    fn garbage_envelope_rejected() {
+        let mut depot = Depot::new();
+        let err = depot.receive(b"garbage", Timestamp::from_secs(0)).unwrap_err();
+        assert!(matches!(err, DepotError::Envelope(_)));
+        assert_eq!(depot.cache().report_count(), 0);
+    }
+
+    #[test]
+    fn repeated_updates_replace() {
+        let mut depot = Depot::new();
+        for i in 0..10u64 {
+            depot
+                .receive(
+                    &envelope_bytes("reporter=r,resource=m,vo=tg", &i.to_string(), EnvelopeMode::Body),
+                    Timestamp::from_secs(1_000 + i),
+                )
+                .unwrap();
+        }
+        assert_eq!(depot.cache().report_count(), 1);
+        assert_eq!(depot.stats().report_count(), 10);
+    }
+
+    #[test]
+    fn archive_rules_fed_from_reports() {
+        let mut depot = Depot::new();
+        depot.add_archive_rule(ArchiveRule {
+            name: "v".into(),
+            query: "vo=tg".parse().unwrap(),
+            path: "v".parse().unwrap(),
+            policy: ArchivePolicy::every("p", 86_400),
+            period_secs: 600,
+        });
+        let t0 = Timestamp::from_secs(600_000);
+        for i in 1..=6u64 {
+            let report = ReportBuilder::new("r", "1.0")
+                .gmt(t0 + i * 600)
+                .body_value("v", (i * 10).to_string())
+                .success()
+                .unwrap();
+            let env = Envelope::new(
+                "reporter=r,resource=m,vo=tg".parse::<BranchId>().unwrap(),
+                report.to_xml(),
+            );
+            depot.receive(&env.encode(EnvelopeMode::Body), t0 + i * 600).unwrap();
+        }
+        let branch: BranchId = "reporter=r,resource=m,vo=tg".parse().unwrap();
+        let f = depot
+            .archive()
+            .fetch_rule_series("v", &branch, ConsolidationFn::Average, t0, t0 + 4_000)
+            .unwrap();
+        assert!(f.known_points().count() >= 4);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut depot = Depot::new();
+        depot.add_archive_rule(ArchiveRule {
+            name: "v".into(),
+            query: "vo=tg".parse().unwrap(),
+            path: "v".parse().unwrap(),
+            policy: ArchivePolicy::every("p", 86_400),
+            period_secs: 600,
+        });
+        let t0 = Timestamp::from_secs(600_000);
+        for i in 1..=6u64 {
+            let report = ReportBuilder::new("r", "1.0")
+                .gmt(t0 + i * 600)
+                .body_value("v", (i * 10).to_string())
+                .success()
+                .unwrap();
+            let env = Envelope::new(
+                "reporter=r,resource=m,vo=tg".parse::<BranchId>().unwrap(),
+                report.to_xml(),
+            );
+            depot.receive(&env.encode(EnvelopeMode::Body), t0 + i * 600).unwrap();
+        }
+        depot.archive_mut().record(
+            "availability:Grid:x",
+            &ArchivePolicy::every("p2", 3_600),
+            600,
+            t0 + 600,
+            99.0,
+        );
+        let dir = std::env::temp_dir().join(format!("inca-depot-test-{}", std::process::id()));
+        depot.save_to(&dir).unwrap();
+        let loaded = Depot::load_from(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Cache identical.
+        assert_eq!(loaded.cache().document(), depot.cache().document());
+        // Archived series identical.
+        let branch: BranchId = "reporter=r,resource=m,vo=tg".parse().unwrap();
+        let range = (t0, t0 + 4_000);
+        let a = loaded
+            .archive()
+            .fetch_rule_series("v", &branch, ConsolidationFn::Average, range.0, range.1)
+            .unwrap();
+        let b = depot
+            .archive()
+            .fetch_rule_series("v", &branch, ConsolidationFn::Average, range.0, range.1)
+            .unwrap();
+        assert!(a.same_series(&b), "{a:?} != {b:?}");
+        assert!(loaded
+            .archive()
+            .fetch_series("availability:Grid:x", ConsolidationFn::Average, range.0, range.1)
+            .is_some());
+        // Rules survive: a new matching report still archives.
+        let mut loaded = loaded;
+        let report = ReportBuilder::new("r", "1.0")
+            .gmt(t0 + 7 * 600)
+            .body_value("v", "70")
+            .success()
+            .unwrap();
+        let env = Envelope::new(branch.clone(), report.to_xml());
+        loaded.receive(&env.encode(EnvelopeMode::Body), t0 + 7 * 600).unwrap();
+        let f = loaded
+            .archive()
+            .fetch_rule_series("v", &branch, ConsolidationFn::Average, t0, t0 + 8 * 600)
+            .unwrap();
+        assert!(f.known_points().any(|(_, v)| v == 70.0));
+    }
+
+    #[test]
+    fn load_rejects_corrupt_state() {
+        let dir = std::env::temp_dir().join(format!("inca-depot-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("cache.xml"), "<notACache/>").unwrap();
+        std::fs::write(dir.join("archives.txt"), "archive-store v1\n").unwrap();
+        assert!(Depot::load_from(&dir).is_err());
+        std::fs::write(dir.join("cache.xml"), "<incaCache></incaCache>").unwrap();
+        std::fs::write(dir.join("archives.txt"), "garbage").unwrap();
+        assert!(Depot::load_from(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn insert_time_grows_with_cache_size() {
+        // The Figure 9 mechanism, asserted coarsely: inserting into a
+        // multi-megabyte cache takes longer than into a near-empty one.
+        let mut depot = Depot::new();
+        let t = Timestamp::from_secs(1_000);
+        // Grow the cache with many distinct ~20 KB reports.
+        let filler = "x".repeat(20_000);
+        for i in 0..150 {
+            let report = ReportBuilder::new("r", "1.0")
+                .gmt(t)
+                .body_value("v", filler.as_str())
+                .success()
+                .unwrap();
+            let env = Envelope::new(
+                format!("reporter=r{i},vo=tg").parse::<BranchId>().unwrap(),
+                report.to_xml(),
+            );
+            depot.receive(&env.encode(EnvelopeMode::Body), t).unwrap();
+        }
+        assert!(depot.cache().size_bytes() > 2_000_000);
+        // Time many small inserts into the big cache vs a fresh one.
+        let small = envelope_bytes("reporter=probe,vo=tg", "1", EnvelopeMode::Body);
+        let reps = 30;
+        let start = Instant::now();
+        for _ in 0..reps {
+            depot.receive(&small, t).unwrap();
+        }
+        let big_elapsed = start.elapsed();
+        let mut fresh = Depot::new();
+        let start = Instant::now();
+        for _ in 0..reps {
+            fresh.receive(&small, t).unwrap();
+        }
+        let fresh_elapsed = start.elapsed();
+        assert!(
+            big_elapsed > fresh_elapsed * 3,
+            "expected big-cache inserts to dominate: {big_elapsed:?} vs {fresh_elapsed:?}"
+        );
+    }
+}

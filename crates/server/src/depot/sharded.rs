@@ -1,0 +1,177 @@
+//! Sharded cache — the paper's proposed scalability fix, implemented
+//! as an ablation.
+//!
+//! §5.2.2: "the cache will be split into multiple smaller files to
+//! minimize XML parsing time". [`ShardedCache`] splits the single
+//! document by the leading (most general) components of each branch
+//! identifier — e.g. depth 2 shards by `vo` + `site` — so an update
+//! only streams through its own shard. Query semantics are identical
+//! to [`XmlCache`]; the `cache_shards` bench quantifies the insert-time
+//! saving.
+
+use std::collections::BTreeMap;
+
+use inca_report::BranchId;
+
+use crate::depot::cache::{CacheError, XmlCache};
+
+/// A cache split into per-prefix shards.
+#[derive(Debug, Clone)]
+pub struct ShardedCache {
+    /// How many general-most hierarchy components form the shard key.
+    depth: usize,
+    shards: BTreeMap<String, XmlCache>,
+}
+
+impl ShardedCache {
+    /// Creates a cache sharded on the first `depth` hierarchy
+    /// components (clamped to ≥ 1).
+    pub fn new(depth: usize) -> ShardedCache {
+        ShardedCache { depth: depth.max(1), shards: BTreeMap::new() }
+    }
+
+    /// The shard key for a branch: its `depth` general-most pairs.
+    fn shard_key(&self, branch: &BranchId) -> String {
+        let mut key = String::new();
+        for (i, (n, v)) in branch.hierarchy().take(self.depth).enumerate() {
+            if i > 0 {
+                key.push('|');
+            }
+            key.push_str(n);
+            key.push('=');
+            key.push_str(v);
+        }
+        key
+    }
+
+    /// Inserts or replaces the report at `branch` (touching only its
+    /// shard).
+    pub fn update(&mut self, branch: &BranchId, report_xml: &str) -> Result<(), CacheError> {
+        self.shards
+            .entry(self.shard_key(branch))
+            .or_default()
+            .update(branch, report_xml)
+    }
+
+    /// All reports matching a suffix query, across shards.
+    pub fn reports(
+        &self,
+        query: Option<&BranchId>,
+    ) -> Result<Vec<(BranchId, String)>, CacheError> {
+        let mut out = Vec::new();
+        for shard in self.shards.values() {
+            out.extend(shard.reports(query)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of cached reports across all shards.
+    pub fn report_count(&self) -> usize {
+        self.shards.values().map(XmlCache::report_count).sum()
+    }
+
+    /// Total bytes across shards.
+    pub fn size_bytes(&self) -> usize {
+        self.shards.values().map(XmlCache::size_bytes).sum()
+    }
+
+    /// Number of shards currently materialized.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Size of the largest shard — the document an update actually
+    /// streams through.
+    pub fn largest_shard_bytes(&self) -> usize {
+        self.shards.values().map(XmlCache::size_bytes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::{ReportBuilder, Timestamp};
+
+    fn report(name: &str, v: &str) -> String {
+        ReportBuilder::new(name, "1.0")
+            .gmt(Timestamp::from_secs(0))
+            .body_value("v", v)
+            .success()
+            .unwrap()
+            .to_xml()
+    }
+
+    fn branch(s: &str) -> BranchId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn shards_split_by_prefix() {
+        let mut cache = ShardedCache::new(2); // vo + site
+        cache.update(&branch("reporter=a,resource=m1,site=sdsc,vo=tg"), &report("a", "1")).unwrap();
+        cache.update(&branch("reporter=b,resource=m2,site=ncsa,vo=tg"), &report("b", "2")).unwrap();
+        cache.update(&branch("reporter=c,resource=m1,site=sdsc,vo=tg"), &report("c", "3")).unwrap();
+        assert_eq!(cache.shard_count(), 2);
+        assert_eq!(cache.report_count(), 3);
+    }
+
+    #[test]
+    fn queries_span_shards() {
+        let mut cache = ShardedCache::new(2);
+        for (b, r) in [
+            ("reporter=a,resource=m1,site=sdsc,vo=tg", "1"),
+            ("reporter=b,resource=m2,site=ncsa,vo=tg", "2"),
+            ("reporter=c,resource=m3,site=psc,vo=tg", "3"),
+        ] {
+            cache.update(&branch(b), &report("r", r)).unwrap();
+        }
+        let all = cache.reports(Some(&branch("vo=tg"))).unwrap();
+        assert_eq!(all.len(), 3);
+        let sdsc = cache.reports(Some(&branch("site=sdsc,vo=tg"))).unwrap();
+        assert_eq!(sdsc.len(), 1);
+    }
+
+    #[test]
+    fn update_replaces_within_shard() {
+        let mut cache = ShardedCache::new(1);
+        let b = branch("reporter=a,site=sdsc,vo=tg");
+        cache.update(&b, &report("a", "old")).unwrap();
+        cache.update(&b, &report("a", "new")).unwrap();
+        assert_eq!(cache.report_count(), 1);
+        let (_, xml) = &cache.reports(None).unwrap()[0];
+        assert!(xml.contains("new") && !xml.contains("old"));
+    }
+
+    #[test]
+    fn deeper_sharding_shrinks_walked_documents() {
+        // Same content in a depth-1 (one shard: all vo=tg) and a
+        // depth-3 cache: the largest shard shrinks with depth.
+        let mut coarse = ShardedCache::new(1);
+        let mut fine = ShardedCache::new(3);
+        for i in 0..60 {
+            let b = branch(&format!(
+                "reporter=r{i},resource=m{},site=s{},vo=tg",
+                i % 6,
+                i % 3
+            ));
+            let r = report(&format!("r{i}"), &"x".repeat(500));
+            coarse.update(&b, &r).unwrap();
+            fine.update(&b, &r).unwrap();
+        }
+        assert_eq!(coarse.shard_count(), 1);
+        assert!(fine.shard_count() >= 3);
+        assert_eq!(coarse.report_count(), fine.report_count());
+        assert!(
+            fine.largest_shard_bytes() < coarse.largest_shard_bytes() / 2,
+            "fine {} vs coarse {}",
+            fine.largest_shard_bytes(),
+            coarse.largest_shard_bytes()
+        );
+    }
+
+    #[test]
+    fn depth_zero_clamped_to_one() {
+        let cache = ShardedCache::new(0);
+        assert_eq!(cache.depth, 1);
+    }
+}

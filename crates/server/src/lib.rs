@@ -1,0 +1,35 @@
+//! The Inca server: centralized controller, depot, querying interface.
+//!
+//! "The server receives data from the distributed controllers and
+//! coordinates the scheduling and configuration of reporters; it is
+//! composed of the centralized controller, depot, and querying
+//! interface" (§3). This crate implements all three:
+//!
+//! * [`controller`] — the centralized controller: accepts framed
+//!   client messages (over TCP or in process), checks the host
+//!   allowlist, wraps each report in an envelope addressed by its
+//!   branch identifier, and forwards it to the depot. All submissions
+//!   serialize through it, as in the 2004 system.
+//! * [`depot`] — data management, caching and archiving. The cache is
+//!   a **single XML document updated by streaming parse** — the design
+//!   the paper measures in §5.2 (insert time grows with cache size;
+//!   Figure 9). Archiving compiles Inca archival policies into
+//!   round-robin databases.
+//! * [`query`] — the querying interface: current data by branch
+//!   identifier (whole cache, subtree, or single report) and archived
+//!   data as labelled series.
+//! * [`stats`] — response-time statistics per report-size bucket
+//!   (Table 4) and received-size histograms (Figure 8).
+
+pub mod controller;
+pub mod depot;
+pub mod query;
+pub mod stats;
+
+pub use controller::{CentralizedController, ControllerConfig, TcpServerHandle};
+pub use depot::cache::{CacheError, XmlCache};
+pub use depot::archive::{ArchiveRule, ArchiveStore};
+pub use depot::depot::{Depot, DepotError, DepotTiming};
+pub use depot::sharded::ShardedCache;
+pub use query::QueryInterface;
+pub use stats::{BucketStats, ResponseStats, SIZE_BUCKETS};

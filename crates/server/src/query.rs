@@ -1,0 +1,182 @@
+//! The querying interface.
+//!
+//! §3.2.3: "Querying the depot is currently split into two separate
+//! interfaces. One is for the retrieval of the most current data, which
+//! is held in the cache; the second is for graphing historical data
+//! from the archive." Current-data queries take an optional branch
+//! identifier: a full identifier returns one report, a suffix returns a
+//! set of related reports, and no identifier returns the entire cache.
+
+use inca_report::{BranchId, Report, Timestamp};
+use inca_rrd::{ConsolidationFn, GraphSeries};
+
+use crate::depot::cache::CacheError;
+use crate::depot::depot::Depot;
+
+/// Read-side facade over a depot.
+#[derive(Debug)]
+pub struct QueryInterface<'a> {
+    depot: &'a Depot,
+}
+
+impl<'a> QueryInterface<'a> {
+    /// Wraps a depot.
+    pub fn new(depot: &'a Depot) -> Self {
+        QueryInterface { depot }
+    }
+
+    /// The entire cache document ("In the case that no branch
+    /// identifier is supplied, the entire contents of the cache is
+    /// returned").
+    pub fn current_all(&self) -> String {
+        self.depot.cache().document().to_string()
+    }
+
+    /// The raw cache subtree matching a branch-identifier query, or
+    /// `None` when nothing matches.
+    pub fn current(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
+        self.depot.cache().subtree(query)
+    }
+
+    /// The single report at a full branch identifier, parsed.
+    pub fn report(&self, branch: &BranchId) -> Result<Option<Report>, CacheError> {
+        let reports = self.depot.cache().reports(Some(branch))?;
+        // A full identifier matches exactly one cached report (the one
+        // whose branch equals the query); prefer the exact match over
+        // deeper reports that merely end with the query.
+        for (b, xml) in &reports {
+            if b == branch {
+                return Ok(Some(Report::parse(xml).map_err(|e| {
+                    CacheError::Corrupt(format!("cached report unparseable: {e}"))
+                })?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// All cached reports matching a suffix query (or every report).
+    pub fn reports(&self, query: Option<&BranchId>) -> Result<Vec<(BranchId, Report)>, CacheError> {
+        let raw = self.depot.cache().reports(query)?;
+        let mut out = Vec::with_capacity(raw.len());
+        for (branch, xml) in raw {
+            let report = Report::parse(&xml)
+                .map_err(|e| CacheError::Corrupt(format!("cached report unparseable: {e}")))?;
+            out.push((branch, report));
+        }
+        Ok(out)
+    }
+
+    /// An archived rule-fed series as graph data ("archived data is
+    /// also retrieved through a Web service call, which wraps the
+    /// interface provided by RRDTool").
+    pub fn archived(
+        &self,
+        rule_name: &str,
+        branch: &BranchId,
+        cf: ConsolidationFn,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Option<GraphSeries> {
+        let fetch = self.depot.archive().fetch_rule_series(rule_name, branch, cf, start, end)?;
+        Some(GraphSeries::from_fetch(format!("{rule_name}:{branch}"), fetch))
+    }
+
+    /// An archived consumer-recorded summary series.
+    pub fn archived_series(
+        &self,
+        series: &str,
+        cf: ConsolidationFn,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Option<GraphSeries> {
+        let fetch = self.depot.archive().fetch_series(series, cf, start, end)?;
+        Some(GraphSeries::from_fetch(series, fetch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::ReportBuilder;
+    use inca_rrd::ArchivePolicy;
+    use inca_wire::envelope::{Envelope, EnvelopeMode};
+
+    fn depot_with_reports() -> Depot {
+        let mut depot = Depot::new();
+        let t = Timestamp::from_secs(1_000);
+        for (branch, value) in [
+            ("reporter=version.globus,resource=tg1,site=sdsc,vo=tg", "2.4.3"),
+            ("reporter=version.mpich,resource=tg1,site=sdsc,vo=tg", "1.2.5"),
+            ("reporter=version.globus,resource=tg2,site=ncsa,vo=tg", "2.4.1"),
+        ] {
+            let report = ReportBuilder::new("r", "1.0")
+                .gmt(t)
+                .body_value("packageVersion", value)
+                .success()
+                .unwrap();
+            let env = Envelope::new(branch.parse().unwrap(), report.to_xml());
+            depot.receive(&env.encode(EnvelopeMode::Body), t).unwrap();
+        }
+        depot
+    }
+
+    #[test]
+    fn current_all_returns_whole_cache() {
+        let depot = depot_with_reports();
+        let q = QueryInterface::new(&depot);
+        let all = q.current_all();
+        assert_eq!(all.matches("<incaReport").count(), 3);
+    }
+
+    #[test]
+    fn current_subtree_by_site() {
+        let depot = depot_with_reports();
+        let q = QueryInterface::new(&depot);
+        let sdsc = q.current(&"site=sdsc,vo=tg".parse().unwrap()).unwrap().unwrap();
+        assert_eq!(sdsc.matches("<incaReport").count(), 2);
+        assert!(q.current(&"site=psc,vo=tg".parse().unwrap()).unwrap().is_none());
+    }
+
+    #[test]
+    fn single_report_query() {
+        let depot = depot_with_reports();
+        let q = QueryInterface::new(&depot);
+        let branch: BranchId = "reporter=version.globus,resource=tg1,site=sdsc,vo=tg".parse().unwrap();
+        let report = q.report(&branch).unwrap().unwrap();
+        let p: inca_xml::IncaPath = "packageVersion".parse().unwrap();
+        assert_eq!(report.body.lookup_text(&p).unwrap(), "2.4.3");
+        assert!(q
+            .report(&"reporter=nope,resource=tg1,site=sdsc,vo=tg".parse().unwrap())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn reports_parse_and_filter() {
+        let depot = depot_with_reports();
+        let q = QueryInterface::new(&depot);
+        let all = q.reports(None).unwrap();
+        assert_eq!(all.len(), 3);
+        let ncsa = q.reports(Some(&"site=ncsa,vo=tg".parse().unwrap())).unwrap();
+        assert_eq!(ncsa.len(), 1);
+        assert_eq!(ncsa[0].0.get("resource"), Some("tg2"));
+    }
+
+    #[test]
+    fn archived_series_roundtrip() {
+        let mut depot = Depot::new();
+        let policy = ArchivePolicy::every("p", 86_400);
+        let t0 = Timestamp::from_secs(600_000);
+        for i in 1..=5u64 {
+            depot.archive_mut().record("availability:sdsc", &policy, 600, t0 + i * 600, 99.0);
+        }
+        let q = QueryInterface::new(&depot);
+        let series = q
+            .archived_series("availability:sdsc", ConsolidationFn::Average, t0, t0 + 3_600)
+            .unwrap();
+        assert!(series.known().count() >= 4);
+        assert!(q
+            .archived_series("missing", ConsolidationFn::Average, t0, t0 + 1)
+            .is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! User environments and the SoftEnv database.
+//!
+//! §4.1: "a reporter was also written to collect the set of environment
+//! variables in the default user environment and a resource's SoftEnv
+//! database". The TeraGrid Hosting Environment requires a common
+//! default environment at every site, manipulated through SoftEnv; the
+//! verification reporters diff what a resource actually provides
+//! against the agreement.
+
+use std::collections::BTreeMap;
+
+/// The default (uncustomized) user environment on a resource.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserEnvironment {
+    vars: BTreeMap<String, String>,
+}
+
+impl UserEnvironment {
+    /// An empty environment.
+    pub fn new() -> Self {
+        UserEnvironment::default()
+    }
+
+    /// Sets a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Removes a variable, returning whether it existed.
+    pub fn unset(&mut self, name: &str) -> bool {
+        self.vars.remove(name).is_some()
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.vars.get(name).map(String::as_str)
+    }
+
+    /// All variables in name order.
+    pub fn vars(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variable is set.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The TeraGrid default user environment for a resource at `site`
+    /// — the variables the Hosting Environment agreement requires.
+    pub fn teragrid_default(site: &str) -> UserEnvironment {
+        let mut env = UserEnvironment::new();
+        env.set("TG_CLUSTER_HOME", format!("/home/{site}/inca"));
+        env.set("TG_CLUSTER_SCRATCH", format!("/scratch/{site}/inca"));
+        env.set("TG_APPS_PREFIX", "/usr/teragrid/apps".to_string());
+        env.set("TG_COMMUNITY", "/usr/teragrid/community".to_string());
+        env.set("GLOBUS_LOCATION", "/usr/teragrid/globus-2.4.3".to_string());
+        env.set("SOFTENV_ALIASES", "/etc/softenv-aliases".to_string());
+        env.set("PATH", "/usr/teragrid/bin:/usr/local/bin:/usr/bin:/bin".to_string());
+        env
+    }
+}
+
+/// The SoftEnv database: named keys users add to their `.soft` files
+/// to manipulate their environment (§4.1's SoftEnv tool [30]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SoftEnvDb {
+    /// key → macro definition (what the key expands to).
+    keys: BTreeMap<String, String>,
+}
+
+impl SoftEnvDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        SoftEnvDb::default()
+    }
+
+    /// Defines (or redefines) a key.
+    pub fn define(&mut self, key: impl Into<String>, expansion: impl Into<String>) {
+        self.keys.insert(key.into(), expansion.into());
+    }
+
+    /// Removes a key, returning whether it existed.
+    pub fn undefine(&mut self, key: &str) -> bool {
+        self.keys.remove(key).is_some()
+    }
+
+    /// Looks up a key's expansion.
+    pub fn lookup(&self, key: &str) -> Option<&str> {
+        self.keys.get(key).map(String::as_str)
+    }
+
+    /// All keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.keys.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The TeraGrid SoftEnv database: one `@teragrid-*` key per CTSS
+    /// package plus the basic environment key.
+    pub fn teragrid_default() -> SoftEnvDb {
+        let mut db = SoftEnvDb::new();
+        db.define("@teragrid-basic", "PATH+=/usr/teragrid/bin");
+        for pkg in [
+            "globus", "condor-g", "gridftp", "srb", "mpich", "mpich-g2", "atlas", "hdf4",
+            "hdf5", "intel-compilers",
+        ] {
+            db.define(format!("+{pkg}"), format!("PATH+=/usr/teragrid/{pkg}/bin"));
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_set_get_unset() {
+        let mut env = UserEnvironment::new();
+        env.set("PATH", "/bin");
+        assert_eq!(env.get("PATH"), Some("/bin"));
+        assert!(env.unset("PATH"));
+        assert!(!env.unset("PATH"));
+        assert!(env.is_empty());
+    }
+
+    #[test]
+    fn teragrid_default_env_has_required_vars() {
+        let env = UserEnvironment::teragrid_default("sdsc");
+        for var in ["TG_CLUSTER_HOME", "TG_CLUSTER_SCRATCH", "TG_APPS_PREFIX", "GLOBUS_LOCATION"] {
+            assert!(env.get(var).is_some(), "missing {var}");
+        }
+        assert!(env.get("TG_CLUSTER_HOME").unwrap().contains("sdsc"));
+    }
+
+    #[test]
+    fn env_vars_ordered() {
+        let env = UserEnvironment::teragrid_default("anl");
+        let names: Vec<&str> = env.vars().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn softenv_define_lookup() {
+        let mut db = SoftEnvDb::new();
+        db.define("+globus", "PATH+=/opt/globus/bin");
+        assert_eq!(db.lookup("+globus"), Some("PATH+=/opt/globus/bin"));
+        assert!(db.undefine("+globus"));
+        assert!(db.lookup("+globus").is_none());
+    }
+
+    #[test]
+    fn teragrid_softenv_covers_key_packages() {
+        let db = SoftEnvDb::teragrid_default();
+        assert!(db.lookup("@teragrid-basic").is_some());
+        for key in ["+globus", "+srb", "+mpich", "+hdf5"] {
+            assert!(db.lookup(key).is_some(), "missing {key}");
+        }
+        assert!(db.len() >= 10);
+    }
+}

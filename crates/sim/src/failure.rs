@@ -1,0 +1,456 @@
+//! Failure injection for the simulated VO.
+//!
+//! Three failure classes reproduce the phenomenology of §4.1's
+//! availability plot (Figure 5): *"Mondays are preventative-maintenance
+//! days, so some drop in availability is expected but the other times
+//! indicate a system failure"*:
+//!
+//! * [`MaintenanceWindow`] — scheduled weekly windows (TeraGrid
+//!   Mondays) during which a resource is down by design,
+//! * [`OutageSchedule`] — random outages drawn from an MTBF/MTTR
+//!   exponential model ("temporal bugs and external factors"), applied
+//!   per resource and per service,
+//! * [`PackageFault`] — misconfiguration intervals during which a
+//!   package's unit test fails even though the resource is up (§2.1's
+//!   software-stack-validation use case).
+//!
+//! Everything is generated up front from a seed over a fixed horizon,
+//! so a simulated week is exactly reproducible.
+
+use std::collections::BTreeMap;
+
+use inca_report::Timestamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::services::ServiceKind;
+
+/// A weekly scheduled maintenance window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceWindow {
+    /// Day of week (0 = Sunday … 6 = Saturday).
+    pub weekday: u32,
+    /// Start hour (GMT).
+    pub start_hour: u32,
+    /// Window length in seconds.
+    pub duration_secs: u64,
+}
+
+impl MaintenanceWindow {
+    /// The TeraGrid pattern: Mondays, 08:00 GMT, six hours.
+    pub fn teragrid_monday() -> MaintenanceWindow {
+        MaintenanceWindow { weekday: 1, start_hour: 8, duration_secs: 6 * 3_600 }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        if t.weekday() != self.weekday {
+            // Windows may spill past midnight; check yesterday's too.
+            let yesterday = t - 86_400;
+            if yesterday.weekday() != self.weekday {
+                return false;
+            }
+            let start = yesterday.truncate_to_day() + self.start_hour as u64 * 3_600;
+            return t < start + self.duration_secs;
+        }
+        let start = t.truncate_to_day() + self.start_hour as u64 * 3_600;
+        t >= start && t < start + self.duration_secs
+    }
+}
+
+/// A precomputed set of outage intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutageSchedule {
+    /// Sorted, non-overlapping `[down_from, up_again)` intervals.
+    intervals: Vec<(Timestamp, Timestamp)>,
+}
+
+impl OutageSchedule {
+    /// No outages.
+    pub fn none() -> OutageSchedule {
+        OutageSchedule::default()
+    }
+
+    /// Builds a schedule from explicit intervals (sorted and merged).
+    pub fn from_intervals(mut intervals: Vec<(Timestamp, Timestamp)>) -> OutageSchedule {
+        intervals.retain(|(a, b)| a < b);
+        intervals.sort();
+        let mut merged: Vec<(Timestamp, Timestamp)> = Vec::with_capacity(intervals.len());
+        for (a, b) in intervals {
+            match merged.last_mut() {
+                Some((_, last_b)) if a <= *last_b => {
+                    if b > *last_b {
+                        *last_b = b;
+                    }
+                }
+                _ => merged.push((a, b)),
+            }
+        }
+        OutageSchedule { intervals: merged }
+    }
+
+    /// Draws outages over `[start, end)` with exponential time-between-
+    /// failures (`mtbf_secs`) and exponential time-to-repair
+    /// (`mttr_secs`, minimum one minute).
+    pub fn generate(
+        rng: &mut impl Rng,
+        start: Timestamp,
+        end: Timestamp,
+        mtbf_secs: f64,
+        mttr_secs: f64,
+    ) -> OutageSchedule {
+        let mut intervals = Vec::new();
+        let mut cursor = start.as_secs() as f64;
+        let end_secs = end.as_secs() as f64;
+        loop {
+            let gap = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() * mtbf_secs;
+            cursor += gap;
+            if cursor >= end_secs {
+                break;
+            }
+            let repair = (-rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() * mttr_secs).max(60.0);
+            let down_from = Timestamp::from_secs(cursor as u64);
+            let up_again = Timestamp::from_secs((cursor + repair).min(end_secs) as u64);
+            intervals.push((down_from, up_again));
+            cursor += repair;
+        }
+        OutageSchedule::from_intervals(intervals)
+    }
+
+    /// Whether the subject is down at `t`.
+    pub fn is_down(&self, t: Timestamp) -> bool {
+        let idx = self.intervals.partition_point(|(a, _)| *a <= t);
+        idx > 0 && t < self.intervals[idx - 1].1
+    }
+
+    /// The outage intervals.
+    pub fn intervals(&self) -> &[(Timestamp, Timestamp)] {
+        &self.intervals
+    }
+
+    /// Seconds of downtime within `[a, b)`.
+    pub fn downtime_between(&self, a: Timestamp, b: Timestamp) -> u64 {
+        self.intervals
+            .iter()
+            .map(|&(from, to)| {
+                let lo = from.max(a);
+                let hi = to.min(b);
+                hi - lo
+            })
+            .sum()
+    }
+}
+
+/// A misconfiguration interval for one package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageFault {
+    /// Affected package name.
+    pub package: String,
+    /// Fault active from this instant…
+    pub from: Timestamp,
+    /// …until this instant (exclusive).
+    pub until: Timestamp,
+    /// The unit-test failure message the fault produces.
+    pub message: String,
+}
+
+impl PackageFault {
+    /// Whether the fault is active at `t`.
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        t >= self.from && t < self.until
+    }
+}
+
+/// The full failure model of one resource.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureModel {
+    /// Weekly scheduled windows (resource fully down).
+    pub maintenance: Vec<MaintenanceWindow>,
+    /// Whole-resource random outages.
+    pub resource_outages: OutageSchedule,
+    /// Additional per-service outages (service down, resource up).
+    pub service_outages: BTreeMap<ServiceKind, OutageSchedule>,
+    /// Package misconfiguration faults.
+    pub package_faults: Vec<PackageFault>,
+}
+
+impl FailureModel {
+    /// A resource that never fails.
+    pub fn none() -> FailureModel {
+        FailureModel::default()
+    }
+
+    /// Whether `t` is inside a maintenance window.
+    pub fn in_maintenance(&self, t: Timestamp) -> bool {
+        self.maintenance.iter().any(|w| w.contains(t))
+    }
+
+    /// Whether the resource is reachable at all at `t`.
+    pub fn resource_up(&self, t: Timestamp) -> bool {
+        !self.in_maintenance(t) && !self.resource_outages.is_down(t)
+    }
+
+    /// Whether a service answers at `t`.
+    pub fn service_up(&self, kind: ServiceKind, t: Timestamp) -> bool {
+        if !self.resource_up(t) {
+            return false;
+        }
+        match self.service_outages.get(&kind) {
+            Some(schedule) => !schedule.is_down(t),
+            None => true,
+        }
+    }
+
+    /// The active fault for `package` at `t`, if any.
+    pub fn package_fault(&self, package: &str, t: Timestamp) -> Option<&PackageFault> {
+        self.package_faults
+            .iter()
+            .find(|f| f.package == package && f.active_at(t))
+    }
+
+    /// The default TeraGrid-flavoured model for one resource over a
+    /// horizon: Monday maintenance, rare whole-resource outages
+    /// (MTBF ≈ 10 days, MTTR ≈ 2 h), per-service blips (MTBF ≈ 4 days,
+    /// MTTR ≈ 45 min), and an occasional package misconfiguration.
+    pub fn teragrid_default(
+        seed: u64,
+        hostname: &str,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> FailureModel {
+        // Derive a per-resource stream from the deployment seed.
+        let host_hash = hostname.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let mut rng = StdRng::seed_from_u64(seed ^ host_hash);
+        let resource_outages =
+            OutageSchedule::generate(&mut rng, start, end, 10.0 * 86_400.0, 2.0 * 3_600.0);
+        let mut service_outages = BTreeMap::new();
+        for kind in ServiceKind::all() {
+            service_outages.insert(
+                kind,
+                OutageSchedule::generate(&mut rng, start, end, 4.0 * 86_400.0, 45.0 * 60.0),
+            );
+        }
+        // Roughly one misconfiguration per two weeks per resource.
+        let mut package_faults = Vec::new();
+        let candidates = ["globus", "mpich", "srb", "atlas", "pbs", "hdf5"];
+        let horizon = end - start;
+        let mut cursor = 0u64;
+        loop {
+            let gap = (-rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() * 14.0 * 86_400.0) as u64;
+            cursor += gap;
+            if cursor >= horizon {
+                break;
+            }
+            let duration = rng.gen_range(2 * 3_600..12 * 3_600);
+            let package = candidates[rng.gen_range(0..candidates.len())];
+            package_faults.push(PackageFault {
+                package: package.to_string(),
+                from: start + cursor,
+                until: start + (cursor + duration).min(horizon),
+                message: format!("{package} unit test failed: misconfiguration after update"),
+            });
+            cursor += duration;
+        }
+        FailureModel {
+            maintenance: vec![MaintenanceWindow::teragrid_monday()],
+            resource_outages,
+            service_outages,
+            package_faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn week_start() -> Timestamp {
+        // Tuesday June 29, 2004 — start of the §5.1 monitoring week.
+        Timestamp::from_gmt(2004, 6, 29, 0, 0, 0)
+    }
+
+    #[test]
+    fn monday_window_contains_monday_morning() {
+        let w = MaintenanceWindow::teragrid_monday();
+        let monday_9am = Timestamp::from_gmt(2004, 7, 5, 9, 0, 0);
+        let monday_7am = Timestamp::from_gmt(2004, 7, 5, 7, 0, 0);
+        let monday_3pm = Timestamp::from_gmt(2004, 7, 5, 15, 0, 0);
+        let tuesday_9am = Timestamp::from_gmt(2004, 7, 6, 9, 0, 0);
+        assert!(w.contains(monday_9am));
+        assert!(!w.contains(monday_7am));
+        assert!(!w.contains(monday_3pm)); // window is 08:00–14:00
+        assert!(!w.contains(tuesday_9am));
+    }
+
+    #[test]
+    fn window_spilling_past_midnight() {
+        let w = MaintenanceWindow { weekday: 1, start_hour: 22, duration_secs: 4 * 3_600 };
+        let monday_23 = Timestamp::from_gmt(2004, 7, 5, 23, 0, 0);
+        let tuesday_01 = Timestamp::from_gmt(2004, 7, 6, 1, 0, 0);
+        let tuesday_03 = Timestamp::from_gmt(2004, 7, 6, 3, 0, 0);
+        assert!(w.contains(monday_23));
+        assert!(w.contains(tuesday_01));
+        assert!(!w.contains(tuesday_03));
+    }
+
+    #[test]
+    fn outage_schedule_lookup() {
+        let s = OutageSchedule::from_intervals(vec![
+            (Timestamp::from_secs(100), Timestamp::from_secs(200)),
+            (Timestamp::from_secs(500), Timestamp::from_secs(600)),
+        ]);
+        assert!(!s.is_down(Timestamp::from_secs(99)));
+        assert!(s.is_down(Timestamp::from_secs(100)));
+        assert!(s.is_down(Timestamp::from_secs(199)));
+        assert!(!s.is_down(Timestamp::from_secs(200)));
+        assert!(s.is_down(Timestamp::from_secs(550)));
+        assert!(!s.is_down(Timestamp::from_secs(1_000)));
+    }
+
+    #[test]
+    fn from_intervals_sorts_and_merges() {
+        let s = OutageSchedule::from_intervals(vec![
+            (Timestamp::from_secs(500), Timestamp::from_secs(600)),
+            (Timestamp::from_secs(100), Timestamp::from_secs(300)),
+            (Timestamp::from_secs(250), Timestamp::from_secs(400)),
+            (Timestamp::from_secs(50), Timestamp::from_secs(50)), // empty, dropped
+        ]);
+        assert_eq!(
+            s.intervals(),
+            &[
+                (Timestamp::from_secs(100), Timestamp::from_secs(400)),
+                (Timestamp::from_secs(500), Timestamp::from_secs(600)),
+            ]
+        );
+    }
+
+    #[test]
+    fn downtime_between() {
+        let s = OutageSchedule::from_intervals(vec![
+            (Timestamp::from_secs(100), Timestamp::from_secs(200)),
+            (Timestamp::from_secs(500), Timestamp::from_secs(600)),
+        ]);
+        assert_eq!(s.downtime_between(Timestamp::from_secs(0), Timestamp::from_secs(1_000)), 200);
+        assert_eq!(s.downtime_between(Timestamp::from_secs(150), Timestamp::from_secs(550)), 100);
+        assert_eq!(s.downtime_between(Timestamp::from_secs(700), Timestamp::from_secs(800)), 0);
+    }
+
+    #[test]
+    fn generated_outages_are_deterministic_and_bounded() {
+        let start = week_start();
+        let end = start + 7 * 86_400;
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let a = OutageSchedule::generate(&mut rng_a, start, end, 86_400.0, 3_600.0);
+        let b = OutageSchedule::generate(&mut rng_b, start, end, 86_400.0, 3_600.0);
+        assert_eq!(a, b);
+        for &(from, to) in a.intervals() {
+            assert!(from >= start && to <= end && from < to);
+        }
+    }
+
+    #[test]
+    fn generated_outage_rate_roughly_matches_mtbf() {
+        let start = week_start();
+        let end = start + 100 * 86_400;
+        let mut rng = StdRng::seed_from_u64(1234);
+        let s = OutageSchedule::generate(&mut rng, start, end, 5.0 * 86_400.0, 3_600.0);
+        // ~20 expected over 100 days at MTBF 5 days; allow wide slack.
+        let n = s.intervals().len();
+        assert!((8..=40).contains(&n), "unexpected outage count {n}");
+    }
+
+    #[test]
+    fn failure_model_resource_up_logic() {
+        let model = FailureModel {
+            maintenance: vec![MaintenanceWindow::teragrid_monday()],
+            resource_outages: OutageSchedule::from_intervals(vec![(
+                Timestamp::from_gmt(2004, 7, 7, 3, 0, 0),
+                Timestamp::from_gmt(2004, 7, 7, 4, 0, 0),
+            )]),
+            ..FailureModel::default()
+        };
+        assert!(!model.resource_up(Timestamp::from_gmt(2004, 7, 5, 9, 0, 0))); // maintenance
+        assert!(!model.resource_up(Timestamp::from_gmt(2004, 7, 7, 3, 30, 0))); // outage
+        assert!(model.resource_up(Timestamp::from_gmt(2004, 7, 7, 5, 0, 0)));
+    }
+
+    #[test]
+    fn service_down_implies_only_that_service() {
+        let mut service_outages = BTreeMap::new();
+        service_outages.insert(
+            ServiceKind::Srb,
+            OutageSchedule::from_intervals(vec![(
+                Timestamp::from_secs(100),
+                Timestamp::from_secs(200),
+            )]),
+        );
+        let model = FailureModel { service_outages, ..FailureModel::none() };
+        let t = Timestamp::from_secs(150);
+        assert!(!model.service_up(ServiceKind::Srb, t));
+        assert!(model.service_up(ServiceKind::Ssh, t));
+        assert!(model.resource_up(t));
+    }
+
+    #[test]
+    fn resource_down_implies_all_services_down() {
+        let model = FailureModel {
+            resource_outages: OutageSchedule::from_intervals(vec![(
+                Timestamp::from_secs(100),
+                Timestamp::from_secs(200),
+            )]),
+            ..FailureModel::none()
+        };
+        for kind in ServiceKind::all() {
+            assert!(!model.service_up(kind, Timestamp::from_secs(150)));
+        }
+    }
+
+    #[test]
+    fn package_faults_looked_up_by_time() {
+        let model = FailureModel {
+            package_faults: vec![PackageFault {
+                package: "globus".into(),
+                from: Timestamp::from_secs(100),
+                until: Timestamp::from_secs(200),
+                message: "duroc mpi helloworld to jobmanager-pbs test failed".into(),
+            }],
+            ..FailureModel::none()
+        };
+        assert!(model.package_fault("globus", Timestamp::from_secs(150)).is_some());
+        assert!(model.package_fault("globus", Timestamp::from_secs(250)).is_none());
+        assert!(model.package_fault("mpich", Timestamp::from_secs(150)).is_none());
+    }
+
+    #[test]
+    fn teragrid_default_is_deterministic_per_host() {
+        let start = week_start();
+        let end = start + 7 * 86_400;
+        let a = FailureModel::teragrid_default(42, "tg-login1.sdsc.teragrid.org", start, end);
+        let b = FailureModel::teragrid_default(42, "tg-login1.sdsc.teragrid.org", start, end);
+        let c = FailureModel::teragrid_default(42, "rachel.psc.edu", start, end);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different hosts must draw different failures");
+        assert_eq!(a.maintenance, vec![MaintenanceWindow::teragrid_monday()]);
+    }
+
+    #[test]
+    fn teragrid_default_mostly_up() {
+        let start = week_start();
+        let end = start + 7 * 86_400;
+        let model = FailureModel::teragrid_default(7, "tg-login1.ncsa.teragrid.org", start, end);
+        let mut up = 0;
+        let mut total = 0;
+        let mut t = start;
+        while t < end {
+            if model.resource_up(t) {
+                up += 1;
+            }
+            total += 1;
+            t = t + 600;
+        }
+        let availability = up as f64 / total as f64;
+        // Maintenance alone costs 6h/168h ≈ 3.6%; outages add a little.
+        assert!(availability > 0.85 && availability < 1.0, "availability {availability}");
+    }
+}

@@ -1,0 +1,52 @@
+//! A simulated virtual organization — the substrate that stands in for
+//! the 2004 TeraGrid testbed.
+//!
+//! The paper's deployment ran reporters on ten login nodes at six sites
+//! (Table 2) probing real software stacks, user environments and Grid
+//! services. None of that hardware is available to a reproduction, so
+//! this crate builds the closest synthetic equivalent that exercises
+//! the same code paths:
+//!
+//! * [`clock`] — a clock abstraction with a real implementation and a
+//!   deterministic simulated clock (a "week" of monitoring runs in
+//!   milliseconds, reproducibly from a seed),
+//! * [`site`] — sites and resource hardware specs, including the
+//!   Table 3 machines,
+//! * [`software`] — per-resource package databases grouped into the
+//!   paper's Grid / Development / Cluster categories,
+//! * [`environment`] — default user environments and the SoftEnv
+//!   database (§4.1),
+//! * [`services`] — Grid services (GRAM gatekeeper, GridFTP, SSH, SRB)
+//!   that cross-site tests probe,
+//! * [`failure`] — failure injection: weekly maintenance windows
+//!   (TeraGrid Mondays), MTBF/MTTR outage schedules, and package
+//!   misconfiguration faults,
+//! * [`network`] — an inter-site bandwidth model with diurnal load and
+//!   noise for the pathload-style reporters (Figure 6),
+//! * [`workload`] — the TeraGrid report-size distribution (Figure 8 /
+//!   Table 4) and the four premade synthetic reports of §5.2.2,
+//! * [`vo`] — the assembled virtual organization, including a canned
+//!   TeraGrid-like deployment.
+//!
+//! Everything is deterministic given a seed: two runs of the same
+//! experiment produce identical failures, bandwidths and report sizes.
+
+pub mod clock;
+pub mod environment;
+pub mod failure;
+pub mod network;
+pub mod services;
+pub mod site;
+pub mod software;
+pub mod vo;
+pub mod workload;
+
+pub use clock::{Clock, SimClock, SystemClock};
+pub use environment::{SoftEnvDb, UserEnvironment};
+pub use failure::{FailureModel, MaintenanceWindow, OutageSchedule, PackageFault};
+pub use network::NetworkModel;
+pub use services::ServiceKind;
+pub use site::{ResourceSpec, Site};
+pub use software::{Category, Package, SoftwareStack};
+pub use vo::{Vo, VoResource};
+pub use workload::{premade_report, sample_report_size, synthetic_report, SizeDistribution};

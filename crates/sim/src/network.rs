@@ -1,0 +1,230 @@
+//! Inter-site network bandwidth model.
+//!
+//! The paper's Figure 6 shows hourly Pathload measurements from SDSC to
+//! Caltech on the 40 Gb/s TeraGrid backbone; individual host paths
+//! measured close to 1 Gb/s (Figure 2's 984–998 Mbps example). The
+//! model here produces per-path available bandwidth with:
+//!
+//! * a per-path base capacity,
+//! * a diurnal load cycle (less available bandwidth during working
+//!   hours),
+//! * deterministic measurement noise (hash-based, so a measurement at
+//!   time *t* is reproducible without carrying RNG state),
+//! * sensitivity to resource failures via the caller (a probe to a
+//!   down host fails; the model only produces numbers).
+//!
+//! Pathload reports a *range* (lower/upper bound) rather than a point
+//! estimate; [`NetworkModel::measure`] reproduces that.
+
+use std::collections::BTreeMap;
+
+use inca_report::Timestamp;
+
+/// Configuration of one directed path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathConfig {
+    /// Nominal available bandwidth with no load, in Mbps.
+    pub base_mbps: f64,
+    /// Peak-hours dip as a fraction of base (0.2 = 20 % less at peak).
+    pub diurnal_amplitude: f64,
+    /// Measurement noise amplitude as a fraction of base.
+    pub noise_amplitude: f64,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        // A host-to-host path on the TeraGrid backbone: ~1 Gb/s NIC
+        // limited, mild diurnal dip, ±1 % measurement noise.
+        PathConfig { base_mbps: 995.0, diurnal_amplitude: 0.08, noise_amplitude: 0.012 }
+    }
+}
+
+/// A bandwidth measurement as Pathload reports it: bounds in Mbps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthMeasurement {
+    /// Lower bound of the available-bandwidth estimate.
+    pub lower_mbps: f64,
+    /// Upper bound of the available-bandwidth estimate.
+    pub upper_mbps: f64,
+}
+
+impl BandwidthMeasurement {
+    /// Midpoint of the estimate.
+    pub fn midpoint(&self) -> f64 {
+        (self.lower_mbps + self.upper_mbps) / 2.0
+    }
+}
+
+/// The VO's network: directed paths between sites.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkModel {
+    paths: BTreeMap<(String, String), PathConfig>,
+    /// Seed mixed into the per-measurement noise hash.
+    seed: u64,
+}
+
+impl NetworkModel {
+    /// An empty model (measurements on unknown paths use defaults).
+    pub fn new(seed: u64) -> NetworkModel {
+        NetworkModel { paths: BTreeMap::new(), seed }
+    }
+
+    /// Configures a directed path.
+    pub fn set_path(
+        &mut self,
+        src_site: impl Into<String>,
+        dst_site: impl Into<String>,
+        config: PathConfig,
+    ) {
+        self.paths.insert((src_site.into(), dst_site.into()), config);
+    }
+
+    /// The configuration for a path (default if unconfigured).
+    pub fn path_config(&self, src: &str, dst: &str) -> PathConfig {
+        self.paths
+            .get(&(src.to_string(), dst.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// A full mesh over `sites` with the default path config — the
+    /// TeraGrid backbone shape.
+    pub fn full_mesh(seed: u64, sites: &[&str]) -> NetworkModel {
+        let mut model = NetworkModel::new(seed);
+        for &a in sites {
+            for &b in sites {
+                if a != b {
+                    model.set_path(a, b, PathConfig::default());
+                }
+            }
+        }
+        model
+    }
+
+    /// The deterministic available bandwidth (Mbps) on a path at `t`,
+    /// before measurement noise.
+    pub fn true_bandwidth(&self, src: &str, dst: &str, t: Timestamp) -> f64 {
+        let cfg = self.path_config(src, dst);
+        // Diurnal load: minimum availability around 20:00 GMT (US
+        // afternoon), maximum in the early GMT morning.
+        let (hour, minute, _) = t.time_of_day();
+        let day_fraction = (hour as f64 + minute as f64 / 60.0) / 24.0;
+        let phase = (day_fraction - 20.0 / 24.0) * std::f64::consts::TAU;
+        let load = (phase.cos() + 1.0) / 2.0; // 1.0 at 20:00, 0.0 at 08:00
+        cfg.base_mbps * (1.0 - cfg.diurnal_amplitude * load)
+    }
+
+    /// One Pathload-style measurement at `t`: the true bandwidth plus
+    /// deterministic noise, widened into a lower/upper bound pair.
+    pub fn measure(&self, src: &str, dst: &str, t: Timestamp) -> BandwidthMeasurement {
+        let cfg = self.path_config(src, dst);
+        let truth = self.true_bandwidth(src, dst, t);
+        let noise_span = cfg.base_mbps * cfg.noise_amplitude;
+        let n1 = hash_unit(self.seed, src, dst, t, 1);
+        let n2 = hash_unit(self.seed, src, dst, t, 2);
+        let center = truth + (n1 - 0.5) * noise_span;
+        let half_width = (0.25 + 0.75 * n2) * noise_span / 2.0;
+        BandwidthMeasurement {
+            lower_mbps: (center - half_width).max(0.0),
+            upper_mbps: center + half_width,
+        }
+    }
+}
+
+/// Deterministic unit-interval noise from a path+time hash.
+fn hash_unit(seed: u64, src: &str, dst: &str, t: Timestamp, salt: u64) -> f64 {
+    let mut h = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in src.bytes().chain(dst.bytes()) {
+        h = h.wrapping_mul(0x100_0000_01B3) ^ b as u64;
+    }
+    h ^= t.as_secs();
+    // SplitMix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t_at(hour: u32) -> Timestamp {
+        Timestamp::from_gmt(2004, 7, 7, hour, 0, 0)
+    }
+
+    #[test]
+    fn measurements_are_deterministic() {
+        let model = NetworkModel::full_mesh(5, &["sdsc", "caltech"]);
+        let a = model.measure("sdsc", "caltech", t_at(12));
+        let b = model.measure("sdsc", "caltech", t_at(12));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_times_differ() {
+        let model = NetworkModel::full_mesh(5, &["sdsc", "caltech"]);
+        let a = model.measure("sdsc", "caltech", t_at(12));
+        let b = model.measure("sdsc", "caltech", t_at(13));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_near_base() {
+        let model = NetworkModel::full_mesh(5, &["sdsc", "caltech"]);
+        for hour in 0..24 {
+            let m = model.measure("sdsc", "caltech", t_at(hour));
+            assert!(m.lower_mbps <= m.upper_mbps);
+            assert!(m.lower_mbps > 850.0, "lower {} too low", m.lower_mbps);
+            assert!(m.upper_mbps < 1_020.0, "upper {} too high", m.upper_mbps);
+            assert!(m.midpoint() > 0.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_dip_at_evening_gmt() {
+        let model = NetworkModel::full_mesh(5, &["sdsc", "caltech"]);
+        let morning = model.true_bandwidth("sdsc", "caltech", t_at(8));
+        let evening = model.true_bandwidth("sdsc", "caltech", t_at(20));
+        assert!(morning > evening, "morning {morning} should exceed evening {evening}");
+        let dip = (morning - evening) / morning;
+        assert!(dip > 0.05 && dip < 0.12, "dip fraction {dip}");
+    }
+
+    #[test]
+    fn paths_are_directed_and_configurable() {
+        let mut model = NetworkModel::new(1);
+        model.set_path("sdsc", "caltech", PathConfig { base_mbps: 900.0, ..Default::default() });
+        model.set_path("caltech", "sdsc", PathConfig { base_mbps: 300.0, ..Default::default() });
+        let fwd = model.true_bandwidth("sdsc", "caltech", t_at(4));
+        let rev = model.true_bandwidth("caltech", "sdsc", t_at(4));
+        assert!(fwd > 2.0 * rev);
+    }
+
+    #[test]
+    fn unconfigured_path_uses_default() {
+        let model = NetworkModel::new(1);
+        let cfg = model.path_config("nowhere", "elsewhere");
+        assert_eq!(cfg.base_mbps, PathConfig::default().base_mbps);
+    }
+
+    #[test]
+    fn figure2_range_shape() {
+        // The paper's example report: 984.99–998.67 Mbps. Our model
+        // should produce ranges of comparable (sub-2%) width.
+        let model = NetworkModel::full_mesh(42, &["sdsc", "caltech"]);
+        let m = model.measure("sdsc", "caltech", t_at(3));
+        let width_fraction = (m.upper_mbps - m.lower_mbps) / m.upper_mbps;
+        assert!(width_fraction < 0.02, "range too wide: {width_fraction}");
+    }
+
+    #[test]
+    fn seed_changes_noise() {
+        let a = NetworkModel::full_mesh(1, &["sdsc", "caltech"]);
+        let b = NetworkModel::full_mesh(2, &["sdsc", "caltech"]);
+        assert_ne!(
+            a.measure("sdsc", "caltech", t_at(12)),
+            b.measure("sdsc", "caltech", t_at(12))
+        );
+    }
+}

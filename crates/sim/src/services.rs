@@ -1,0 +1,102 @@
+//! Grid services that reporters probe.
+//!
+//! §2.1 lists the persistent services a VO expects to be available
+//! 24/7: "Grid tools such as the Globus Toolkit GRAM gatekeeper or an
+//! SRB server, as well as SSH servers". §4.1 adds GridFTP to the set of
+//! cross-site tests deployed on TeraGrid.
+
+/// A network service a resource may expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceKind {
+    /// Globus Toolkit GRAM gatekeeper (job submission).
+    GramGatekeeper,
+    /// GridFTP server (data movement).
+    GridFtp,
+    /// OpenSSH server.
+    Ssh,
+    /// Storage Resource Broker server.
+    Srb,
+}
+
+impl ServiceKind {
+    /// All services in stable order.
+    pub fn all() -> [ServiceKind; 4] {
+        [ServiceKind::GramGatekeeper, ServiceKind::GridFtp, ServiceKind::Ssh, ServiceKind::Srb]
+    }
+
+    /// Short identifier used in reporter names and branch ids.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceKind::GramGatekeeper => "gram",
+            ServiceKind::GridFtp => "gridftp",
+            ServiceKind::Ssh => "ssh",
+            ServiceKind::Srb => "srb",
+        }
+    }
+
+    /// Conventional TCP port (contact strings in VO user guides).
+    pub fn default_port(self) -> u16 {
+        match self {
+            ServiceKind::GramGatekeeper => 2119,
+            ServiceKind::GridFtp => 2811,
+            ServiceKind::Ssh => 22,
+            ServiceKind::Srb => 5544,
+        }
+    }
+
+    /// The software package that provides this service (ties service
+    /// health to software-stack health on the status pages).
+    pub fn providing_package(self) -> &'static str {
+        match self {
+            ServiceKind::GramGatekeeper => "globus",
+            ServiceKind::GridFtp => "gridftp",
+            ServiceKind::Ssh => "gsi-openssh",
+            ServiceKind::Srb => "srb",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_services_distinct() {
+        let all = ServiceKind::all();
+        assert_eq!(all.len(), 4);
+        let mut ids: Vec<&str> = all.iter().map(|s| s.as_str()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn gatekeeper_port_is_2119() {
+        // The classic Globus gatekeeper contact port.
+        assert_eq!(ServiceKind::GramGatekeeper.default_port(), 2119);
+        assert_eq!(ServiceKind::Ssh.default_port(), 22);
+    }
+
+    #[test]
+    fn providing_packages_exist_in_ctss() {
+        let stack = crate::software::SoftwareStack::ctss();
+        for svc in ServiceKind::all() {
+            assert!(
+                stack.get(svc.providing_package()).is_some(),
+                "{svc} provider {} missing from CTSS",
+                svc.providing_package()
+            );
+        }
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(ServiceKind::Srb.to_string(), "srb");
+    }
+}

@@ -1,0 +1,164 @@
+//! Sites and resource hardware specifications.
+//!
+//! The constants here reproduce the paper's deployment tables: the six
+//! TeraGrid sites of §4, the ten monitored machines of Table 2, and the
+//! two measurement machines of Table 3.
+
+/// A participating site of the virtual organization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Short identifier used in branch identifiers (`sdsc`).
+    pub id: String,
+    /// Human-readable name (`San Diego Supercomputer Center`).
+    pub name: String,
+}
+
+impl Site {
+    /// Creates a site.
+    pub fn new(id: impl Into<String>, name: impl Into<String>) -> Site {
+        Site { id: id.into(), name: name.into() }
+    }
+}
+
+/// Hardware characteristics of one monitored machine (Table 3 shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceSpec {
+    /// Fully-qualified hostname.
+    pub hostname: String,
+    /// Site the machine belongs to.
+    pub site: String,
+    /// Number of CPUs.
+    pub cpus: u32,
+    /// Processor type, e.g. `Intel Itanium 2`.
+    pub processor: String,
+    /// CPU speed in MHz.
+    pub cpu_mhz: u32,
+    /// Physical memory in GB.
+    pub memory_gb: f64,
+}
+
+impl ResourceSpec {
+    /// Creates a spec.
+    pub fn new(
+        hostname: impl Into<String>,
+        site: impl Into<String>,
+        cpus: u32,
+        processor: impl Into<String>,
+        cpu_mhz: u32,
+        memory_gb: f64,
+    ) -> ResourceSpec {
+        ResourceSpec {
+            hostname: hostname.into(),
+            site: site.into(),
+            cpus,
+            processor: processor.into(),
+            cpu_mhz,
+            memory_gb,
+        }
+    }
+
+    /// Total physical memory in megabytes.
+    pub fn memory_mb(&self) -> f64 {
+        self.memory_gb * 1024.0
+    }
+}
+
+/// The TeraGrid sites at the time of the paper (§4: ANL, Caltech,
+/// NCSA, PSC, SDSC in production plus Purdue recently added).
+pub fn teragrid_sites() -> Vec<Site> {
+    vec![
+        Site::new("anl", "Argonne National Laboratory"),
+        Site::new("caltech", "California Institute of Technology"),
+        Site::new("ncsa", "National Center for Supercomputing Applications"),
+        Site::new("psc", "Pittsburgh Supercomputing Center"),
+        Site::new("purdue", "Purdue University"),
+        Site::new("sdsc", "San Diego Supercomputer Center"),
+    ]
+}
+
+/// The ten monitored machines of Table 2 with their sites and the
+/// number of reporters each executed per hour.
+pub fn teragrid_machines() -> Vec<(ResourceSpec, u32)> {
+    // Hardware details beyond Table 3 are not in the paper; the specs
+    // below use the two Table 3 machines verbatim and plausible 2004
+    // values elsewhere (they only affect flavour text, not behaviour).
+    vec![
+        (ResourceSpec::new("tg-viz-login1.uc.teragrid.org", "anl", 2, "Intel Itanium 2", 1300, 4.0), 136),
+        (ResourceSpec::new("tg-login2.uc.teragrid.org", "anl", 2, "Intel Itanium 2", 1300, 4.0), 128),
+        (ResourceSpec::new("tg-login1.caltech.teragrid.org", "caltech", 2, "Intel Itanium 2", 1296, 6.0), 128),
+        (ResourceSpec::new("tg-login1.ncsa.teragrid.org", "ncsa", 2, "Intel Itanium 2", 1300, 4.0), 128),
+        (ResourceSpec::new("rachel.psc.edu", "psc", 4, "HP Alpha EV68", 1000, 4.0), 71),
+        (ResourceSpec::new("lemieux.psc.edu", "psc", 4, "HP Alpha EV68", 1000, 4.0), 71),
+        (ResourceSpec::new("cycle.cc.purdue.edu", "purdue", 2, "Intel Xeon", 2400, 2.0), 128),
+        (ResourceSpec::new("tg-login.rcs.purdue.edu", "purdue", 2, "Intel Xeon", 2400, 2.0), 71),
+        (ResourceSpec::new("tg-login1.sdsc.teragrid.org", "sdsc", 2, "Intel Itanium 2", 1500, 4.0), 128),
+        (ResourceSpec::new("dslogin.sdsc.edu", "sdsc", 2, "Intel Power4", 1500, 4.0), 71),
+    ]
+}
+
+/// Table 3: the Inca server host.
+pub fn inca_server_spec() -> ResourceSpec {
+    ResourceSpec::new("inca.sdsc.edu", "sdsc", 4, "Intel Xeon", 2457, 2.0)
+}
+
+/// Table 3: the client impact-measurement host (Caltech login node).
+pub fn caltech_login_spec() -> ResourceSpec {
+    ResourceSpec::new("tg-login1.caltech.teragrid.org", "caltech", 2, "Intel Itanium 2", 1296, 6.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_sites() {
+        let sites = teragrid_sites();
+        assert_eq!(sites.len(), 6);
+        assert!(sites.iter().any(|s| s.id == "sdsc"));
+        assert!(sites.iter().any(|s| s.id == "purdue"));
+    }
+
+    #[test]
+    fn table2_totals() {
+        let machines = teragrid_machines();
+        assert_eq!(machines.len(), 10);
+        let total: u32 = machines.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 1_060, "Table 2 total reporters per hour");
+    }
+
+    #[test]
+    fn table2_sites_have_machines() {
+        let machines = teragrid_machines();
+        for site in ["anl", "caltech", "ncsa", "psc", "purdue", "sdsc"] {
+            assert!(
+                machines.iter().any(|(m, _)| m.site == site),
+                "site {site} missing from Table 2 machines"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_specs_match_paper() {
+        let server = inca_server_spec();
+        assert_eq!(server.cpus, 4);
+        assert_eq!(server.cpu_mhz, 2457);
+        assert_eq!(server.memory_gb, 2.0);
+        let caltech = caltech_login_spec();
+        assert_eq!(caltech.cpus, 2);
+        assert_eq!(caltech.cpu_mhz, 1296);
+        assert_eq!(caltech.memory_gb, 6.0);
+        assert_eq!(caltech.memory_mb(), 6_144.0);
+    }
+
+    #[test]
+    fn caltech_ran_128_reporters_per_hour() {
+        // §5.1: "Caltech's distributed controller executed 128
+        // reporters every hour (from Table 2)".
+        let machines = teragrid_machines();
+        let (_, n) = machines
+            .iter()
+            .find(|(m, _)| m.hostname == "tg-login1.caltech.teragrid.org")
+            .unwrap();
+        assert_eq!(*n, 128);
+    }
+}

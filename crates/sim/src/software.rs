@@ -1,0 +1,207 @@
+//! Per-resource software stacks.
+//!
+//! §4.1 divides a resource's status into three categories: "the Grid
+//! category comprises tests that verify the status of Grid packages
+//! such as the Globus Toolkit, Condor-G, GridFTP, and SRB; the
+//! Development category comprises tests that verify the status of
+//! libraries such as MPICH, ATLAS, HDF4, and HDF5; and the Cluster
+//! category comprises tests that verify the status of cluster-level
+//! packages such as the batch scheduler."
+
+use std::collections::BTreeMap;
+
+/// Status-page category a package belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Grid middleware (Globus, Condor-G, GridFTP, SRB, …).
+    Grid,
+    /// Development libraries (MPICH, ATLAS, HDF4/5, …).
+    Development,
+    /// Cluster-level packages (batch scheduler, SoftEnv, …).
+    Cluster,
+}
+
+impl Category {
+    /// Display name used on status pages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Grid => "Grid",
+            Category::Development => "Development",
+            Category::Cluster => "Cluster",
+        }
+    }
+
+    /// All categories in status-page order.
+    pub fn all() -> [Category; 3] {
+        [Category::Grid, Category::Development, Category::Cluster]
+    }
+}
+
+/// One installed software package on a resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Package {
+    /// Package name (`globus`, `mpich`, …).
+    pub name: String,
+    /// Installed version string (`2.4.3`).
+    pub version: String,
+    /// Status-page category.
+    pub category: Category,
+}
+
+impl Package {
+    /// Creates a package entry.
+    pub fn new(name: impl Into<String>, version: impl Into<String>, category: Category) -> Self {
+        Package { name: name.into(), version: version.into(), category }
+    }
+}
+
+/// The set of packages installed on one resource.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SoftwareStack {
+    packages: BTreeMap<String, Package>,
+}
+
+impl SoftwareStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        SoftwareStack::default()
+    }
+
+    /// Installs (or upgrades) a package.
+    pub fn install(&mut self, package: Package) {
+        self.packages.insert(package.name.clone(), package);
+    }
+
+    /// Removes a package, returning whether it was present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.packages.remove(name).is_some()
+    }
+
+    /// Looks up a package.
+    pub fn get(&self, name: &str) -> Option<&Package> {
+        self.packages.get(name)
+    }
+
+    /// Installed version of a package, if present.
+    pub fn version(&self, name: &str) -> Option<&str> {
+        self.packages.get(name).map(|p| p.version.as_str())
+    }
+
+    /// All packages in name order.
+    pub fn packages(&self) -> impl Iterator<Item = &Package> {
+        self.packages.values()
+    }
+
+    /// Packages within one category.
+    pub fn in_category(&self, category: Category) -> impl Iterator<Item = &Package> {
+        self.packages.values().filter(move |p| p.category == category)
+    }
+
+    /// Number of installed packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// The TeraGrid Hosting Environment software stack (CTSS-like):
+    /// the packages named in §4.1 plus the supporting tools the status
+    /// pages track.
+    pub fn ctss() -> SoftwareStack {
+        let mut stack = SoftwareStack::new();
+        for p in [
+            // Grid middleware (§4.1).
+            Package::new("globus", "2.4.3", Category::Grid),
+            Package::new("condor-g", "6.6.5", Category::Grid),
+            Package::new("gridftp", "2.4.3", Category::Grid),
+            Package::new("srb", "3.2.1", Category::Grid),
+            Package::new("gsi-openssh", "3.4", Category::Grid),
+            Package::new("myproxy", "1.14", Category::Grid),
+            Package::new("gpt", "3.1", Category::Grid),
+            // Development libraries (§4.1).
+            Package::new("mpich", "1.2.5", Category::Development),
+            Package::new("mpich-g2", "1.2.5", Category::Development),
+            Package::new("atlas", "3.6.0", Category::Development),
+            Package::new("hdf4", "4.2r0", Category::Development),
+            Package::new("hdf5", "1.6.2", Category::Development),
+            Package::new("blas", "1.0", Category::Development),
+            Package::new("gcc", "3.2.3", Category::Development),
+            Package::new("intel-compilers", "8.0", Category::Development),
+            Package::new("python", "2.3.4", Category::Development),
+            // Cluster-level packages (§4.1).
+            Package::new("pbs", "2.3.16", Category::Cluster),
+            Package::new("softenv", "1.4.2", Category::Cluster),
+        ] {
+            stack.install(p);
+        }
+        stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_get_remove() {
+        let mut stack = SoftwareStack::new();
+        assert!(stack.is_empty());
+        stack.install(Package::new("globus", "2.4.3", Category::Grid));
+        assert_eq!(stack.version("globus"), Some("2.4.3"));
+        assert_eq!(stack.len(), 1);
+        assert!(stack.remove("globus"));
+        assert!(!stack.remove("globus"));
+        assert!(stack.get("globus").is_none());
+    }
+
+    #[test]
+    fn upgrade_replaces() {
+        let mut stack = SoftwareStack::new();
+        stack.install(Package::new("globus", "2.4.0", Category::Grid));
+        stack.install(Package::new("globus", "2.4.3", Category::Grid));
+        assert_eq!(stack.version("globus"), Some("2.4.3"));
+        assert_eq!(stack.len(), 1);
+    }
+
+    #[test]
+    fn ctss_contains_paper_packages() {
+        let stack = SoftwareStack::ctss();
+        for name in ["globus", "condor-g", "gridftp", "srb", "mpich", "atlas", "hdf4", "hdf5", "pbs", "softenv"] {
+            assert!(stack.get(name).is_some(), "CTSS missing {name}");
+        }
+    }
+
+    #[test]
+    fn ctss_category_split_matches_section_4_1() {
+        let stack = SoftwareStack::ctss();
+        assert_eq!(stack.get("globus").unwrap().category, Category::Grid);
+        assert_eq!(stack.get("srb").unwrap().category, Category::Grid);
+        assert_eq!(stack.get("mpich").unwrap().category, Category::Development);
+        assert_eq!(stack.get("hdf5").unwrap().category, Category::Development);
+        assert_eq!(stack.get("pbs").unwrap().category, Category::Cluster);
+        // Every category is populated.
+        for cat in Category::all() {
+            assert!(stack.in_category(cat).count() > 0, "{} empty", cat.as_str());
+        }
+    }
+
+    #[test]
+    fn packages_iterate_in_name_order() {
+        let stack = SoftwareStack::ctss();
+        let names: Vec<&str> = stack.packages().map(|p| p.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn category_strings() {
+        assert_eq!(Category::Grid.as_str(), "Grid");
+        assert_eq!(Category::Development.as_str(), "Development");
+        assert_eq!(Category::Cluster.as_str(), "Cluster");
+        assert_eq!(Category::all().len(), 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! The assembled virtual organization.
+//!
+//! [`Vo`] is the "world" reporters probe: a set of sites, resources
+//! with software stacks/environments/services/failure models, and a
+//! network. [`Vo::teragrid`] builds the canned deployment matching the
+//! paper's Tables 2 and 3 so experiments run against the same shape of
+//! VO the authors measured.
+
+use inca_report::Timestamp;
+
+use crate::environment::{SoftEnvDb, UserEnvironment};
+use crate::failure::FailureModel;
+use crate::network::{BandwidthMeasurement, NetworkModel};
+use crate::services::ServiceKind;
+use crate::site::{teragrid_machines, teragrid_sites, ResourceSpec, Site};
+use crate::software::SoftwareStack;
+
+/// One monitored machine with everything a reporter can observe.
+#[derive(Debug, Clone)]
+pub struct VoResource {
+    /// Hardware identity.
+    pub spec: ResourceSpec,
+    /// Installed software.
+    pub stack: SoftwareStack,
+    /// Default user environment.
+    pub env: UserEnvironment,
+    /// SoftEnv database.
+    pub softenv: SoftEnvDb,
+    /// Services this resource exposes.
+    pub services: Vec<ServiceKind>,
+    /// Failure injection model.
+    pub failure: FailureModel,
+}
+
+impl VoResource {
+    /// A fully healthy resource with the CTSS stack, TeraGrid defaults
+    /// and all four services — the baseline before failure injection.
+    pub fn healthy(spec: ResourceSpec) -> VoResource {
+        let site = spec.site.clone();
+        VoResource {
+            spec,
+            stack: SoftwareStack::ctss(),
+            env: UserEnvironment::teragrid_default(&site),
+            softenv: SoftEnvDb::teragrid_default(),
+            services: ServiceKind::all().to_vec(),
+            failure: FailureModel::none(),
+        }
+    }
+
+    /// Builder-style failure model attachment.
+    pub fn with_failure(mut self, failure: FailureModel) -> VoResource {
+        self.failure = failure;
+        self
+    }
+
+    /// The hostname (shorthand for `spec.hostname`).
+    pub fn hostname(&self) -> &str {
+        &self.spec.hostname
+    }
+
+    /// Whether the resource answers at all at `t`.
+    pub fn is_up(&self, t: Timestamp) -> bool {
+        self.failure.resource_up(t)
+    }
+
+    /// Whether a service is deployed *and* answering at `t`.
+    pub fn service_up(&self, kind: ServiceKind, t: Timestamp) -> bool {
+        self.services.contains(&kind) && self.failure.service_up(kind, t)
+    }
+
+    /// Installed version of a package (queryable even while the
+    /// resource is down — version data comes from the last cache).
+    pub fn package_version(&self, name: &str) -> Option<&str> {
+        self.stack.version(name)
+    }
+
+    /// Runs a package's unit test at `t`, as the unit reporters do.
+    pub fn unit_test(&self, package: &str, t: Timestamp) -> Result<(), String> {
+        if !self.is_up(t) {
+            return Err(format!("{}: resource unreachable", self.spec.hostname));
+        }
+        if self.stack.get(package).is_none() {
+            return Err(format!("{package}: package not installed"));
+        }
+        if let Some(fault) = self.failure.package_fault(package, t) {
+            return Err(fault.message.clone());
+        }
+        Ok(())
+    }
+}
+
+/// The virtual organization: sites, resources, network.
+#[derive(Debug, Clone)]
+pub struct Vo {
+    /// VO name, used as the `vo=` branch component.
+    pub name: String,
+    /// Participating sites.
+    pub sites: Vec<Site>,
+    resources: Vec<VoResource>,
+    /// Inter-site network model.
+    pub network: NetworkModel,
+}
+
+impl Vo {
+    /// An empty VO.
+    pub fn new(name: impl Into<String>, sites: Vec<Site>, network: NetworkModel) -> Vo {
+        Vo { name: name.into(), sites, resources: Vec::new(), network }
+    }
+
+    /// Adds a resource.
+    pub fn add_resource(&mut self, resource: VoResource) {
+        self.resources.push(resource);
+    }
+
+    /// All resources.
+    pub fn resources(&self) -> &[VoResource] {
+        &self.resources
+    }
+
+    /// Mutable access to all resources (deployment-time configuration:
+    /// installing packages, attaching failure models).
+    pub fn resources_mut(&mut self) -> &mut Vec<VoResource> {
+        &mut self.resources
+    }
+
+    /// Looks up a resource by hostname.
+    pub fn resource(&self, hostname: &str) -> Option<&VoResource> {
+        self.resources.iter().find(|r| r.spec.hostname == hostname)
+    }
+
+    /// Resources belonging to one site.
+    pub fn resources_at<'a>(&'a self, site: &'a str) -> impl Iterator<Item = &'a VoResource> + 'a {
+        self.resources.iter().filter(move |r| r.spec.site == site)
+    }
+
+    /// A cross-site service probe (§4.1's cross-site tests): succeeds
+    /// when the source resource is up and the destination's service
+    /// answers; returns a deterministic synthetic latency.
+    pub fn probe_service(
+        &self,
+        src_host: &str,
+        dst_host: &str,
+        kind: ServiceKind,
+        t: Timestamp,
+    ) -> Result<f64, String> {
+        let src = self
+            .resource(src_host)
+            .ok_or_else(|| format!("unknown source resource {src_host}"))?;
+        let dst = self
+            .resource(dst_host)
+            .ok_or_else(|| format!("unknown destination resource {dst_host}"))?;
+        if !src.is_up(t) {
+            return Err(format!("{src_host}: source resource unreachable"));
+        }
+        if !dst.is_up(t) {
+            return Err(format!("{dst_host}: destination resource unreachable"));
+        }
+        if !dst.service_up(kind, t) {
+            return Err(format!(
+                "{dst_host}:{}: {kind} did not answer",
+                kind.default_port()
+            ));
+        }
+        // Latency scales inversely with available bandwidth: a loaded
+        // path answers slower. Purely synthetic but deterministic.
+        let bw = self.network.true_bandwidth(&src.spec.site, &dst.spec.site, t);
+        Ok(20.0 + 40_000.0 / bw.max(1.0))
+    }
+
+    /// A Pathload-style bandwidth measurement between two resources'
+    /// sites. Fails when either endpoint is down (the tool cannot run).
+    pub fn measure_bandwidth(
+        &self,
+        src_host: &str,
+        dst_host: &str,
+        t: Timestamp,
+    ) -> Result<BandwidthMeasurement, String> {
+        let src = self
+            .resource(src_host)
+            .ok_or_else(|| format!("unknown source resource {src_host}"))?;
+        let dst = self
+            .resource(dst_host)
+            .ok_or_else(|| format!("unknown destination resource {dst_host}"))?;
+        if !src.is_up(t) {
+            return Err(format!("{src_host}: source resource unreachable"));
+        }
+        if !dst.is_up(t) {
+            return Err(format!("{dst_host}: destination resource unreachable"));
+        }
+        Ok(self.network.measure(&src.spec.site, &dst.spec.site, t))
+    }
+
+    /// The canned TeraGrid-like deployment: the six §4 sites, the ten
+    /// Table 2 machines with CTSS stacks, per-resource failure models
+    /// over `[start, end)`, and a full-mesh backbone network.
+    pub fn teragrid(seed: u64, start: Timestamp, end: Timestamp) -> Vo {
+        let sites = teragrid_sites();
+        let site_ids: Vec<&str> = sites.iter().map(|s| s.id.as_str()).collect();
+        let network = NetworkModel::full_mesh(seed, &site_ids);
+        let mut vo = Vo::new("teragrid", sites, network);
+        for (spec, _reporters) in teragrid_machines() {
+            let failure =
+                FailureModel::teragrid_default(seed, &spec.hostname, start, end);
+            vo.add_resource(VoResource::healthy(spec).with_failure(failure));
+        }
+        vo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{MaintenanceWindow, OutageSchedule};
+
+    fn horizon() -> (Timestamp, Timestamp) {
+        let start = Timestamp::from_gmt(2004, 6, 29, 0, 0, 0);
+        (start, start + 7 * 86_400)
+    }
+
+    #[test]
+    fn teragrid_has_ten_resources_at_six_sites() {
+        let (start, end) = horizon();
+        let vo = Vo::teragrid(42, start, end);
+        assert_eq!(vo.resources().len(), 10);
+        assert_eq!(vo.sites.len(), 6);
+        assert_eq!(vo.resources_at("psc").count(), 2);
+        assert_eq!(vo.resources_at("sdsc").count(), 2);
+        assert!(vo.resource("tg-login1.caltech.teragrid.org").is_some());
+        assert!(vo.resource("nonexistent.example.org").is_none());
+    }
+
+    #[test]
+    fn healthy_resource_answers_everything() {
+        let r = VoResource::healthy(ResourceSpec::new("h", "sdsc", 2, "x", 1000, 2.0));
+        let t = Timestamp::from_gmt(2004, 7, 7, 12, 0, 0);
+        assert!(r.is_up(t));
+        for kind in ServiceKind::all() {
+            assert!(r.service_up(kind, t));
+        }
+        assert_eq!(r.package_version("globus"), Some("2.4.3"));
+        assert!(r.unit_test("globus", t).is_ok());
+    }
+
+    #[test]
+    fn unit_test_failure_modes() {
+        let mut r = VoResource::healthy(ResourceSpec::new("h", "sdsc", 2, "x", 1000, 2.0));
+        let t = Timestamp::from_gmt(2004, 7, 7, 12, 0, 0);
+        // Missing package.
+        assert!(r.unit_test("nonexistent", t).unwrap_err().contains("not installed"));
+        // Resource down.
+        r.failure.resource_outages =
+            OutageSchedule::from_intervals(vec![(t - 100, t + 100)]);
+        assert!(r.unit_test("globus", t).unwrap_err().contains("unreachable"));
+    }
+
+    #[test]
+    fn undeployed_service_is_down() {
+        let mut r = VoResource::healthy(ResourceSpec::new("h", "sdsc", 2, "x", 1000, 2.0));
+        r.services = vec![ServiceKind::Ssh];
+        let t = Timestamp::from_gmt(2004, 7, 7, 12, 0, 0);
+        assert!(r.service_up(ServiceKind::Ssh, t));
+        assert!(!r.service_up(ServiceKind::Srb, t));
+    }
+
+    #[test]
+    fn cross_site_probe_success_and_failure() {
+        let (start, end) = horizon();
+        let mut vo = Vo::teragrid(42, start, end);
+        // Neutralize failures for a clean success check.
+        for r in &mut vo.resources {
+            r.failure = FailureModel::none();
+        }
+        let t = start + 3_600;
+        let latency = vo
+            .probe_service(
+                "tg-login1.sdsc.teragrid.org",
+                "tg-login1.caltech.teragrid.org",
+                ServiceKind::GramGatekeeper,
+                t,
+            )
+            .unwrap();
+        assert!(latency > 0.0 && latency < 1_000.0);
+        // Unknown hosts error.
+        assert!(vo.probe_service("nope", "tg-login1.caltech.teragrid.org", ServiceKind::Ssh, t).is_err());
+        assert!(vo.probe_service("tg-login1.sdsc.teragrid.org", "nope", ServiceKind::Ssh, t).is_err());
+    }
+
+    #[test]
+    fn probe_fails_during_maintenance() {
+        let (start, end) = horizon();
+        let mut vo = Vo::teragrid(42, start, end);
+        for r in &mut vo.resources {
+            r.failure = FailureModel {
+                maintenance: vec![MaintenanceWindow::teragrid_monday()],
+                ..FailureModel::none()
+            };
+        }
+        // Monday July 5 2004, 09:00 — inside the window.
+        let t = Timestamp::from_gmt(2004, 7, 5, 9, 0, 0);
+        let err = vo
+            .probe_service(
+                "tg-login1.sdsc.teragrid.org",
+                "tg-login1.caltech.teragrid.org",
+                ServiceKind::Ssh,
+                t,
+            )
+            .unwrap_err();
+        assert!(err.contains("unreachable"));
+    }
+
+    #[test]
+    fn bandwidth_measurement_between_sites() {
+        let (start, end) = horizon();
+        let mut vo = Vo::teragrid(42, start, end);
+        for r in &mut vo.resources {
+            r.failure = FailureModel::none();
+        }
+        let t = start + 7_200;
+        let m = vo
+            .measure_bandwidth("tg-login1.sdsc.teragrid.org", "tg-login1.caltech.teragrid.org", t)
+            .unwrap();
+        assert!(m.lower_mbps > 0.0 && m.lower_mbps <= m.upper_mbps);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let (start, end) = horizon();
+        let a = Vo::teragrid(7, start, end);
+        let b = Vo::teragrid(7, start, end);
+        let t = start + 86_400;
+        for (ra, rb) in a.resources().iter().zip(b.resources()) {
+            assert_eq!(ra.is_up(t), rb.is_up(t));
+            for kind in ServiceKind::all() {
+                assert_eq!(ra.service_up(kind, t), rb.service_up(kind, t));
+            }
+        }
+    }
+}

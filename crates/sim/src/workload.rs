@@ -1,0 +1,220 @@
+//! Synthetic report workloads.
+//!
+//! Two workload shapes come straight from the paper's evaluation:
+//!
+//! * the **TeraGrid distribution** — Table 4's per-bucket update counts
+//!   over the July 7–14 week (147,861 updates of 0–4 KB … 383 of
+//!   40–50 KB; 97.64 % of reports under 10 KB per Figure 8),
+//! * the **four premade reports** of §5.2.2 (851, 9,257, 23,168 and
+//!   45,527 bytes), "a sample of actual TeraGrid reporter sizes", used
+//!   for the controlled cache-size × report-size sweep of Figure 9.
+//!
+//! [`synthetic_report`] builds a spec-conformant report padded to an
+//! exact serialized size, so depot measurements exercise real parsing
+//! work at precisely the paper's sizes.
+
+use inca_report::{Report, ReportBuilder, Timestamp};
+use rand::Rng;
+
+/// The four §5.2.2 premade report sizes in bytes.
+pub const PREMADE_SIZES: [usize; 4] = [851, 9_257, 23_168, 45_527];
+
+/// A weighted histogram of report sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeDistribution {
+    /// `(lo, hi, weight)` buckets; sizes are drawn uniformly in
+    /// `lo..hi` within a weight-chosen bucket.
+    buckets: Vec<(usize, usize, u64)>,
+    total_weight: u64,
+}
+
+impl SizeDistribution {
+    /// Builds a distribution from `(lo, hi, weight)` buckets.
+    ///
+    /// # Panics
+    /// Panics if no bucket has positive weight or any bucket is empty.
+    pub fn new(buckets: Vec<(usize, usize, u64)>) -> SizeDistribution {
+        assert!(!buckets.is_empty(), "at least one bucket required");
+        for &(lo, hi, _) in &buckets {
+            assert!(lo < hi, "bucket {lo}..{hi} is empty");
+        }
+        let total_weight: u64 = buckets.iter().map(|&(_, _, w)| w).sum();
+        assert!(total_weight > 0, "total weight must be positive");
+        SizeDistribution { buckets, total_weight }
+    }
+
+    /// The Table 4 distribution: update counts per size bucket from
+    /// the one-week TeraGrid depot observation.
+    pub fn teragrid() -> SizeDistribution {
+        SizeDistribution::new(vec![
+            // Reports below ~300 bytes cannot satisfy the spec (header
+            // + footer overhead), so the smallest bucket starts at 400.
+            // The 0–4 KB bucket is sub-divided to skew small: the bulk
+            // of TeraGrid reports were under ~1.2 KB (the <100-line
+            // reporters of Table 1), which is what makes the weekly
+            // volume ≈259 MB and the steady cache ≈1.5 MB (§5.2.1).
+            (400, 1_200, 130_000),
+            (1_200, 2_500, 12_000),
+            (2_500, 4 * 1024, 5_861),
+            (4 * 1024, 10 * 1024, 512),
+            (10 * 1024, 20 * 1024, 1_234),
+            (20 * 1024, 30 * 1024, 1_473),
+            (30 * 1024, 40 * 1024, 132),
+            (40 * 1024, 50 * 1024, 383),
+        ])
+    }
+
+    /// Draws one size.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for &(lo, hi, w) in &self.buckets {
+            if pick < w {
+                return rng.gen_range(lo..hi);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted");
+    }
+
+    /// Fraction of weight at sizes strictly below `threshold` bytes
+    /// (bucket-granular: buckets entirely below count fully, straddling
+    /// buckets proportionally).
+    pub fn fraction_below(&self, threshold: usize) -> f64 {
+        let mut below = 0.0;
+        for &(lo, hi, w) in &self.buckets {
+            if hi <= threshold {
+                below += w as f64;
+            } else if lo < threshold {
+                below += w as f64 * (threshold - lo) as f64 / (hi - lo) as f64;
+            }
+        }
+        below / self.total_weight as f64
+    }
+
+    /// Total weight (the paper's total update count for `teragrid`).
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+}
+
+/// Draws one report size from the TeraGrid distribution.
+pub fn sample_report_size(rng: &mut impl Rng) -> usize {
+    SizeDistribution::teragrid().sample(rng)
+}
+
+/// Builds a spec-conformant report whose compact serialization is
+/// exactly `target_bytes` long (clamped up to the minimum feasible
+/// size for the fixed header/footer overhead).
+pub fn synthetic_report(reporter: &str, host: &str, gmt: Timestamp, target_bytes: usize) -> Report {
+    let base = ReportBuilder::new(reporter, "1.0")
+        .host(host)
+        .gmt(gmt)
+        .body_value("data", "")
+        .success()
+        .expect("static report is valid");
+    let overhead = base.size_bytes();
+    let filler_len = target_bytes.saturating_sub(overhead);
+    // Use a filler alphabet with no XML specials so the serialized
+    // length equals the string length exactly.
+    let filler: String = (0..filler_len)
+        .map(|i| (b'a' + (i % 26) as u8) as char)
+        .collect();
+    ReportBuilder::new(reporter, "1.0")
+        .host(host)
+        .gmt(gmt)
+        .body_value("data", filler)
+        .success()
+        .expect("padded report is valid")
+}
+
+/// One of the four §5.2.2 premade reports (`index` 0–3).
+pub fn premade_report(index: usize, gmt: Timestamp) -> Report {
+    let size = PREMADE_SIZES[index % PREMADE_SIZES.len()];
+    synthetic_report(
+        &format!("synthetic.premade.{size}"),
+        "inca.sdsc.edu",
+        gmt,
+        size,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn teragrid_distribution_total_matches_table4() {
+        let d = SizeDistribution::teragrid();
+        assert_eq!(d.total_weight(), 151_595);
+    }
+
+    #[test]
+    fn teragrid_small_report_fraction_matches_figure8() {
+        // Figure 8: 97.64% of reports were under 10 KB.
+        let d = SizeDistribution::teragrid();
+        let frac = d.fraction_below(10 * 1024);
+        assert!((frac - 0.9764).abs() < 0.005, "fraction below 10 KB = {frac}");
+    }
+
+    #[test]
+    fn samples_fall_in_buckets() {
+        let d = SizeDistribution::teragrid();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            let s = d.sample(&mut rng);
+            assert!((400..50 * 1024).contains(&s), "sample {s} out of range");
+        }
+    }
+
+    #[test]
+    fn sample_distribution_is_heavily_small() {
+        let d = SizeDistribution::teragrid();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let small = (0..n).filter(|_| d.sample(&mut rng) < 10 * 1024).count();
+        let frac = small as f64 / n as f64;
+        assert!(frac > 0.96 && frac < 0.99, "small fraction {frac}");
+    }
+
+    #[test]
+    fn synthetic_report_hits_exact_size() {
+        let gmt = Timestamp::from_gmt(2004, 7, 8, 0, 0, 0);
+        for target in PREMADE_SIZES {
+            let r = synthetic_report("synthetic.test", "inca.sdsc.edu", gmt, target);
+            assert_eq!(r.size_bytes(), target, "size mismatch for target {target}");
+            // And it is a valid, parseable report.
+            Report::parse(&r.to_xml()).unwrap();
+        }
+    }
+
+    #[test]
+    fn synthetic_report_clamps_tiny_targets() {
+        let gmt = Timestamp::EPOCH;
+        let r = synthetic_report("r", "h", gmt, 10);
+        assert!(r.size_bytes() >= 200, "even minimal reports carry the spec overhead");
+        assert!(r.is_success());
+    }
+
+    #[test]
+    fn premade_reports_cycle_sizes() {
+        let gmt = Timestamp::from_gmt(2004, 7, 8, 0, 0, 0);
+        for (i, &size) in PREMADE_SIZES.iter().enumerate() {
+            assert_eq!(premade_report(i, gmt).size_bytes(), size);
+        }
+        assert_eq!(premade_report(4, gmt).size_bytes(), PREMADE_SIZES[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn empty_distribution_panics() {
+        SizeDistribution::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_bucket_panics() {
+        SizeDistribution::new(vec![(10, 10, 1)]);
+    }
+}

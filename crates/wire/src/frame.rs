@@ -1,0 +1,153 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! The distributed controller "communicates a report to the Inca server
+//! … using a TCP connection" (§3.1.3). Frames are a 4-byte big-endian
+//! length followed by that many payload bytes; a hard cap protects the
+//! server from hostile or corrupted peers.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame length (16 MiB — far above any report; the
+/// largest TeraGrid report bucket was 40–50 KB).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors produced while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failed.
+    Io(io::Error),
+    /// Peer announced a frame larger than [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The announced length.
+        announced: usize,
+    },
+    /// The stream ended cleanly before a frame header (normal EOF).
+    Closed,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge { announced } => {
+                write!(f, "frame of {announced} bytes exceeds cap of {MAX_FRAME_LEN}")
+            }
+            FrameError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns [`FrameError::Closed`] on clean EOF before
+/// the header.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge { announced: len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &vec![7u8; 10_000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 10_000);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let mut cur = Cursor::new(Vec::new());
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn eof_inside_header_is_io_error() {
+        let mut cur = Cursor::new(vec![0u8, 0u8]);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn eof_inside_payload_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").unwrap();
+        buf.truncate(8);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn frame_sizes_match_paper_buckets() {
+        // The four synthetic report sizes from §5.2.2 all frame fine.
+        for size in [851usize, 9_257, 23_168, 45_527] {
+            let payload = vec![b'x'; size];
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload).unwrap();
+            assert_eq!(buf.len(), size + 4);
+            let mut cur = Cursor::new(buf);
+            assert_eq!(read_frame(&mut cur).unwrap(), payload);
+        }
+    }
+}

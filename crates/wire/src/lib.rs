@@ -1,0 +1,29 @@
+//! Wire protocols between Inca components.
+//!
+//! Two hops carry reports in the paper's architecture (§3.1.3, §3.2.1):
+//!
+//! 1. **distributed controller → centralized controller**: a plain TCP
+//!    connection carrying the report and its branch identifier. Here
+//!    that is a length-prefixed frame ([`frame`]) around an XML client
+//!    message ([`message`]).
+//! 2. **centralized controller → depot**: a "Web services interface".
+//!    The 2004 implementation used SOAP/Axis, and §5.2.2 measures the
+//!    envelope-unpacking cost growing with report size. [`envelope`]
+//!    reproduces that interface: body mode escapes and embeds the
+//!    report (unpacking must unescape and re-parse it — the measured
+//!    cost), while attachment mode implements the paper's proposed
+//!    optimization of shipping the report as a raw attachment.
+//!
+//! [`allowlist`] implements the centralized controller's host check:
+//! "it checks the host against a list of hostnames to see whether it
+//! should accept the connection".
+
+pub mod allowlist;
+pub mod envelope;
+pub mod frame;
+pub mod message;
+
+pub use allowlist::HostAllowlist;
+pub use envelope::{Envelope, EnvelopeMode};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use message::{ClientMessage, ServerResponse, WireError};

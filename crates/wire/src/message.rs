@@ -1,0 +1,261 @@
+//! Client messages: what a distributed controller sends the server.
+//!
+//! Each frame on the controller→server connection carries one XML
+//! message: the submitting resource, the branch identifier that
+//! addresses the report in the depot, and the report itself. Error
+//! reports (§3.1.3: "If there is an error executing a reporter, a
+//! special report is sent to the central controller") use the same
+//! shape with a flag, so the server can count them separately.
+
+use std::fmt;
+
+use inca_report::{BranchId, Report};
+use inca_xml::{escape::escape_text, Element, XmlError};
+
+/// Errors from encoding/decoding wire messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The XML could not be parsed or was structurally wrong.
+    Malformed(String),
+    /// The embedded branch identifier was invalid.
+    BadBranch(String),
+    /// The embedded report violates the reporter specification.
+    BadReport(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Malformed(m) => write!(f, "malformed wire message: {m}"),
+            WireError::BadBranch(m) => write!(f, "bad branch identifier: {m}"),
+            WireError::BadReport(m) => write!(f, "bad report payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<XmlError> for WireError {
+    fn from(e: XmlError) -> Self {
+        WireError::Malformed(e.to_string())
+    }
+}
+
+/// A message from a distributed controller to the centralized
+/// controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientMessage {
+    /// Hostname of the submitting resource (checked against the
+    /// server's allowlist).
+    pub resource: String,
+    /// Where the report should be stored.
+    pub branch: BranchId,
+    /// The serialized report.
+    pub report_xml: String,
+    /// Whether this is an execution-error report rather than reporter
+    /// output.
+    pub is_error_report: bool,
+}
+
+impl ClientMessage {
+    /// Builds a normal report submission.
+    pub fn report(resource: impl Into<String>, branch: BranchId, report: &Report) -> Self {
+        ClientMessage {
+            resource: resource.into(),
+            branch,
+            report_xml: report.to_xml(),
+            is_error_report: false,
+        }
+    }
+
+    /// Builds an execution-error submission.
+    pub fn error_report(resource: impl Into<String>, branch: BranchId, report: &Report) -> Self {
+        ClientMessage {
+            resource: resource.into(),
+            branch,
+            report_xml: report.to_xml(),
+            is_error_report: true,
+        }
+    }
+
+    /// Serializes to the frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let kind = if self.is_error_report { "error" } else { "report" };
+        let mut xml = String::with_capacity(self.report_xml.len() + 256);
+        xml.push_str(&format!(
+            "<incaMessage kind=\"{kind}\"><resource>{}</resource><branch>{}</branch><payload>{}</payload></incaMessage>",
+            escape_text(&self.resource),
+            escape_text(&self.branch.to_string()),
+            escape_text(&self.report_xml),
+        ));
+        xml.into_bytes()
+    }
+
+    /// Parses a frame payload, validating branch and report.
+    pub fn decode(payload: &[u8]) -> Result<ClientMessage, WireError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| WireError::Malformed(format!("not UTF-8: {e}")))?;
+        let root = Element::parse(text)?;
+        if root.name != "incaMessage" {
+            return Err(WireError::Malformed(format!(
+                "expected <incaMessage>, found <{}>",
+                root.name
+            )));
+        }
+        let kind = root.attribute("kind").unwrap_or("report");
+        let is_error_report = match kind {
+            "report" => false,
+            "error" => true,
+            other => return Err(WireError::Malformed(format!("unknown kind {other:?}"))),
+        };
+        let resource = root
+            .child_text("resource")
+            .ok_or_else(|| WireError::Malformed("missing <resource>".into()))?;
+        let branch_text = root
+            .child_text("branch")
+            .ok_or_else(|| WireError::Malformed("missing <branch>".into()))?;
+        let branch: BranchId =
+            branch_text.parse().map_err(|e| WireError::BadBranch(format!("{e}")))?;
+        let report_xml = root
+            .child_text("payload")
+            .ok_or_else(|| WireError::Malformed("missing <payload>".into()))?;
+        // Validate the payload is a spec-conformant report before the
+        // server accepts it.
+        Report::parse(&report_xml).map_err(|e| WireError::BadReport(e.to_string()))?;
+        Ok(ClientMessage { resource, branch, report_xml, is_error_report })
+    }
+}
+
+/// The server's one-frame reply to each submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerResponse {
+    /// Report accepted and handed to the depot.
+    Ack,
+    /// Report rejected with a reason (host not allowed, malformed…).
+    Rejected(String),
+}
+
+impl ServerResponse {
+    /// Serializes to the reply frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ServerResponse::Ack => b"<ack/>".to_vec(),
+            ServerResponse::Rejected(reason) => {
+                format!("<rejected>{}</rejected>", escape_text(reason)).into_bytes()
+            }
+        }
+    }
+
+    /// Parses a reply frame payload.
+    pub fn decode(payload: &[u8]) -> Result<ServerResponse, WireError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| WireError::Malformed(format!("not UTF-8: {e}")))?;
+        let root = Element::parse(text)?;
+        match root.name.as_str() {
+            "ack" => Ok(ServerResponse::Ack),
+            "rejected" => Ok(ServerResponse::Rejected(root.text())),
+            other => Err(WireError::Malformed(format!("unexpected reply <{other}>"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_report::ReportBuilder;
+
+    fn sample_report() -> Report {
+        ReportBuilder::new("version.globus", "1.0")
+            .host("tg-login1.sdsc.teragrid.org")
+            .body_value("packageVersion", "2.4.3")
+            .success()
+            .unwrap()
+    }
+
+    fn sample_branch() -> BranchId {
+        "reporter=version.globus,resource=tg-login1,site=sdsc,vo=teragrid".parse().unwrap()
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let msg = ClientMessage::report("tg-login1.sdsc.teragrid.org", sample_branch(), &sample_report());
+        let decoded = ClientMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(!decoded.is_error_report);
+    }
+
+    #[test]
+    fn error_report_roundtrip() {
+        let report = Report::execution_error(
+            sample_report().header,
+            "reporter exceeded expected run time; killed",
+        );
+        let msg = ClientMessage::error_report("host", sample_branch(), &report);
+        let decoded = ClientMessage::decode(&msg.encode()).unwrap();
+        assert!(decoded.is_error_report);
+        assert!(decoded.report_xml.contains("exceeded expected run time"));
+    }
+
+    #[test]
+    fn payload_with_markup_survives_escaping() {
+        let report = ReportBuilder::new("r", "1")
+            .body_value("output", "stderr said: <error> & more")
+            .success()
+            .unwrap();
+        let msg = ClientMessage::report("h", sample_branch(), &report);
+        let decoded = ClientMessage::decode(&msg.encode()).unwrap();
+        let inner = Report::parse(&decoded.report_xml).unwrap();
+        let p: inca_xml::IncaPath = "output".parse().unwrap();
+        assert_eq!(inner.body.lookup_text(&p).unwrap(), "stderr said: <error> & more");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ClientMessage::decode(b"not xml").is_err());
+        assert!(ClientMessage::decode(b"<wrongRoot/>").is_err());
+        assert!(ClientMessage::decode(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_branch() {
+        let payload = format!(
+            "<incaMessage kind=\"report\"><resource>h</resource><branch>notbranch</branch><payload>{}</payload></incaMessage>",
+            escape_text(&sample_report().to_xml())
+        );
+        assert!(matches!(
+            ClientMessage::decode(payload.as_bytes()),
+            Err(WireError::BadBranch(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_invalid_report_payload() {
+        let payload = format!(
+            "<incaMessage kind=\"report\"><resource>h</resource><branch>{}</branch><payload>&lt;notAReport/&gt;</payload></incaMessage>",
+            sample_branch()
+        );
+        assert!(matches!(
+            ClientMessage::decode(payload.as_bytes()),
+            Err(WireError::BadReport(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let payload = "<incaMessage kind=\"telepathy\"><resource>h</resource><branch>a=1</branch><payload>x</payload></incaMessage>";
+        assert!(ClientMessage::decode(payload.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for resp in [ServerResponse::Ack, ServerResponse::Rejected("host not allowed".into())] {
+            assert_eq!(ServerResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn response_decode_rejects_garbage() {
+        assert!(ServerResponse::decode(b"<what/>").is_err());
+        assert!(ServerResponse::decode(b"nope").is_err());
+    }
+}

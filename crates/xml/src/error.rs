@@ -1,0 +1,131 @@
+//! Error type shared by the XML tokenizer, parser and path resolver.
+
+use std::fmt;
+
+/// Result alias used throughout `inca-xml`.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error produced while tokenizing, parsing, or addressing XML.
+///
+/// Every variant that stems from malformed input carries the byte offset
+/// at which the problem was detected so callers can point at the
+/// offending spot in a cached document or an incoming report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended in the middle of a construct (tag, attribute, CDATA…).
+    UnexpectedEof {
+        /// Byte offset where the tokenizer ran out of input.
+        offset: usize,
+        /// What the tokenizer was in the middle of reading.
+        context: &'static str,
+    },
+    /// A syntactic problem at a known position.
+    Malformed {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A closing tag did not match the element currently open.
+    MismatchedTag {
+        /// Byte offset of the offending end tag.
+        offset: usize,
+        /// Name the parser expected to be closed.
+        expected: String,
+        /// Name that was actually found.
+        found: String,
+    },
+    /// The document ended while elements were still open.
+    UnclosedElement {
+        /// Name of the innermost unclosed element.
+        name: String,
+    },
+    /// Content appeared after the document element was closed.
+    TrailingContent {
+        /// Byte offset of the trailing content.
+        offset: usize,
+    },
+    /// An entity reference that this subset does not support.
+    UnknownEntity {
+        /// Byte offset of the `&`.
+        offset: usize,
+        /// The entity text (without `&` and `;`).
+        entity: String,
+    },
+    /// An Inca path failed to resolve against a document.
+    PathNotFound {
+        /// Rendered form of the path that failed.
+        path: String,
+    },
+    /// An Inca path string could not be parsed.
+    InvalidPath {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The document violates an Inca structural rule (e.g. the
+    /// unique-branch-identifier restriction of the reporter spec).
+    Constraint {
+        /// Description of the violated rule.
+        message: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { offset, context } => {
+                write!(f, "unexpected end of input at byte {offset} while reading {context}")
+            }
+            XmlError::Malformed { offset, message } => {
+                write!(f, "malformed XML at byte {offset}: {message}")
+            }
+            XmlError::MismatchedTag { offset, expected, found } => write!(
+                f,
+                "mismatched end tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnclosedElement { name } => {
+                write!(f, "document ended with <{name}> still open")
+            }
+            XmlError::TrailingContent { offset } => {
+                write!(f, "content after document element at byte {offset}")
+            }
+            XmlError::UnknownEntity { offset, entity } => {
+                write!(f, "unknown entity &{entity}; at byte {offset}")
+            }
+            XmlError::PathNotFound { path } => write!(f, "path not found: {path}"),
+            XmlError::InvalidPath { message } => write!(f, "invalid Inca path: {message}"),
+            XmlError::Constraint { message } => write!(f, "constraint violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offsets() {
+        let e = XmlError::Malformed { offset: 42, message: "boom".into() };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn display_mismatched_tag_names_both_sides() {
+        let e = XmlError::MismatchedTag {
+            offset: 7,
+            expected: "metric".into(),
+            found: "statistic".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("metric") && s.contains("statistic"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<XmlError>();
+    }
+}

@@ -1,0 +1,249 @@
+//! XML serialization.
+//!
+//! [`XmlWriter`] produces either compact output (the wire format used
+//! between Inca components, where every byte is parsed again downstream)
+//! or indented output (status pages, specification files meant for
+//! humans). It can be driven from an [`Element`] tree or event-by-event,
+//! which is how the depot splices a new report into the cache without
+//! ever materializing the cache as a tree.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Element, Node};
+
+/// Streaming XML writer with optional pretty-printing.
+#[derive(Debug)]
+pub struct XmlWriter {
+    out: String,
+    indent: Option<&'static str>,
+    depth: usize,
+    /// Whether the element on top of the stack has children so far
+    /// (drives pretty-printed closing-tag placement).
+    had_children: Vec<bool>,
+    /// True when the last emitted item was text (suppresses indentation
+    /// before the closing tag so text content stays exact).
+    last_was_text: bool,
+}
+
+impl XmlWriter {
+    /// Writer producing compact single-line output.
+    pub fn compact() -> Self {
+        XmlWriter {
+            out: String::new(),
+            indent: None,
+            depth: 0,
+            had_children: Vec::new(),
+            last_was_text: false,
+        }
+    }
+
+    /// Writer producing two-space-indented output.
+    pub fn pretty() -> Self {
+        XmlWriter {
+            out: String::new(),
+            indent: Some("  "),
+            depth: 0,
+            had_children: Vec::new(),
+            last_was_text: false,
+        }
+    }
+
+    /// Emits the standard `<?xml version="1.0"?>` declaration.
+    pub fn declaration(&mut self) {
+        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if self.indent.is_some() {
+            self.out.push('\n');
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(indent) = self.indent {
+            if !self.out.is_empty() && !self.out.ends_with('\n') {
+                self.out.push('\n');
+            }
+            for _ in 0..self.depth {
+                self.out.push_str(indent);
+            }
+        }
+    }
+
+    /// Opens an element with attributes.
+    pub fn start_element<'a, I>(&mut self, name: &str, attrs: I)
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        self.mark_parent_has_children();
+        self.newline_indent();
+        self.out.push('<');
+        self.out.push_str(name);
+        for (k, v) in attrs {
+            self.out.push(' ');
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_attr(v));
+            self.out.push('"');
+        }
+        self.out.push('>');
+        self.depth += 1;
+        self.had_children.push(false);
+        self.last_was_text = false;
+    }
+
+    /// Closes the innermost open element.
+    pub fn end_element(&mut self, name: &str) {
+        self.depth = self.depth.saturating_sub(1);
+        let had_children = self.had_children.pop().unwrap_or(false);
+        if had_children && !self.last_was_text {
+            self.newline_indent();
+        }
+        self.out.push_str("</");
+        self.out.push_str(name);
+        self.out.push('>');
+        self.last_was_text = false;
+    }
+
+    /// Emits escaped character data.
+    pub fn text(&mut self, text: &str) {
+        self.mark_parent_has_children();
+        self.out.push_str(&escape_text(text));
+        self.last_was_text = true;
+    }
+
+    /// Emits a pre-escaped/raw XML fragment verbatim. Used by the depot
+    /// to splice an already-serialized report into the cache without
+    /// re-serializing it.
+    pub fn raw(&mut self, fragment: &str) {
+        self.mark_parent_has_children();
+        self.out.push_str(fragment);
+        self.last_was_text = false;
+    }
+
+    /// Emits a comment.
+    pub fn comment(&mut self, text: &str) {
+        self.mark_parent_has_children();
+        self.newline_indent();
+        self.out.push_str("<!--");
+        self.out.push_str(text);
+        self.out.push_str("-->");
+        self.last_was_text = false;
+    }
+
+    fn mark_parent_has_children(&mut self) {
+        if let Some(top) = self.had_children.last_mut() {
+            *top = true;
+        }
+    }
+
+    /// Writes a whole element subtree.
+    pub fn write_element(&mut self, element: &Element) {
+        let attrs = element.attributes.iter().map(|(k, v)| (k.as_str(), v.as_str()));
+        self.start_element(&element.name, attrs);
+        for child in &element.children {
+            match child {
+                Node::Element(e) => self.write_element(e),
+                Node::Text(t) => self.text(t),
+            }
+        }
+        self.end_element(&element.name);
+    }
+
+    /// Number of bytes produced so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Consumes the writer, returning the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Element;
+
+    #[test]
+    fn compact_output() {
+        let mut w = XmlWriter::compact();
+        w.start_element("a", [("x", "1")]);
+        w.text("hi");
+        w.end_element("a");
+        assert_eq!(w.finish(), r#"<a x="1">hi</a>"#);
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let mut w = XmlWriter::compact();
+        w.start_element("a", [("msg", "x<\"y\">&z")]);
+        w.end_element("a");
+        assert_eq!(w.finish(), r#"<a msg="x&lt;&quot;y&quot;&gt;&amp;z"></a>"#);
+    }
+
+    #[test]
+    fn text_escaped() {
+        let mut w = XmlWriter::compact();
+        w.start_element("a", []);
+        w.text("1 < 2 & 3 > 2");
+        w.end_element("a");
+        assert_eq!(w.finish(), "<a>1 &lt; 2 &amp; 3 &gt; 2</a>");
+    }
+
+    #[test]
+    fn pretty_indents_nested_elements() {
+        let tree = Element::new("outer")
+            .child(Element::with_text("inner", "v"))
+            .child(Element::new("empty"));
+        let mut w = XmlWriter::pretty();
+        w.write_element(&tree);
+        let s = w.finish();
+        assert_eq!(s, "<outer>\n  <inner>v</inner>\n  <empty></empty>\n</outer>");
+    }
+
+    #[test]
+    fn pretty_keeps_text_inline() {
+        let mut w = XmlWriter::pretty();
+        w.write_element(&Element::with_text("a", "text"));
+        assert_eq!(w.finish(), "<a>text</a>");
+    }
+
+    #[test]
+    fn declaration_written_once() {
+        let mut w = XmlWriter::compact();
+        w.declaration();
+        w.start_element("r", []);
+        w.end_element("r");
+        assert_eq!(w.finish(), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r></r>");
+    }
+
+    #[test]
+    fn raw_fragment_passthrough() {
+        let mut w = XmlWriter::compact();
+        w.start_element("cache", []);
+        w.raw("<report><x>1</x></report>");
+        w.end_element("cache");
+        assert_eq!(w.finish(), "<cache><report><x>1</x></report></cache>");
+    }
+
+    #[test]
+    fn comment_written() {
+        let mut w = XmlWriter::compact();
+        w.start_element("a", []);
+        w.comment(" note ");
+        w.end_element("a");
+        assert_eq!(w.finish(), "<a><!-- note --></a>");
+    }
+
+    #[test]
+    fn len_tracks_bytes() {
+        let mut w = XmlWriter::compact();
+        assert!(w.is_empty());
+        w.start_element("abc", []);
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+    }
+}

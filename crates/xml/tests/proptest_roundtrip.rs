@@ -1,0 +1,132 @@
+//! Property tests for the XML substrate: serialization/parsing must
+//! round-trip for arbitrary trees, and escaping must round-trip for
+//! arbitrary strings. These invariants are what lets the depot splice
+//! pre-serialized reports into the cache without corruption.
+
+use proptest::prelude::*;
+
+use inca_xml::escape::{escape_attr, escape_text, unescape};
+use inca_xml::{Element, IncaPath, Node};
+
+/// Strategy for XML-legal-ish text content (excludes control chars that
+/// our subset does not attempt to encode).
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~£énß]{0,40}").unwrap()
+}
+
+/// Strategy for tag names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z_][a-zA-Z0-9_.-]{0,12}").unwrap()
+}
+
+/// Strategy for arbitrary element trees of bounded depth/size.
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), text_strategy()).prop_map(|(name, text)| {
+        let mut e = Element::new(name);
+        if !text.is_empty() {
+            e.children.push(Node::Text(text));
+        }
+        e
+    });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                e.attributes = attrs;
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn escape_text_roundtrips(s in text_strategy()) {
+        let escaped = escape_text(&s);
+        let unescaped = unescape(&escaped, 0).unwrap();
+        prop_assert_eq!(unescaped.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn escape_attr_roundtrips(s in text_strategy()) {
+        let escaped = escape_attr(&s);
+        let unescaped = unescape(&escaped, 0).unwrap();
+        prop_assert_eq!(unescaped.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn compact_serialization_roundtrips(tree in element_strategy()) {
+        let xml = tree.to_xml();
+        let parsed = Element::parse(&xml).unwrap();
+        // Text nodes that were pure whitespace are dropped by the parser
+        // (indentation-insensitive), so normalize before comparing.
+        prop_assert_eq!(normalize(&parsed), normalize(&tree));
+    }
+
+    #[test]
+    fn pretty_serialization_roundtrips(tree in element_strategy()) {
+        let xml = tree.to_pretty_xml();
+        let parsed = Element::parse(&xml).unwrap();
+        prop_assert_eq!(normalize(&parsed), normalize(&tree));
+    }
+
+    #[test]
+    fn element_count_is_stable_under_roundtrip(tree in element_strategy()) {
+        let parsed = Element::parse(&tree.to_xml()).unwrap();
+        prop_assert_eq!(parsed.element_count(), tree.element_count());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,160}") {
+        let _ = Element::parse(&s);
+    }
+
+    #[test]
+    fn path_parser_never_panics(s in "\\PC{0,60}") {
+        let _ = s.parse::<IncaPath>();
+    }
+
+    #[test]
+    fn valid_paths_roundtrip_via_display(
+        names in proptest::collection::vec(name_strategy(), 1..5),
+        ids in proptest::collection::vec(proptest::option::of("[a-zA-Z0-9_.]{1,8}"), 1..5),
+    ) {
+        use inca_xml::PathStep;
+        let steps: Vec<PathStep> = names
+            .iter()
+            .zip(ids.iter().cycle())
+            .map(|(n, id)| match id {
+                Some(i) => PathStep::with_id(n.clone(), i.clone()),
+                None => PathStep::named(n.clone()),
+            })
+            .collect();
+        let p = IncaPath::new(steps);
+        let reparsed: IncaPath = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, reparsed);
+    }
+}
+
+/// Drops whitespace-only text nodes and trims text so trees can be
+/// compared across pretty/compact round-trips.
+fn normalize(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attributes = e.attributes.clone();
+    for child in &e.children {
+        match child {
+            Node::Element(c) => out.children.push(Node::Element(normalize(c))),
+            Node::Text(t) => {
+                let trimmed = t.trim();
+                if !trimmed.is_empty() {
+                    out.children.push(Node::Text(trimmed.to_string()));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,82 @@
+//! Network performance monitoring (§4.2 / Figures 2 and 6).
+//!
+//! ```text
+//! cargo run --release --example network_monitoring
+//! ```
+//!
+//! Deploys the three network reporters the paper names — Pathload,
+//! PathChirp and Spruce — from SDSC toward Caltech, archives their
+//! hourly measurements with an uploaded archival policy, and renders
+//! the two-day bandwidth series plus one raw Figure 2-style report
+//! body.
+
+use inca::consumer::{bandwidth_archive_rule, bandwidth_series};
+use inca::prelude::*;
+use inca::reporters::{BandwidthReporter, NetperfTool, Reporter, ReporterContext};
+use inca::sim::{NetworkModel, ResourceSpec};
+
+fn main() {
+    // Two resources on a full-mesh backbone.
+    let mut vo = Vo::new("teragrid", vec![], NetworkModel::full_mesh(42, &["sdsc", "caltech"]));
+    vo.add_resource(VoResource::healthy(ResourceSpec::new(
+        "tg-login1.sdsc.teragrid.org",
+        "sdsc",
+        2,
+        "Intel Itanium 2",
+        1_500,
+        4.0,
+    )));
+    vo.add_resource(VoResource::healthy(ResourceSpec::new(
+        "tg-login1.caltech.teragrid.org",
+        "caltech",
+        2,
+        "Intel Itanium 2",
+        1_296,
+        6.0,
+    )));
+    let src = vo.resource("tg-login1.sdsc.teragrid.org").unwrap();
+
+    // The depot with the §3.2.2 archival policy uploaded once.
+    let mut depot = Depot::new();
+    depot.add_archive_rule(bandwidth_archive_rule("teragrid"));
+
+    // Show one raw report (the paper's Figure 2 XML shape).
+    let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+    let pathload = BandwidthReporter::new(NetperfTool::Pathload, "tg-login1.caltech.teragrid.org");
+    let sample = pathload.run(&ReporterContext::new(&vo, src, start));
+    println!("A Pathload report (Figure 2 shape):\n{}\n", sample.to_pretty_xml());
+
+    // Two days of hourly measurements from all three tools.
+    let tools =
+        [NetperfTool::Pathload, NetperfTool::PathChirp, NetperfTool::Spruce];
+    for hour in 1..=48u64 {
+        let t = start + hour * 3_600;
+        let ctx = ReporterContext::new(&vo, src, t);
+        for tool in tools {
+            let reporter = BandwidthReporter::new(tool, "tg-login1.caltech.teragrid.org");
+            let report = reporter.run(&ctx);
+            let branch: BranchId = format!(
+                "dest=caltech,tool={},performance=network,site=sdsc,vo=teragrid",
+                tool.as_str()
+            )
+            .parse()
+            .unwrap();
+            let envelope = Envelope::new(branch, report.to_xml());
+            depot.receive(&envelope.encode(EnvelopeMode::Body), t).unwrap();
+        }
+    }
+
+    // Retrieve and render the archived Pathload series (Figure 6).
+    let query = QueryInterface::new(&depot);
+    let branch: BranchId =
+        "dest=caltech,tool=pathload,performance=network,site=sdsc,vo=teragrid".parse().unwrap();
+    let series = bandwidth_series(&query, &branch, start, start + 49 * 3_600)
+        .expect("archived series exists");
+    println!("{}", series.to_ascii_chart(12));
+    let stats = series.stats().unwrap();
+    println!(
+        "Pathload, SDSC -> Caltech, hourly: {} points, mean {:.1} Mbps (min {:.1}, max {:.1})",
+        stats.count, stats.mean, stats.min, stats.max
+    );
+    assert!(stats.mean > 800.0, "a ~1 Gb/s path");
+}

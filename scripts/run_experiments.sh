@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every paper table/figure. Scale knobs:
+#   INCA_DAYS / INCA_HOURS / INCA_REPORTS / INCA_REPS (see README).
+set -e
+cd "$(dirname "$0")/.."
+for bin in table1 table2 table3 fig4 fig5 fig6 fig7 table4 fig9; do
+  echo "==================== $bin ===================="
+  cargo run --release -q -p inca-bench --bin "$bin"
+  echo
+done

@@ -1,0 +1,111 @@
+//! Integration tests of the report path in isolation: reporter output →
+//! wire message → envelope → depot cache → query → verification.
+
+use inca::prelude::*;
+use inca::reporters::{PackageVersionReporter, Reporter, ReporterContext};
+use inca::sim::{NetworkModel, ResourceSpec};
+use inca::wire::frame::{read_frame, write_frame};
+use inca::wire::message::ClientMessage;
+
+fn one_resource_vo() -> Vo {
+    let mut vo = Vo::new("tg", vec![], NetworkModel::new(0));
+    vo.add_resource(VoResource::healthy(ResourceSpec::new(
+        "node.example.org",
+        "sdsc",
+        2,
+        "x",
+        1_000,
+        2.0,
+    )));
+    vo
+}
+
+#[test]
+fn report_survives_every_hop_bit_exact() {
+    let vo = one_resource_vo();
+    let resource = vo.resource("node.example.org").unwrap();
+    let now = Timestamp::from_gmt(2004, 7, 9, 3, 31, 0);
+
+    // 1. Reporter produces a report.
+    let report = PackageVersionReporter::new("globus")
+        .run(&ReporterContext::new(&vo, resource, now));
+    let original_xml = report.to_xml();
+
+    // 2. Client message over (simulated) TCP framing.
+    let branch: BranchId =
+        "reporter=version.globus,resource=node.example.org,site=sdsc,vo=tg".parse().unwrap();
+    let message = ClientMessage::report("node.example.org", branch.clone(), &report);
+    let mut wire_buf = Vec::new();
+    write_frame(&mut wire_buf, &message.encode()).unwrap();
+    let mut cursor = std::io::Cursor::new(wire_buf);
+    let payload = read_frame(&mut cursor).unwrap();
+    let decoded = ClientMessage::decode(&payload).unwrap();
+    assert_eq!(decoded.report_xml, original_xml);
+
+    // 3. Envelope into the depot.
+    let mut depot = Depot::new();
+    let envelope = Envelope::new(decoded.branch, decoded.report_xml);
+    depot.receive(&envelope.encode(EnvelopeMode::Body), now).unwrap();
+
+    // 4. Query it back: byte-exact round trip of the original XML.
+    let q = QueryInterface::new(&depot);
+    let fetched = q.report(&branch).unwrap().unwrap();
+    assert_eq!(fetched.to_xml(), original_xml);
+    assert_eq!(fetched, report);
+}
+
+#[test]
+fn path_addressing_works_on_cached_data() {
+    let vo = one_resource_vo();
+    let resource = vo.resource("node.example.org").unwrap();
+    let now = Timestamp::from_secs(1_000);
+    let report = inca::reporters::EnvReporter::new()
+        .run(&ReporterContext::new(&vo, resource, now));
+    let branch: BranchId =
+        "reporter=user.environment,resource=node.example.org,site=sdsc,vo=tg".parse().unwrap();
+    let mut depot = Depot::new();
+    depot
+        .receive(
+            &Envelope::new(branch.clone(), report.to_xml()).encode(EnvelopeMode::Body),
+            now,
+        )
+        .unwrap();
+    let q = QueryInterface::new(&depot);
+    let cached = q.report(&branch).unwrap().unwrap();
+    let path: IncaPath = "value, var=GLOBUS_LOCATION, environment".parse().unwrap();
+    assert_eq!(cached.body.lookup_text(&path).unwrap(), "/usr/teragrid/globus-2.4.3");
+}
+
+#[test]
+fn verification_detects_version_drift_through_full_path() {
+    // One site quietly downgrades globus; the agreement catches it.
+    let mut vo = one_resource_vo();
+    {
+        use inca::sim::{Category as SimCategory, Package};
+        let r = &mut vo.resources_mut()[0];
+        r.stack.install(Package::new("globus", "2.2.4", SimCategory::Grid));
+    }
+    let resource = vo.resource("node.example.org").unwrap();
+    let now = Timestamp::from_secs(1_000);
+    let report =
+        PackageVersionReporter::new("globus").run(&ReporterContext::new(&vo, resource, now));
+    let branch: BranchId =
+        "reporter=version.globus,resource=node.example.org,site=sdsc,vo=teragrid".parse().unwrap();
+    let mut depot = Depot::new();
+    depot
+        .receive(&Envelope::new(branch, report.to_xml()).encode(EnvelopeMode::Body), now)
+        .unwrap();
+    let q = QueryInterface::new(&depot);
+    let suffix: BranchId =
+        "resource=node.example.org,site=sdsc,vo=teragrid".parse().unwrap();
+    let reports = q.reports(Some(&suffix)).unwrap();
+    let agreement = Agreement::teragrid();
+    let verification = verify_resource(&agreement, &reports, "node.example.org");
+    let globus = verification
+        .results
+        .iter()
+        .find(|t| t.id == "globus-version")
+        .expect("globus version test present");
+    assert!(!globus.passed);
+    assert!(globus.error.as_deref().unwrap().contains("2.2.4"));
+}
