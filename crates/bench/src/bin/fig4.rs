@@ -2,6 +2,7 @@
 //! six-hour run of the full deployment. INCA_HOURS overrides the
 //! horizon.
 fn main() {
+    inca_bench::init_tracing_from_args();
     let hours: u64 = std::env::var("INCA_HOURS").ok().and_then(|v| v.parse().ok()).unwrap_or(6);
     let page = inca_core::experiments::fig4::run(42, hours);
     print!("{}", inca_core::experiments::fig4::render(&page));

@@ -2,6 +2,7 @@
 //! samples, with the Monday maintenance dip. INCA_DAYS overrides the
 //! horizon (default 7).
 fn main() {
+    inca_bench::init_tracing_from_args();
     let days: u64 = std::env::var("INCA_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
     let series = inca_core::experiments::fig5::run(42, days);
     print!("{}", inca_core::experiments::fig5::render(&series));

@@ -1,6 +1,7 @@
 //! Regenerates Figure 6: hourly Pathload bandwidth, SDSC -> Caltech.
 //! INCA_DAYS overrides the horizon (default 7).
 fn main() {
+    inca_bench::init_tracing_from_args();
     let days: u64 = std::env::var("INCA_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
     let series = inca_core::experiments::fig6::run(42, days);
     print!("{}", inca_core::experiments::fig6::render(&series));

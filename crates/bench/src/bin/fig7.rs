@@ -1,6 +1,7 @@
 //! Regenerates Figure 7: controller CPU/memory histograms over a week
 //! of 10-11s samples. INCA_DAYS overrides the horizon (default 7).
 fn main() {
+    inca_bench::init_tracing_from_args();
     let days: u64 = std::env::var("INCA_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
     let data = inca_core::experiments::fig7::run(42, days);
     print!("{}", inca_core::experiments::fig7::render(&data));

@@ -3,6 +3,7 @@
 //! replays per cell (default 25). Set INCA_MODE=attachment for the
 //! ablation (reports as attachments instead of in the envelope body).
 fn main() {
+    inca_bench::init_tracing_from_args();
     let reps: usize =
         std::env::var("INCA_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(25);
     let mode = match std::env::var("INCA_MODE").as_deref() {

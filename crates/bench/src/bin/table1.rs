@@ -1,5 +1,6 @@
 //! Regenerates Table 1: reporter sizes for the TeraGrid deployment.
 fn main() {
+    inca_bench::init_tracing_from_args();
     let rows = inca_core::experiments::table1::run();
     print!("{}", inca_core::experiments::table1::render(&rows));
 }

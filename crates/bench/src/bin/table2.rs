@@ -1,5 +1,6 @@
 //! Regenerates Table 2: reporters executing per hour per machine.
 fn main() {
+    inca_bench::init_tracing_from_args();
     let rows = inca_core::experiments::table2::run(42);
     print!("{}", inca_core::experiments::table2::render(&rows));
 }

@@ -1,5 +1,6 @@
 //! Regenerates Table 3: machines used in the experiments.
 fn main() {
+    inca_bench::init_tracing_from_args();
     let specs = inca_core::experiments::table3::run();
     print!("{}", inca_core::experiments::table3::render(&specs));
 }

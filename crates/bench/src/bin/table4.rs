@@ -2,6 +2,7 @@
 //! (151,955 reports) replayed through the real depot with response
 //! times measured. INCA_REPORTS overrides the count.
 fn main() {
+    inca_bench::init_tracing_from_args();
     let count: u64 = std::env::var("INCA_REPORTS")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -8,7 +8,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
+use inca_obs::metrics::Counter;
+use inca_obs::{Obs, Severity};
 use inca_report::{Header, Report, Timestamp};
 use inca_reporters::catalog::CatalogEntry;
 use inca_reporters::{Reporter, ReporterContext};
@@ -50,12 +53,53 @@ pub struct DistributedController {
     /// Lazily primed; kept in sync by `run_next_batch`.
     pending: BinaryHeap<Reverse<(u64, usize)>>,
     primed_after: Option<Timestamp>,
+    obs: Obs,
+    /// Killed runs (`inca_daemon_kills_total`) — the §3.1.3 timeout
+    /// path.
+    kills: Arc<Counter>,
+    /// Entries dropped from the wake-up queue because no next cron
+    /// fire could be computed (`inca_daemon_missed_schedules_total`).
+    missed: Arc<Counter>,
+    /// Dependency-gated skips (`inca_daemon_skipped_dependency_total`).
+    skipped: Arc<Counter>,
+    /// Rejected or failed forwards (`inca_daemon_forward_errors_total`).
+    forward_errs: Arc<Counter>,
 }
 
 impl DistributedController {
-    /// Creates a daemon for `spec`, forwarding through `transport`.
+    /// Creates a daemon for `spec`, forwarding through `transport` and
+    /// observing into [`Obs::global`].
     pub fn new(spec: Spec, transport: Box<dyn Transport>, seed: u64) -> DistributedController {
+        DistributedController::with_obs(spec, transport, seed, Obs::global())
+    }
+
+    /// Like [`DistributedController::new`], with spans and metrics
+    /// going to `obs`. Counters aggregate across every daemon sharing
+    /// the handle (one registry per simulated VO, typically).
+    pub fn with_obs(
+        spec: Spec,
+        transport: Box<dyn Transport>,
+        seed: u64,
+        obs: Obs,
+    ) -> DistributedController {
         let scheduler = Scheduler::from_spec(&spec);
+        let metrics = obs.metrics();
+        let kills = metrics.counter(
+            "inca_daemon_kills_total",
+            "Reporter runs killed for exceeding their expected run time.",
+        );
+        let missed = metrics.counter(
+            "inca_daemon_missed_schedules_total",
+            "Spec entries dropped from the wake-up queue (no next cron fire).",
+        );
+        let skipped = metrics.counter(
+            "inca_daemon_skipped_dependency_total",
+            "Runs skipped because a dependency's last run failed.",
+        );
+        let forward_errs = metrics.counter(
+            "inca_daemon_forward_errors_total",
+            "Report submissions rejected by the server or lost in transit.",
+        );
         DistributedController {
             spec,
             scheduler,
@@ -66,6 +110,11 @@ impl DistributedController {
             stats: RunStats::default(),
             pending: BinaryHeap::new(),
             primed_after: None,
+            obs,
+            kills,
+            missed,
+            skipped,
+            forward_errs,
         }
     }
 
@@ -124,8 +173,9 @@ impl DistributedController {
         }
         self.pending.clear();
         for (idx, entry) in self.spec.entries.iter().enumerate() {
-            if let Ok(fire) = entry.cron.next_after(t) {
-                self.pending.push(Reverse((fire.as_secs(), idx)));
+            match entry.cron.next_after(t) {
+                Ok(fire) => self.pending.push(Reverse((fire.as_secs(), idx))),
+                Err(_) => self.missed.inc(),
             }
         }
         self.primed_after = Some(t);
@@ -151,9 +201,11 @@ impl DistributedController {
                 self.execute_entry(idx, t, vo);
             } else {
                 self.stats.skipped_dependency += 1;
+                self.skipped.inc();
             }
-            if let Ok(next) = self.spec.entries[idx].cron.next_after(t) {
-                self.pending.push(Reverse((next.as_secs(), idx)));
+            match self.spec.entries[idx].cron.next_after(t) {
+                Ok(next) => self.pending.push(Reverse((next.as_secs(), idx))),
+                Err(_) => self.missed.inc(),
             }
         }
         Some(t)
@@ -167,6 +219,7 @@ impl DistributedController {
         for idx in due {
             if !self.scheduler.dependency_satisfied(&self.spec, idx) {
                 self.stats.skipped_dependency += 1;
+                self.skipped.inc();
                 continue;
             }
             self.execute_entry(idx, t, vo);
@@ -180,6 +233,13 @@ impl DistributedController {
         self.stats.executed += 1;
         let duration = self.duration_model.duration_secs(&entry.reporter, t);
         let expected = entry.expected_runtime_secs.max(1);
+        let span = self
+            .obs
+            .span("daemon.run")
+            .field("reporter", &entry.reporter)
+            .field("resource", &self.spec.resource)
+            .field("fired_at", t.as_secs())
+            .field("sim_duration_s", duration);
 
         if duration > expected {
             // Killed: the daemon terminates the fork at t + expected
@@ -187,6 +247,8 @@ impl DistributedController {
             let end = t + expected;
             self.processes.record(ExecRecord { start: t, end, killed: true });
             self.stats.killed += 1;
+            self.kills.inc();
+            span.severity(Severity::Warn).field("outcome", "killed").finish();
             let header = Header::new(&entry.reporter, "1.0", &self.spec.resource, end);
             let report = Report::execution_error(
                 header,
@@ -237,6 +299,7 @@ impl DistributedController {
         } else {
             self.stats.failed += 1;
         }
+        span.field("outcome", if success { "succeeded" } else { "failed" }).finish();
         self.scheduler.record_outcome(&entry.reporter, success);
         self.forward(ClientMessage::report(
             self.spec.resource.clone(),
@@ -248,7 +311,10 @@ impl DistributedController {
     fn forward(&mut self, message: ClientMessage) {
         match self.transport.send(&message) {
             Ok(ServerResponse::Ack) => {}
-            Ok(ServerResponse::Rejected(_)) | Err(_) => self.stats.forward_errors += 1,
+            Ok(ServerResponse::Rejected(_)) | Err(_) => {
+                self.stats.forward_errors += 1;
+                self.forward_errs.inc();
+            }
         }
     }
 

@@ -46,6 +46,7 @@ pub fn run(seed: u64, hours: u64) -> StatusPage {
             verify_every_secs: None, // the page itself is built at the end
             verify_resources: Vec::new(),
             track_availability: false,
+            obs: None,
         },
     )
     .run();

@@ -55,6 +55,7 @@ pub fn run(seed: u64, days: u64) -> GraphSeries {
             verify_every_secs: None,
             verify_resources: Vec::new(),
             track_availability: false,
+            obs: None,
         },
     )
     .run();

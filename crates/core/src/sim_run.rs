@@ -15,6 +15,7 @@ use std::sync::Arc;
 use inca_agreement::{verify_resource, ComplianceSummary};
 use inca_consumer::{build_status_page, AvailabilityTracker, StatusPage};
 use inca_controller::{DistributedController, Transport};
+use inca_obs::Obs;
 use inca_report::{BranchId, Timestamp};
 use inca_server::{
     CentralizedController, ControllerConfig, Depot, QueryInterface,
@@ -56,6 +57,12 @@ pub struct SimOptions {
     pub verify_resources: Vec<(String, String)>,
     /// Archive per-category availability on each verification pass.
     pub track_availability: bool,
+    /// Observability handle wired through every component (depot,
+    /// centralized controller, daemons). `None` uses
+    /// [`Obs::global`], which is what the experiment binaries want;
+    /// tests pass a fresh handle to get an isolated metrics registry
+    /// and private trace sinks.
+    pub obs: Option<Obs>,
 }
 
 impl Default for SimOptions {
@@ -65,6 +72,7 @@ impl Default for SimOptions {
             verify_every_secs: Some(600),
             verify_resources: Vec::new(),
             track_availability: true,
+            obs: None,
         }
     }
 }
@@ -99,7 +107,11 @@ impl SimRun {
         );
         let config =
             ControllerConfig { allowlist, envelope_mode: options.envelope_mode };
-        let server = Arc::new(CentralizedController::new(config, Depot::new()));
+        let obs = options.obs.clone().unwrap_or_else(Obs::global);
+        let server = Arc::new(CentralizedController::new(
+            config,
+            Depot::with_obs(obs.clone()),
+        ));
         // Upload the bandwidth archival policy (§3.2.2's one-time
         // configuration).
         server.with_depot_mut(|d| {
@@ -113,10 +125,11 @@ impl SimRun {
                 now: Arc::clone(&now),
                 resource: assignment.hostname.clone(),
             };
-            let mut daemon = DistributedController::new(
+            let mut daemon = DistributedController::with_obs(
                 assignment.spec.clone(),
                 Box::new(transport),
                 deployment.seed ^ assignment.hostname.len() as u64,
+                obs.clone(),
             );
             daemon.register_from_catalog(&deployment.catalog);
             daemons.push(daemon);

@@ -1,0 +1,587 @@
+//! Metrics: lock-free counters, gauges, and fixed-bucket histograms
+//! behind a registry that renders the Prometheus text exposition
+//! format.
+//!
+//! Registration takes a lock; after that, every update on the returned
+//! `Arc<Counter>` / `Arc<Gauge>` / `Arc<Histogram>` is a handful of
+//! atomic operations — instruments are meant to be registered once at
+//! construction time and held by the instrumented component.
+//! Registering the same (name, labels) pair again returns the
+//! *existing* instrument, so independently constructed components
+//! sharing a registry aggregate into one series.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default latency buckets (seconds) for the workspace's
+/// operation-timing histograms: 1µs up to 1s in decade steps.
+pub const DEFAULT_LATENCY_BOUNDS: [f64; 7] =
+    [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at 0 (usually obtained from
+    /// [`MetricsRegistry::counter`] instead).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down, stored as an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    /// `f64` bits; updated with compare-and-swap for `add`/`sub`.
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at 0 (usually obtained from
+    /// [`MetricsRegistry::gauge`] instead).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram in the Prometheus style: cumulative
+/// `le`-bound buckets plus a running sum and count.
+///
+/// Buckets are defined by ascending finite upper bounds; an implicit
+/// `+Inf` bucket catches everything above the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending finite upper bounds (inclusive).
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts[bounds.len()]` is
+    /// the `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, as `f64` bits.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds
+    /// (usually obtained from [`MetricsRegistry::histogram`] instead).
+    ///
+    /// # Panics
+    ///
+    /// If `bounds` is empty, unsorted, or contains non-finite values.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| v > b);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a [`Duration`](std::time::Duration) in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative counts per bound, ending with the `+Inf` total —
+    /// the Prometheus `_bucket` series.
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                total += c.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear
+    /// interpolation within the bucket containing it, as Prometheus'
+    /// `histogram_quantile` does. The lower edge of the first bucket
+    /// is taken as 0; observations in the `+Inf` bucket report the
+    /// last finite bound. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let cumulative = self.cumulative_counts();
+        let idx = cumulative.iter().position(|&c| c as f64 >= target).unwrap_or(0);
+        if idx >= self.bounds.len() {
+            return Some(*self.bounds.last().expect("bounds are non-empty"));
+        }
+        let upper = self.bounds[idx];
+        let lower = if idx == 0 { 0.0 } else { self.bounds[idx - 1] };
+        let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
+        let in_bucket = cumulative[idx] - below;
+        if in_bucket == 0 {
+            return Some(upper);
+        }
+        let frac = (target - below as f64) / in_bucket as f64;
+        Some(lower + (upper - lower) * frac.clamp(0.0, 1.0))
+    }
+}
+
+/// The kind of a metric family (determines rendering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by sorted label pairs; the empty vec is the unlabelled
+    /// series.
+    series: BTreeMap<Vec<(String, String)>, Instrument>,
+}
+
+/// Registers instruments and renders them in the Prometheus text
+/// exposition format.
+///
+/// Thread-safe; typically shared as `Arc<MetricsRegistry>` via
+/// [`Obs`](crate::Obs).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a counter with labels.
+    ///
+    /// # Panics
+    ///
+    /// If `name` was registered as a different kind, or is not a valid
+    /// metric name.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Arc<Counter> {
+        match self.register(name, labels, help, Kind::Counter, || {
+            Instrument::Counter(Arc::new(Counter::new()))
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a gauge with labels.
+    ///
+    /// # Panics
+    ///
+    /// If `name` was registered as a different kind, or is not a valid
+    /// metric name.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.register(name, labels, help, Kind::Gauge, || {
+            Instrument::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram with the given
+    /// bucket upper bounds (see [`DEFAULT_LATENCY_BOUNDS`]).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help, bounds)
+    }
+
+    /// Registers (or retrieves) a histogram with labels.
+    ///
+    /// # Panics
+    ///
+    /// If `name` was registered as a different kind, if an existing
+    /// series has different bounds, if `bounds` is invalid (see
+    /// [`Histogram::new`]), or if `name` is not a valid metric name.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        match self.register(name, labels, help, Kind::Histogram, || {
+            Instrument::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Instrument::Histogram(h) => {
+                assert!(
+                    h.bounds() == bounds,
+                    "histogram {name:?} re-registered with different bounds"
+                );
+                h
+            }
+            _ => unreachable!("register checked the kind"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        kind: Kind,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?} on metric {name:?}");
+        }
+        let mut key: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        key.sort();
+
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} already registered as a {}",
+            family.kind.as_str()
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Renders every registered metric in the Prometheus text
+    /// exposition format. Families and series are sorted by name and
+    /// label set, so the output is deterministic.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, instrument) in &family.series {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", label_str(labels, None), c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            label_str(labels, None),
+                            fmt_f64(g.get())
+                        );
+                    }
+                    Instrument::Histogram(h) => {
+                        let cumulative = h.cumulative_counts();
+                        for (i, &bound) in h.bounds().iter().enumerate() {
+                            let le = fmt_f64(bound);
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {}",
+                                label_str(labels, Some(&le)),
+                                cumulative[i]
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            label_str(labels, Some("+Inf")),
+                            cumulative[h.bounds().len()]
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            label_str(labels, None),
+                            fmt_f64(h.sum())
+                        );
+                        let _ = writeln!(out, "{name}_count{} {}", label_str(labels, None), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("MetricsRegistry").field("families", &families.len()).finish()
+    }
+}
+
+/// Prometheus metric/label name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Renders `{k="v",...}` (with an optional extra `le` label), or the
+/// empty string for an unlabelled series.
+fn label_str(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Formats an `f64` the way Prometheus expects (shortest round-trip
+/// representation; integral values without a trailing `.0`).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(1.0);
+        g.sub(0.5);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_at_and_between_bounds() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        // le=1: {0.5, 1.0}; le=2: +{1.5}; le=4: +{3.0}; +Inf: +{100.0}
+        assert_eq!(h.cumulative_counts(), vec![2, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..10 {
+            h.observe(1.5); // all ten land in the (1, 2] bucket
+        }
+        // Median target = 5 of 10 → halfway through the (1, 2] bucket.
+        assert!((h.quantile(0.5).unwrap() - 1.5).abs() < 1e-9);
+        h.observe(1e9); // +Inf bucket
+        assert_eq!(h.quantile(1.0), Some(4.0), "+Inf quantiles clamp to the last bound");
+    }
+
+    #[test]
+    fn registry_dedupes_and_aggregates() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("dup_total", "Dup.");
+        let b = reg.counter("dup_total", "Dup.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same (name, labels) must alias one instrument");
+
+        let x = reg.counter_with("lab_total", &[("kind", "x")], "Labelled.");
+        let y = reg.counter_with("lab_total", &[("kind", "y")], "Labelled.");
+        x.inc();
+        y.add(2);
+        assert_eq!(x.get(), 1);
+        assert_eq!(y.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let reg = MetricsRegistry::new();
+        reg.counter("twice", "First.");
+        reg.gauge("twice", "Second.");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_requests_total", "Requests.").add(3);
+        reg.gauge("a_depth", "Depth.").set(1.5);
+        let h = reg.histogram("c_latency_seconds", "Latency.", &[0.001, 0.01]);
+        h.observe(0.0005);
+        h.observe(0.5);
+
+        let text = reg.render();
+        let expected = "\
+# HELP a_depth Depth.
+# TYPE a_depth gauge
+a_depth 1.5
+# HELP b_requests_total Requests.
+# TYPE b_requests_total counter
+b_requests_total 3
+# HELP c_latency_seconds Latency.
+# TYPE c_latency_seconds histogram
+c_latency_seconds_bucket{le=\"0.001\"} 1
+c_latency_seconds_bucket{le=\"0.01\"} 1
+c_latency_seconds_bucket{le=\"+Inf\"} 2
+c_latency_seconds_sum 0.5005
+c_latency_seconds_count 2
+";
+        assert_eq!(text, expected);
+        assert_eq!(text, reg.render(), "rendering must be stable across calls");
+    }
+
+    #[test]
+    fn labelled_histogram_renders_le_after_labels() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("op_seconds", &[("op", "insert")], "Ops.", &[1.0]);
+        h.observe(0.5);
+        let text = reg.render();
+        assert!(text.contains("op_seconds_bucket{op=\"insert\",le=\"1\"} 1"), "{text}");
+        assert!(text.contains("op_seconds_count{op=\"insert\"} 1"), "{text}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Ready-made [`TraceSink`] implementations: stderr lines, an
+//! in-memory ring buffer, and a JSONL file.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::trace::{Event, TraceSink};
+
+/// Renders `event` as a single human-readable line:
+///
+/// ```text
+/// [   0.001204s] INFO  depot.insert 312.4µs branch=... size=9257
+/// ```
+pub fn format_line(event: &Event) -> String {
+    let mut line = String::with_capacity(80);
+    let _ = write!(
+        line,
+        "[{:>12.6}s] {:<5} {}",
+        event.elapsed.as_secs_f64(),
+        event.severity.label(),
+        event.name
+    );
+    if let Some(d) = event.duration {
+        let _ = write!(line, " {d:.1?}");
+    }
+    for (k, v) in &event.fields {
+        let _ = write!(line, " {k}={v}");
+    }
+    line
+}
+
+/// Writes one [`format_line`] line per event to stderr. The sink of
+/// choice for the experiment binaries' `--trace` flag.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl StderrSink {
+    /// Creates the sink.
+    pub fn new() -> StderrSink {
+        StderrSink
+    }
+}
+
+impl TraceSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!("{}", format_line(event));
+    }
+}
+
+/// Keeps the last `capacity` events in memory. The sink of choice for
+/// tests: run the code under test, then [`drain`](RingSink::drain) and
+/// assert on the captured events.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    /// Total events ever emitted, including ones the ring has dropped.
+    events: Mutex<(u64, VecDeque<Event>)>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (oldest are
+    /// dropped first). A capacity of 0 counts events but retains none.
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink { capacity, events: Mutex::new((0, VecDeque::new())) }
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut guard = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        guard.1.drain(..).collect()
+    }
+
+    /// Clones the buffered events without removing them, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let guard = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        guard.1.iter().cloned().collect()
+    }
+
+    /// Total events emitted over the sink's lifetime, including any
+    /// that have already been evicted or drained.
+    pub fn total_emitted(&self) -> u64 {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut guard = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        guard.0 += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if guard.1.len() == self.capacity {
+            guard.1.pop_front();
+        }
+        guard.1.push_back(event.clone());
+    }
+}
+
+/// Appends one JSON object per event to a file (JSON Lines), e.g.:
+///
+/// ```json
+/// {"elapsed_s":0.001204,"severity":"INFO","name":"depot.insert","duration_s":0.000312,"fields":{"size":"9257"}}
+/// ```
+///
+/// Output is buffered; it is flushed after every event so a crashed
+/// run still leaves a readable trace.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `event` as a single JSON object (no trailing newline).
+pub fn format_json(event: &Event) -> String {
+    let mut line = String::with_capacity(128);
+    let _ = write!(
+        line,
+        "{{\"elapsed_s\":{:.6},\"severity\":\"{}\",\"name\":\"{}\"",
+        event.elapsed.as_secs_f64(),
+        event.severity.label(),
+        json_escape(event.name)
+    );
+    if let Some(d) = event.duration {
+        let _ = write!(line, ",\"duration_s\":{:.9}", d.as_secs_f64());
+    }
+    line.push_str(",\"fields\":{");
+    for (i, (k, v)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    line.push_str("}}");
+    line
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(writer, "{}", format_json(event));
+        let _ = writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Severity, Tracer};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn sample_event() -> Event {
+        Event {
+            name: "depot.insert",
+            severity: Severity::Info,
+            elapsed: Duration::from_micros(1204),
+            duration: Some(Duration::from_micros(312)),
+            fields: vec![("size", "9257".into()), ("note", "a \"quoted\"\nvalue".into())],
+        }
+    }
+
+    #[test]
+    fn line_format_includes_all_parts() {
+        let line = format_line(&sample_event());
+        assert!(line.contains("INFO"), "{line}");
+        assert!(line.contains("depot.insert"), "{line}");
+        assert!(line.contains("size=9257"), "{line}");
+    }
+
+    #[test]
+    fn json_format_escapes_field_values() {
+        let json = format_json(&sample_event());
+        assert!(json.contains("\"name\":\"depot.insert\""), "{json}");
+        assert!(json.contains("\"duration_s\":0.000312"), "{json}");
+        assert!(json.contains(r#""note":"a \"quoted\"\nvalue""#), "{json}");
+        assert!(!json.contains('\n'), "JSONL events must be single lines");
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest_and_counts_all() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(2));
+        tracer.add_sink(ring.clone());
+        tracer.span("a").finish();
+        tracer.span("b").finish();
+        tracer.span("c").finish();
+
+        assert_eq!(ring.total_emitted(), 3);
+        let names: Vec<&str> = ring.snapshot().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["b", "c"], "oldest event should be evicted");
+
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.drain().is_empty(), "drain empties the ring");
+        assert_eq!(ring.total_emitted(), 3, "drain does not reset the lifetime count");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("inca-obs-test-jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        let tracer = Tracer::new();
+        tracer.add_sink(Arc::new(JsonlSink::create(&path).unwrap()));
+        tracer.span("one").field("k", "v").finish();
+        tracer.event("two").finish();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"one\""));
+        assert!(lines[1].contains("\"name\":\"two\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

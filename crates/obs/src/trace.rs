@@ -1,0 +1,290 @@
+//! Structured tracing: spans, events, severities, and the sink trait.
+//!
+//! A [`Tracer`] hands out [`Span`] guards. A span records its start
+//! offset from the tracer's epoch on creation and its duration when
+//! finished (explicitly via [`Span::finish`] or implicitly on drop),
+//! then fans the resulting [`Event`] out to every installed
+//! [`TraceSink`]. Point-in-time events (no duration) come from
+//! [`Tracer::event`].
+//!
+//! When no sink is installed, creating a span costs one relaxed atomic
+//! load and fields are never formatted — instrumentation can stay in
+//! hot paths unconditionally.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How notable an event is. Ordered: `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Fine-grained detail, usually only useful when debugging.
+    Debug,
+    /// Normal operation.
+    Info,
+    /// Something unexpected but recoverable (e.g. a rejected report).
+    Warn,
+    /// An operation failed.
+    Error,
+}
+
+impl Severity {
+    /// Upper-case label (`"INFO"`, `"WARN"`, ...) used by line sinks.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Warn => "WARN",
+            Severity::Error => "ERROR",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finished span or point event, as delivered to sinks.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Dotted event name, e.g. `"depot.insert"`.
+    pub name: &'static str,
+    /// Severity the emitter assigned.
+    pub severity: Severity,
+    /// Monotonic offset from the tracer's creation (epoch) to the
+    /// start of the span (or the moment of a point event).
+    pub elapsed: Duration,
+    /// How long the span ran; `None` for point events.
+    pub duration: Option<Duration>,
+    /// Key/value fields attached by the emitter, in attachment order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Event {
+    /// Returns the value of field `key`, if attached.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Receives finished [`Event`]s. Implementations must be thread-safe;
+/// `emit` may be called concurrently from any thread holding a tracer
+/// clone.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one finished event.
+    fn emit(&self, event: &Event);
+}
+
+struct TracerInner {
+    epoch: Instant,
+    /// Fast-path flag mirroring `!sinks.is_empty()`.
+    active: AtomicBool,
+    sinks: Mutex<Vec<Arc<dyn TraceSink>>>,
+}
+
+/// Hands out spans and fans finished events out to sinks.
+///
+/// Clones share the same epoch and sink list.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// Creates a tracer with no sinks (tracing disabled until one is
+    /// added).
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                active: AtomicBool::new(false),
+                sinks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Installs a sink. All subsequently finished spans are delivered
+    /// to it (in addition to any sinks already present).
+    pub fn add_sink(&self, sink: Arc<dyn TraceSink>) {
+        let mut sinks = self.inner.sinks.lock().unwrap_or_else(|e| e.into_inner());
+        sinks.push(sink);
+        self.inner.active.store(true, Ordering::Release);
+    }
+
+    /// Removes every sink (tracing returns to the disabled fast path).
+    pub fn clear_sinks(&self) {
+        let mut sinks = self.inner.sinks.lock().unwrap_or_else(|e| e.into_inner());
+        sinks.clear();
+        self.inner.active.store(false, Ordering::Release);
+    }
+
+    /// Whether at least one sink is installed. Spans created while
+    /// inactive are free and emit nothing even if a sink appears
+    /// before they finish.
+    pub fn is_active(&self) -> bool {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Starts a timed span. Finish it explicitly with
+    /// [`Span::finish`] or let it drop at end of scope.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_inner(name, true)
+    }
+
+    /// Emits a point event (a span with no duration) once the returned
+    /// guard drops; use [`Span::field`] to attach fields first.
+    pub fn event(&self, name: &'static str) -> Span {
+        self.span_inner(name, false)
+    }
+
+    fn span_inner(&self, name: &'static str, timed: bool) -> Span {
+        if !self.is_active() {
+            return Span {
+                tracer: None,
+                name,
+                severity: Severity::Info,
+                start: None,
+                timed,
+                fields: Vec::new(),
+            };
+        }
+        Span {
+            tracer: Some(self.clone()),
+            name,
+            severity: Severity::Info,
+            start: Some(Instant::now()),
+            timed,
+            fields: Vec::new(),
+        }
+    }
+
+    fn emit(&self, event: Event) {
+        let sinks = self.inner.sinks.lock().unwrap_or_else(|e| e.into_inner());
+        for sink in sinks.iter() {
+            sink.emit(&event);
+        }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer").field("active", &self.is_active()).finish()
+    }
+}
+
+/// An in-flight span. Emits an [`Event`] to the tracer's sinks when
+/// finished (explicitly or on drop). Obtained from [`Tracer::span`]
+/// (timed) or [`Tracer::event`] (point event).
+#[must_use = "a span measures the scope it lives in; bind it with `let _span = ...`"]
+pub struct Span {
+    /// `None` when tracing was inactive at creation — the span is then
+    /// inert and all methods are no-ops.
+    tracer: Option<Tracer>,
+    name: &'static str,
+    severity: Severity,
+    start: Option<Instant>,
+    timed: bool,
+    fields: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Attaches a key/value field. The value is only formatted when
+    /// tracing is active.
+    pub fn field(mut self, key: &'static str, value: impl fmt::Display) -> Span {
+        if self.tracer.is_some() {
+            self.fields.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Overrides the severity (default [`Severity::Info`]).
+    pub fn severity(mut self, severity: Severity) -> Span {
+        self.severity = severity;
+        self
+    }
+
+    /// Finishes the span now, emitting it to the sinks. Equivalent to
+    /// dropping it, but reads better at call sites that finish early.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(tracer) = self.tracer.take() else { return };
+        let start = self.start.expect("active span always has a start instant");
+        tracer.emit(Event {
+            name: self.name,
+            severity: self.severity,
+            elapsed: start.duration_since(tracer.inner.epoch),
+            duration: self.timed.then(|| start.elapsed()),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("active", &self.tracer.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::RingSink;
+
+    #[test]
+    fn inactive_spans_emit_nothing_and_skip_field_formatting() {
+        let tracer = Tracer::new();
+        struct Bomb;
+        impl fmt::Display for Bomb {
+            fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+                panic!("field formatted while tracing inactive");
+            }
+        }
+        tracer.span("quiet").field("bomb", Bomb).finish();
+        assert!(!tracer.is_active());
+    }
+
+    #[test]
+    fn spans_carry_duration_events_do_not() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(8));
+        tracer.add_sink(ring.clone());
+
+        tracer.span("timed").field("k", 7).finish();
+        tracer.event("point").severity(Severity::Warn).finish();
+
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "timed");
+        assert!(events[0].duration.is_some());
+        assert_eq!(events[0].field("k"), Some("7"));
+        assert_eq!(events[1].name, "point");
+        assert!(events[1].duration.is_none());
+        assert_eq!(events[1].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn elapsed_is_monotonic_across_spans() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(8));
+        tracer.add_sink(ring.clone());
+        tracer.span("first").finish();
+        tracer.span("second").finish();
+        let events = ring.drain();
+        assert!(events[0].elapsed <= events[1].elapsed);
+    }
+}

@@ -8,8 +8,8 @@
 //! per-machine assignments:
 //!
 //! * [`version`] — package-version queries,
-//! * [`unit`] — package unit tests,
-//! * [`env`] — default-user-environment collection,
+//! * [`mod@unit`] — package unit tests,
+//! * [`mod@env`] — default-user-environment collection,
 //! * [`softenv`] — SoftEnv database collection (§4.1),
 //! * [`service`] — cross-site service probes (GRAM, GridFTP, SSH,
 //!   SRB),

@@ -23,6 +23,11 @@
 //! Storage is bounded by construction: a week of ten-minute samples is
 //! ~1000 rows regardless of how long the deployment runs — the property
 //! that made RRDTool "require very little administration".
+//!
+//! The depot counts every successful update it feeds through here in
+//! `inca_depot_archive_writes_total` and traces each rule-matched
+//! ingest as a `depot.archive.write` span (see `docs/OBSERVABILITY.md`
+//! at the repository root).
 
 pub mod ds;
 pub mod graph;

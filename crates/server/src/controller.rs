@@ -26,6 +26,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use inca_obs::metrics::{Counter, Gauge};
+use inca_obs::{Obs, Severity};
 use inca_report::Timestamp;
 use inca_wire::envelope::{Envelope, EnvelopeMode};
 use inca_wire::frame::{read_frame, write_frame, FrameError};
@@ -59,12 +61,63 @@ pub struct CentralizedController {
     depot: Mutex<Depot>,
     /// Error reports received (the §3.1.3 special reports).
     error_reports: Mutex<u64>,
+    /// Observability handle, inherited from the depot so controller
+    /// and depot metrics share one registry.
+    obs: Obs,
+    /// Accepted submissions (`inca_controller_accepted_total`).
+    accepted: Arc<Counter>,
+    /// Rejected submissions by reason
+    /// (`inca_controller_rejected_total{reason=...}`).
+    rejected_allowlist: Arc<Counter>,
+    rejected_decode: Arc<Counter>,
+    rejected_depot: Arc<Counter>,
+    /// Submissions currently waiting on or holding the depot lock
+    /// (`inca_controller_queue_depth`).
+    queue_depth: Arc<Gauge>,
 }
 
 impl CentralizedController {
-    /// Creates a controller around a depot.
+    /// Creates a controller around a depot. The controller observes
+    /// into the depot's [`Obs`] handle, so pass [`Depot::with_obs`] to
+    /// isolate the whole pipeline's spans and metrics.
     pub fn new(config: ControllerConfig, depot: Depot) -> CentralizedController {
-        CentralizedController { config, depot: Mutex::new(depot), error_reports: Mutex::new(0) }
+        let obs = depot.obs().clone();
+        let metrics = obs.metrics();
+        let accepted = metrics.counter(
+            "inca_controller_accepted_total",
+            "Submissions accepted and forwarded to the depot.",
+        );
+        let rejected = |reason| {
+            metrics.counter_with(
+                "inca_controller_rejected_total",
+                &[("reason", reason)],
+                "Submissions rejected before reaching the depot cache.",
+            )
+        };
+        let rejected_allowlist = rejected("allowlist");
+        let rejected_decode = rejected("decode");
+        let rejected_depot = rejected("depot");
+        let queue_depth = metrics.gauge(
+            "inca_controller_queue_depth",
+            "Submissions waiting on or holding the depot lock.",
+        );
+        CentralizedController {
+            config,
+            depot: Mutex::new(depot),
+            error_reports: Mutex::new(0),
+            obs,
+            accepted,
+            rejected_allowlist,
+            rejected_decode,
+            rejected_depot,
+            queue_depth,
+        }
+    }
+
+    /// The observability handle the controller (and its depot) report
+    /// into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Processes one framed client payload from `peer_host`.
@@ -77,7 +130,14 @@ impl CentralizedController {
         payload: &[u8],
         now: Timestamp,
     ) -> (ServerResponse, Option<DepotTiming>) {
+        let span = self
+            .obs
+            .span("controller.accept")
+            .field("peer", peer_host)
+            .field("bytes", payload.len());
         if !self.config.allowlist.allows(peer_host) {
+            self.rejected_allowlist.inc();
+            span.severity(Severity::Warn).field("rejected", "allowlist").finish();
             return (
                 ServerResponse::Rejected(format!("host {peer_host} not in allowlist")),
                 None,
@@ -85,18 +145,37 @@ impl CentralizedController {
         }
         let message = match ClientMessage::decode(payload) {
             Ok(m) => m,
-            Err(e) => return (ServerResponse::Rejected(e.to_string()), None),
+            Err(e) => {
+                self.rejected_decode.inc();
+                span.severity(Severity::Warn).field("rejected", "decode").finish();
+                return (ServerResponse::Rejected(e.to_string()), None);
+            }
         };
         if message.is_error_report {
             *self.error_reports.lock() += 1;
         }
+        let span = span.field("branch", &message.branch);
         let envelope = Envelope::new(message.branch, message.report_xml);
         let bytes = envelope.encode(self.config.envelope_mode);
-        // All requests serialize through the depot, as in the paper.
-        let mut depot = self.depot.lock();
-        match depot.receive(&bytes, now) {
-            Ok(timing) => (ServerResponse::Ack, Some(timing)),
-            Err(e) => (ServerResponse::Rejected(e.to_string()), None),
+        // All requests serialize through the depot, as in the paper;
+        // the gauge tracks how many submissions are queued on it.
+        self.queue_depth.add(1.0);
+        let result = {
+            let mut depot = self.depot.lock();
+            depot.receive(&bytes, now)
+        };
+        self.queue_depth.sub(1.0);
+        match result {
+            Ok(timing) => {
+                self.accepted.inc();
+                span.finish();
+                (ServerResponse::Ack, Some(timing))
+            }
+            Err(e) => {
+                self.rejected_depot.inc();
+                span.severity(Severity::Warn).field("rejected", "depot").finish();
+                (ServerResponse::Rejected(e.to_string()), None)
+            }
         }
     }
 

@@ -15,7 +15,10 @@
 //! [`ArchiveStore::record`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use inca_obs::metrics::Counter;
+use inca_obs::Obs;
 use inca_report::{BranchId, Report, Timestamp};
 use inca_rrd::{ArchivePolicy, ConsolidationFn, FetchResult, Rrd};
 use inca_xml::IncaPath;
@@ -37,19 +40,35 @@ pub struct ArchiveRule {
 }
 
 /// The depot's collection of archives.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ArchiveStore {
     rules: Vec<ArchiveRule>,
     /// (rule index, full branch string) → per-series RRD.
     rule_series: BTreeMap<(usize, String), Rrd>,
     /// Consumer-recorded summary series.
     manual_series: BTreeMap<String, Rrd>,
+    /// Successful series writes (`inca_depot_archive_writes_total`).
+    writes: Arc<Counter>,
 }
 
 impl ArchiveStore {
-    /// An empty store.
+    /// An empty store observing into [`Obs::global`].
     pub fn new() -> ArchiveStore {
-        ArchiveStore::default()
+        ArchiveStore::with_obs(&Obs::global())
+    }
+
+    /// An empty store whose write counter registers in `obs` (for
+    /// isolated metrics in tests and embedded setups).
+    pub fn with_obs(obs: &Obs) -> ArchiveStore {
+        ArchiveStore {
+            rules: Vec::new(),
+            rule_series: BTreeMap::new(),
+            manual_series: BTreeMap::new(),
+            writes: obs.metrics().counter(
+                "inca_depot_archive_writes_total",
+                "Successful archive series writes (RRD updates).",
+            ),
+        }
     }
 
     /// Uploads a rule ("this configuration has to be done only once").
@@ -88,6 +107,7 @@ impl ArchiveStore {
                 ingested += 1;
             }
         }
+        self.writes.add(ingested as u64);
         ingested
     }
 
@@ -105,7 +125,9 @@ impl ArchiveStore {
         let rrd = self.manual_series.entry(series.to_string()).or_insert_with(|| {
             policy.build(t - period_secs, period_secs).expect("policy compiles to a valid RRD")
         });
-        let _ = rrd.update_single(t, value);
+        if rrd.update_single(t, value).is_ok() {
+            self.writes.inc();
+        }
     }
 
     /// Fetches a rule-fed series for one branch.
@@ -178,6 +200,12 @@ impl ArchiveStore {
         out
     }
 
+    /// Total successful series writes (rule ingests plus consumer
+    /// records) over the store's lifetime.
+    pub fn write_count(&self) -> u64 {
+        self.writes.get()
+    }
+
     /// Restores a store from [`ArchiveStore::dump`] output.
     pub fn restore(text: &str) -> Result<ArchiveStore, String> {
         let mut lines = text.lines().peekable();
@@ -227,6 +255,12 @@ impl ArchiveStore {
             }
         }
         Ok(store)
+    }
+}
+
+impl Default for ArchiveStore {
+    fn default() -> ArchiveStore {
+        ArchiveStore::new()
     }
 }
 

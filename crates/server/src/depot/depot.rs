@@ -9,8 +9,11 @@
 //! [`DepotTiming`] — the data behind Table 4 and Figure 9.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use inca_obs::metrics::{Gauge, Histogram, DEFAULT_LATENCY_BOUNDS};
+use inca_obs::{Obs, Severity};
 use inca_report::{Report, Timestamp};
 use inca_wire::envelope::Envelope;
 use inca_wire::message::WireError;
@@ -74,18 +77,62 @@ impl DepotTiming {
     }
 }
 
-/// The depot: cache, archive, statistics.
-#[derive(Debug, Default)]
+/// The depot: cache, archive, statistics, and their instrumentation.
+#[derive(Debug)]
 pub struct Depot {
     cache: XmlCache,
     archive: ArchiveStore,
     stats: ResponseStats,
+    obs: Obs,
+    /// Envelope-unpack latency (`inca_depot_unpack_seconds`).
+    unpack_hist: Arc<Histogram>,
+    /// Cache-splice latency (`inca_depot_insert_seconds`) — Figure 9's
+    /// lower line.
+    insert_hist: Arc<Histogram>,
+    /// Cache size in bytes (`inca_depot_cache_bytes`).
+    cache_bytes: Arc<Gauge>,
+    /// Cached report count (`inca_depot_cache_reports`).
+    cache_reports: Arc<Gauge>,
 }
 
 impl Depot {
-    /// An empty depot.
+    /// An empty depot observing into [`Obs::global`].
     pub fn new() -> Depot {
-        Depot { cache: XmlCache::new(), archive: ArchiveStore::new(), stats: ResponseStats::new() }
+        Depot::with_obs(Obs::global())
+    }
+
+    /// An empty depot whose spans and metrics go to `obs` (isolated
+    /// registries for tests, embedded setups with their own handle).
+    pub fn with_obs(obs: Obs) -> Depot {
+        let unpack_hist = obs.metrics().histogram(
+            "inca_depot_unpack_seconds",
+            "Time unpacking one received envelope.",
+            &DEFAULT_LATENCY_BOUNDS,
+        );
+        let insert_hist = obs.metrics().histogram(
+            "inca_depot_insert_seconds",
+            "Time splicing one report into the cache document.",
+            &DEFAULT_LATENCY_BOUNDS,
+        );
+        let cache_bytes =
+            obs.metrics().gauge("inca_depot_cache_bytes", "Cache document size in bytes.");
+        let cache_reports =
+            obs.metrics().gauge("inca_depot_cache_reports", "Reports held in the cache.");
+        Depot {
+            cache: XmlCache::new(),
+            archive: ArchiveStore::with_obs(&obs),
+            stats: ResponseStats::new(),
+            obs,
+            unpack_hist,
+            insert_hist,
+            cache_bytes,
+            cache_reports,
+        }
+    }
+
+    /// The observability handle this depot reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Uploads an archival policy rule.
@@ -96,10 +143,21 @@ impl Depot {
     /// Receives one encoded envelope at (virtual) time `now`,
     /// returning the measured timing decomposition.
     pub fn receive(&mut self, envelope_bytes: &[u8], now: Timestamp) -> Result<DepotTiming, DepotError> {
+        let span = self.obs.span("depot.insert").field("bytes", envelope_bytes.len());
         let t0 = Instant::now();
-        let envelope = Envelope::decode(envelope_bytes)?;
+        let envelope = match Envelope::decode(envelope_bytes) {
+            Ok(e) => e,
+            Err(e) => {
+                span.severity(Severity::Warn).field("error", &e).finish();
+                return Err(e.into());
+            }
+        };
+        let span = span.field("branch", &envelope.address);
         let t1 = Instant::now();
-        self.cache.update(&envelope.address, &envelope.report_xml)?;
+        if let Err(e) = self.cache.update(&envelope.address, &envelope.report_xml) {
+            span.severity(Severity::Error).field("error", &e).finish();
+            return Err(e.into());
+        }
         let t2 = Instant::now();
         // Archival: only if some rule matches does the report get
         // re-parsed for value extraction.
@@ -109,8 +167,11 @@ impl Depot {
             .iter()
             .any(|r| envelope.address.matches_suffix(&r.query))
         {
+            let archive_span =
+                self.obs.span("depot.archive.write").field("branch", &envelope.address);
             if let Ok(report) = Report::parse(&envelope.report_xml) {
-                self.archive.ingest(&envelope.address, &report, now);
+                let ingested = self.archive.ingest(&envelope.address, &report, now);
+                archive_span.field("series", ingested).finish();
             }
         }
         let t3 = Instant::now();
@@ -122,6 +183,13 @@ impl Depot {
         };
         self.stats
             .record(timing.report_size, timing.response().as_secs_f64());
+        self.unpack_hist.observe_duration(timing.unpack);
+        self.insert_hist.observe_duration(timing.insert);
+        self.cache_bytes.set(self.cache.size_bytes() as f64);
+        self.cache_reports.set(self.cache.report_count() as f64);
+        span.field("size", timing.report_size)
+            .field("cache_bytes", self.cache.size_bytes())
+            .finish();
         Ok(timing)
     }
 
@@ -164,7 +232,18 @@ impl Depot {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let archive = ArchiveStore::restore(&archive_text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        Ok(Depot { cache, archive, stats: ResponseStats::new() })
+        let mut depot = Depot::new();
+        depot.cache_bytes.set(cache.size_bytes() as f64);
+        depot.cache_reports.set(cache.report_count() as f64);
+        depot.cache = cache;
+        depot.archive = archive;
+        Ok(depot)
+    }
+}
+
+impl Default for Depot {
+    fn default() -> Depot {
+        Depot::new()
     }
 }
 

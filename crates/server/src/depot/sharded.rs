@@ -10,7 +10,10 @@
 //! saving.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use inca_obs::metrics::Gauge;
+use inca_obs::Obs;
 use inca_report::BranchId;
 
 use crate::depot::cache::{CacheError, XmlCache};
@@ -21,13 +24,32 @@ pub struct ShardedCache {
     /// How many general-most hierarchy components form the shard key.
     depth: usize,
     shards: BTreeMap<String, XmlCache>,
+    /// Materialized shard count (`inca_depot_shards`).
+    shards_gauge: Arc<Gauge>,
+    /// Bytes of the largest shard (`inca_depot_shard_largest_bytes`).
+    largest_gauge: Arc<Gauge>,
 }
 
 impl ShardedCache {
     /// Creates a cache sharded on the first `depth` hierarchy
-    /// components (clamped to ≥ 1).
+    /// components (clamped to ≥ 1), observing into [`Obs::global`].
     pub fn new(depth: usize) -> ShardedCache {
-        ShardedCache { depth: depth.max(1), shards: BTreeMap::new() }
+        ShardedCache::with_obs(depth, &Obs::global())
+    }
+
+    /// Like [`ShardedCache::new`], with gauges registered in `obs`.
+    pub fn with_obs(depth: usize, obs: &Obs) -> ShardedCache {
+        ShardedCache {
+            depth: depth.max(1),
+            shards: BTreeMap::new(),
+            shards_gauge: obs
+                .metrics()
+                .gauge("inca_depot_shards", "Materialized cache shards."),
+            largest_gauge: obs.metrics().gauge(
+                "inca_depot_shard_largest_bytes",
+                "Size of the largest cache shard (the document an update streams through).",
+            ),
+        }
     }
 
     /// The shard key for a branch: its `depth` general-most pairs.
@@ -47,10 +69,14 @@ impl ShardedCache {
     /// Inserts or replaces the report at `branch` (touching only its
     /// shard).
     pub fn update(&mut self, branch: &BranchId, report_xml: &str) -> Result<(), CacheError> {
-        self.shards
+        let result = self
+            .shards
             .entry(self.shard_key(branch))
             .or_default()
-            .update(branch, report_xml)
+            .update(branch, report_xml);
+        self.shards_gauge.set(self.shards.len() as f64);
+        self.largest_gauge.set(self.largest_shard_bytes() as f64);
+        result
     }
 
     /// All reports matching a suffix query, across shards.

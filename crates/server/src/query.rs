@@ -7,6 +7,9 @@
 //! identifier: a full identifier returns one report, a suffix returns a
 //! set of related reports, and no identifier returns the entire cache.
 
+use std::sync::Arc;
+
+use inca_obs::metrics::{Histogram, DEFAULT_LATENCY_BOUNDS};
 use inca_report::{BranchId, Report, Timestamp};
 use inca_rrd::{ConsolidationFn, GraphSeries};
 
@@ -17,12 +20,29 @@ use crate::depot::depot::Depot;
 #[derive(Debug)]
 pub struct QueryInterface<'a> {
     depot: &'a Depot,
+    /// Cache-query latency (`inca_depot_query_seconds`), in the
+    /// depot's registry.
+    query_hist: Arc<Histogram>,
 }
 
 impl<'a> QueryInterface<'a> {
-    /// Wraps a depot.
+    /// Wraps a depot. Query metrics register in the depot's
+    /// [`Obs`](inca_obs::Obs) handle.
     pub fn new(depot: &'a Depot) -> Self {
-        QueryInterface { depot }
+        let query_hist = depot.obs().metrics().histogram(
+            "inca_depot_query_seconds",
+            "Time answering one current-data cache query.",
+            &DEFAULT_LATENCY_BOUNDS,
+        );
+        QueryInterface { depot, query_hist }
+    }
+
+    /// Renders every metric of the depot's registry — controller,
+    /// depot, and query instruments alike — in the Prometheus text
+    /// exposition format. This is the pull-style `metrics` endpoint
+    /// for live deployments.
+    pub fn metrics_text(&self) -> String {
+        self.depot.obs().metrics().render()
     }
 
     /// The entire cache document ("In the case that no branch
@@ -35,7 +55,10 @@ impl<'a> QueryInterface<'a> {
     /// The raw cache subtree matching a branch-identifier query, or
     /// `None` when nothing matches.
     pub fn current(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
-        self.depot.cache().subtree(query)
+        let start = std::time::Instant::now();
+        let result = self.depot.cache().subtree(query);
+        self.query_hist.observe_duration(start.elapsed());
+        result
     }
 
     /// The single report at a full branch identifier, parsed.
@@ -56,7 +79,10 @@ impl<'a> QueryInterface<'a> {
 
     /// All cached reports matching a suffix query (or every report).
     pub fn reports(&self, query: Option<&BranchId>) -> Result<Vec<(BranchId, Report)>, CacheError> {
-        let raw = self.depot.cache().reports(query)?;
+        let start = std::time::Instant::now();
+        let raw = self.depot.cache().reports(query);
+        self.query_hist.observe_duration(start.elapsed());
+        let raw = raw?;
         let mut out = Vec::with_capacity(raw.len());
         for (branch, xml) in raw {
             let report = Report::parse(&xml)

@@ -4,6 +4,14 @@
 //! bucket (mean/std/min/max/median and update counts) over a one-week
 //! observation; Figure 8 is the histogram of received report sizes.
 //! [`ResponseStats`] collects both from the live depot.
+//!
+//! The bucketing and summary math (population standard deviation,
+//! midpoint median) live in [`inca_obs::hist::SampleHistogram`] — this
+//! module defines the paper's bucket bounds and adapts the shared
+//! histogram's summaries into Table 4 rows, so Table 4 and Figure 8
+//! come from one source of truth.
+
+use inca_obs::hist::SampleHistogram;
 
 /// Table 4's report-size buckets in bytes: 0–4 KB … 40–50 KB.
 pub const SIZE_BUCKETS: [(usize, usize); 6] = [
@@ -35,12 +43,11 @@ pub struct BucketStats {
 }
 
 /// Collects per-bucket response times and aggregate volume counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ResponseStats {
-    /// Response-time samples (seconds) per bucket, in arrival order.
-    samples: Vec<Vec<f64>>,
-    /// Sizes that fell past the last bucket (tracked, not bucketed).
-    oversize: usize,
+    /// Response-time samples (seconds) bucketed by report size;
+    /// oversize reports land in the histogram's overflow count.
+    hist: SampleHistogram,
     /// Total reports recorded.
     reports: u64,
     /// Total bytes recorded.
@@ -50,7 +57,7 @@ pub struct ResponseStats {
 impl ResponseStats {
     /// An empty collector.
     pub fn new() -> ResponseStats {
-        ResponseStats { samples: vec![Vec::new(); SIZE_BUCKETS.len()], ..Default::default() }
+        ResponseStats { hist: SampleHistogram::new(&SIZE_BUCKETS), reports: 0, bytes: 0 }
     }
 
     /// Index of the bucket for `size` bytes.
@@ -62,10 +69,7 @@ impl ResponseStats {
     pub fn record(&mut self, report_size: usize, response_secs: f64) {
         self.reports += 1;
         self.bytes += report_size as u64;
-        match Self::bucket_index(report_size) {
-            Some(i) => self.samples[i].push(response_secs),
-            None => self.oversize += 1,
-        }
+        self.hist.record(report_size, response_secs);
     }
 
     /// Total reports recorded (§5.2.1's 151,955).
@@ -80,33 +84,20 @@ impl ResponseStats {
 
     /// Reports larger than the largest bucket.
     pub fn oversize_count(&self) -> usize {
-        self.oversize
+        self.hist.overflow_count()
     }
 
     /// Statistics for bucket `i`, or `None` if it has no samples.
     pub fn bucket_stats(&self, i: usize) -> Option<BucketStats> {
-        let samples = self.samples.get(i)?;
-        if samples.is_empty() {
-            return None;
-        }
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
-        let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-        let median = if count % 2 == 1 {
-            sorted[count / 2]
-        } else {
-            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
-        };
+        let s = self.hist.summary(i)?;
         Some(BucketStats {
-            bucket: SIZE_BUCKETS[i],
-            count,
-            mean,
-            std_dev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[count - 1],
-            median,
+            bucket: s.bucket,
+            count: s.count,
+            mean: s.mean,
+            std_dev: s.std_dev,
+            min: s.min,
+            max: s.max,
+            median: s.median,
         })
     }
 
@@ -118,11 +109,7 @@ impl ResponseStats {
     /// Update counts per bucket (including empty ones) — Figure 8's
     /// histogram data.
     pub fn size_histogram(&self) -> Vec<((usize, usize), usize)> {
-        SIZE_BUCKETS
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b, self.samples[i].len()))
-            .collect()
+        self.hist.counts()
     }
 
     /// Fraction of recorded reports smaller than `threshold` bytes
@@ -132,13 +119,13 @@ impl ResponseStats {
         if self.reports == 0 {
             return 0.0;
         }
-        let below: usize = SIZE_BUCKETS
-            .iter()
-            .enumerate()
-            .filter(|(_, &(_, hi))| hi <= threshold)
-            .map(|(i, _)| self.samples[i].len())
-            .sum();
-        below as f64 / self.reports as f64
+        self.hist.bucketed_below(threshold) as f64 / self.reports as f64
+    }
+}
+
+impl Default for ResponseStats {
+    fn default() -> ResponseStats {
+        ResponseStats::new()
     }
 }
 
@@ -155,6 +142,18 @@ mod tests {
         assert_eq!(ResponseStats::bucket_index(23_168), Some(3));
         assert_eq!(ResponseStats::bucket_index(45_527), Some(5));
         assert_eq!(ResponseStats::bucket_index(51 * 1024), None);
+    }
+
+    #[test]
+    fn static_and_histogram_bucketing_agree() {
+        let stats = ResponseStats::new();
+        for size in [0, 851, 4 * 1024, 9_257, 23_168, 45_527, 51 * 1024, usize::MAX] {
+            assert_eq!(
+                ResponseStats::bucket_index(size),
+                stats.hist.bucket_index(size),
+                "divergent bucketing for size {size}"
+            );
+        }
     }
 
     #[test]

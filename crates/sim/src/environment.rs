@@ -67,7 +67,7 @@ impl UserEnvironment {
 }
 
 /// The SoftEnv database: named keys users add to their `.soft` files
-/// to manipulate their environment (§4.1's SoftEnv tool [30]).
+/// to manipulate their environment (§4.1's SoftEnv tool \[30\]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SoftEnvDb {
     /// key → macro definition (what the key expands to).

@@ -241,7 +241,7 @@ impl FailureModel {
             if cursor >= horizon {
                 break;
             }
-            let duration = rng.gen_range(2 * 3_600..12 * 3_600);
+            let duration = rng.gen_range(2 * 3_600u64..12 * 3_600);
             let package = candidates[rng.gen_range(0..candidates.len())];
             package_faults.push(PackageFault {
                 package: package.to_string(),
@@ -257,6 +257,29 @@ impl FailureModel {
             service_outages,
             package_faults,
         }
+    }
+
+    /// Publishes this model's injected faults into `obs` as
+    /// `inca_sim_injected_faults_total{kind=...}` counters. Call once
+    /// per generated model (typically when a resource joins the VO);
+    /// counts aggregate across every model sharing the handle.
+    pub fn publish_metrics(&self, obs: &inca_obs::Obs) {
+        let count = |kind: &str, n: u64| {
+            obs.metrics()
+                .counter_with(
+                    "inca_sim_injected_faults_total",
+                    &[("kind", kind)],
+                    "Faults injected into the simulated VO, by kind.",
+                )
+                .add(n);
+        };
+        count("resource_outage", self.resource_outages.intervals().len() as u64);
+        count(
+            "service_outage",
+            self.service_outages.values().map(|s| s.intervals().len() as u64).sum(),
+        );
+        count("package_fault", self.package_faults.len() as u64);
+        count("maintenance_window", self.maintenance.len() as u64);
     }
 }
 

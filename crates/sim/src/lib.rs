@@ -30,6 +30,12 @@
 //!
 //! Everything is deterministic given a seed: two runs of the same
 //! experiment produce identical failures, bandwidths and report sizes.
+//!
+//! The faults a generated VO will inject are published as
+//! `inca_sim_injected_faults_total{kind=…}` counters (see
+//! [`failure::FailureModel::publish_metrics`] and
+//! `docs/OBSERVABILITY.md` at the repository root), so a run's
+//! detected failures can be reconciled against its injected ones.
 
 pub mod clock;
 pub mod environment;

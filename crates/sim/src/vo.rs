@@ -201,6 +201,7 @@ impl Vo {
         for (spec, _reporters) in teragrid_machines() {
             let failure =
                 FailureModel::teragrid_default(seed, &spec.hostname, start, end);
+            failure.publish_metrics(&inca_obs::Obs::global());
             vo.add_resource(VoResource::healthy(spec).with_failure(failure));
         }
         vo

@@ -17,6 +17,12 @@
 //! [`allowlist`] implements the centralized controller's host check:
 //! "it checks the host against a list of hostnames to see whether it
 //! should accept the connection".
+//!
+//! This crate is pure codec — no I/O, no clocks — which is what lets
+//! the server instrument both hops: envelope-unpack time lands in the
+//! `inca_depot_unpack_seconds` histogram and decode failures in
+//! `inca_controller_rejected_total{reason="decode"}` (see
+//! `docs/OBSERVABILITY.md` at the repository root).
 
 pub mod allowlist;
 pub mod envelope;

@@ -1,0 +1,68 @@
+//! The observability layer end to end: a traced controller→depot
+//! pipeline on an isolated [`Obs`] handle, spans captured in a ring
+//! buffer, and the run's metrics rendered in Prometheus text format.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use inca::obs::sinks::{format_line, RingSink, StderrSink};
+use inca::obs::Obs;
+use inca::prelude::*;
+use inca::rrd::ArchivePolicy;
+use inca::server::{ArchiveRule, ControllerConfig};
+use inca::wire::message::ClientMessage;
+use inca::wire::HostAllowlist;
+
+fn main() {
+    // An isolated handle: private metrics registry, private sinks.
+    // (Components built without one share `Obs::global()` instead.)
+    let obs = Obs::new();
+    obs.tracer().add_sink(Arc::new(StderrSink));
+    let ring = Arc::new(RingSink::new(1_024));
+    obs.tracer().add_sink(ring.clone());
+
+    // A §3.2 pipeline: allowlist → envelope → cache splice → archive.
+    let mut depot = Depot::with_obs(obs.clone());
+    depot.add_archive_rule(ArchiveRule {
+        name: "probe-bandwidth".into(),
+        query: "vo=demo".parse().unwrap(),
+        path: "bandwidth".parse().unwrap(),
+        policy: ArchivePolicy::every("hourly", 14 * 86_400),
+        period_secs: 3_600,
+    });
+    let server = CentralizedController::new(
+        ControllerConfig {
+            allowlist: HostAllowlist::from_entries(["inca.sdsc.edu".to_string()]),
+            envelope_mode: EnvelopeMode::Body,
+        },
+        depot,
+    );
+
+    // Submit a few reports (one rejected, to show the failure path).
+    let t0 = Timestamp::from_gmt(2004, 7, 9, 4, 17, 0);
+    for i in 0..5u64 {
+        let report = ReportBuilder::new("probe.bandwidth", "1.0")
+            .host("inca.sdsc.edu")
+            .gmt(t0 + i * 3_600)
+            .body_value("bandwidth", "34.1")
+            .success()
+            .unwrap();
+        let branch: BranchId = "reporter=probe.bandwidth,vo=demo".parse().unwrap();
+        let message = ClientMessage::report("inca.sdsc.edu", branch, &report);
+        server.submit("inca.sdsc.edu", &message.encode(), t0 + i * 3_600);
+    }
+    server.submit("rogue.example.org", b"<incaMessage/>", t0);
+
+    // The ring sink kept every span for programmatic inspection.
+    let events = ring.drain();
+    println!("--- {} spans captured; first and last: ---", events.len());
+    println!("{}", format_line(events.first().unwrap()));
+    println!("{}", format_line(events.last().unwrap()));
+
+    // The same run as a Prometheus scrape.
+    println!("\n--- QueryInterface::metrics_text() ---");
+    print!("{}", server.with_depot(|d| QueryInterface::new(d).metrics_text()));
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Documentation gate, run alongside the tier-1 suite (scripts/verify.sh):
+#   1. rustdoc over the whole workspace with warnings promoted to errors
+#      (broken intra-doc links, missing code-block languages, ...);
+#   2. a link check over every tracked *.md file: local link targets
+#      must exist, and markdown source-file links stay honest.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== cargo doc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+echo "== markdown link check =="
+# Pull every inline markdown link/image target out of the tracked .md
+# files and verify that relative ones resolve on disk (anchors and
+# external URLs are skipped - the build environment is offline).
+fail=0
+for md in $(git ls-files '*.md'); do
+  dir=$(dirname "$md")
+  for target in $(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//'); do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $md -> $target"
+      fail=1
+    fi
+  done
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "docs OK"

@@ -1,0 +1,16 @@
+#!/bin/sh
+# The full verify flow: the tier-1 gate (ROADMAP.md) plus the
+# documentation gate.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== docs =="
+scripts/check-docs.sh
+
+echo "verify OK"

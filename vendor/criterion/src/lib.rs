@@ -1,0 +1,203 @@
+//! In-tree stand-in for the subset of the `criterion` API this
+//! workspace's benches use, with no external dependencies.
+//!
+//! The build environment is fully offline (no registry access), so the
+//! workspace vendors a minimal harness instead of the real crate. It
+//! runs each benchmark closure through a short warm-up, then measures a
+//! fixed batch of iterations and prints a single `name: time/iter`
+//! line. There is no statistical analysis, outlier detection, or HTML
+//! report — the goal is that `cargo bench` compiles, runs, and prints
+//! usable ballpark numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Warm-up iterations before timing starts.
+const WARMUP_ITERS: u32 = 10;
+/// Minimum measured wall time per benchmark.
+const MIN_MEASURE: Duration = Duration::from_millis(200);
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput (accepted, not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id naming only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Per-iteration throughput declaration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures repeated executions of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(body());
+        }
+        // Calibrate a batch size so measurement covers MIN_MEASURE.
+        let probe_start = Instant::now();
+        black_box(body());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (MIN_MEASURE.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(body());
+        }
+        self.total = start.elapsed();
+        self.iters = batch;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters as u32
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    println!(
+        "bench {name}: {:?}/iter ({} iters)",
+        bencher.per_iter(),
+        bencher.iters
+    );
+}
+
+/// Declares a function grouping several benchmark target functions,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(shim_group, tiny);
+
+    #[test]
+    fn harness_runs_groups_and_parameterised_benches() {
+        shim_group();
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Bytes(128));
+        group.bench_with_input(BenchmarkId::from_parameter(128), &128u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(3) * 3));
+        group.finish();
+    }
+}

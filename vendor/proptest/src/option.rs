@@ -1,0 +1,45 @@
+//! Option strategies (`proptest::option::of`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Option<S::Value>` (see [`of`]).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        // Bias toward Some (3:1) so inner values are well exercised
+        // while None still appears regularly.
+        if rng.gen_range(0..4u8) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Generates `None` or `Some` of the inner strategy's values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..10);
+        let mut rng = rng_for_test("option::variants");
+        let values: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

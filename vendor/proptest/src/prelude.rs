@@ -1,0 +1,5 @@
+//! The glob-import surface test files use (`use proptest::prelude::*`).
+
+pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,41 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy choosing uniformly from a fixed list (see [`select`]).
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.items[rng.gen_range(0..self.items.len())].clone()
+    }
+}
+
+/// Picks uniformly from `items` (must be non-empty).
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select: empty list");
+    Select { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn covers_all_items() {
+        let s = select(vec!["a", "b", "c"]);
+        let mut rng = rng_for_test("sample::covers");
+        let picks: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        for item in ["a", "b", "c"] {
+            assert!(picks.contains(&item), "{item} never selected");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! String strategies from a small generation-only regex subset
+//! (`proptest::string::string_regex`).
+//!
+//! Supported syntax (everything this workspace's tests use):
+//!
+//! - literal characters, including non-ASCII;
+//! - character classes `[...]` with literals and `a-z` ranges
+//!   (a `-` first or last is literal; negation is unsupported);
+//! - `\PC` — any non-control character, drawn from printable ASCII
+//!   plus a handful of non-ASCII code points;
+//! - `\d`, `\w`, `\s` shorthand classes, and `\x` escapes for
+//!   literal metacharacters;
+//! - repetition `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded forms
+//!   cap at 8 repeats).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A regex pattern the subset cannot express.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One atom plus its repetition bounds (inclusive).
+struct Piece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching a compiled pattern.
+pub struct RegexGeneratorStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min + rng.gen_range(0..piece.max - piece.min + 1);
+            for _ in 0..n {
+                out.push(piece.chars[rng.gen_range(0..piece.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Compiles `pattern` into a string-generation strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                class
+            }
+            '\\' => {
+                let (class, next) = parse_escape(&chars, i + 1)?;
+                i = next;
+                class
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!(
+                    "unsupported regex construct {:?} in {pattern:?}",
+                    chars[i]
+                )));
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if atom.is_empty() {
+            return Err(Error(format!("empty character class in {pattern:?}")));
+        }
+        let (min, max, next) = parse_repetition(&chars, i)?;
+        i = next;
+        pieces.push(Piece { chars: atom, min, max });
+    }
+    Ok(RegexGeneratorStrategy { pieces })
+}
+
+/// Parses a `[...]` body starting just past the `[`; returns the flat
+/// character set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+    if chars.get(i) == Some(&'^') {
+        return Err(Error("negated character classes are unsupported".into()));
+    }
+    let mut set = Vec::new();
+    while let Some(&c) = chars.get(i) {
+        match c {
+            ']' => return Ok((set, i + 1)),
+            '\\' => {
+                let (sub, next) = parse_escape(chars, i + 1)?;
+                set.extend(sub);
+                i = next;
+            }
+            lo => {
+                // A `-` between two chars is a range unless it abuts `]`.
+                if chars.get(i + 1) == Some(&'-')
+                    && chars.get(i + 2).is_some_and(|&c2| c2 != ']')
+                {
+                    let hi = chars[i + 2];
+                    if lo > hi {
+                        return Err(Error(format!("invalid range {lo}-{hi}")));
+                    }
+                    let mut cur = lo as u32;
+                    while cur <= hi as u32 {
+                        if let Some(ch) = char::from_u32(cur) {
+                            set.push(ch);
+                        }
+                        cur += 1;
+                    }
+                    i += 3;
+                } else {
+                    set.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+    Err(Error("unterminated character class".into()))
+}
+
+/// Parses an escape starting just past the `\`; returns the character
+/// set it denotes and the index past the escape.
+fn parse_escape(chars: &[char], i: usize) -> Result<(Vec<char>, usize), Error> {
+    match chars.get(i) {
+        Some('P') => match chars.get(i + 1) {
+            // \PC: any character NOT in Unicode category C (control).
+            Some('C') => Ok((non_control_pool(), i + 2)),
+            other => Err(Error(format!("unsupported category escape \\P{other:?}"))),
+        },
+        Some('d') => Ok((('0'..='9').collect(), i + 1)),
+        Some('w') => {
+            let mut set: Vec<char> = ('a'..='z').collect();
+            set.extend('A'..='Z');
+            set.extend('0'..='9');
+            set.push('_');
+            Ok((set, i + 1))
+        }
+        Some('s') => Ok((vec![' ', '\t'], i + 1)),
+        Some(&c) => Ok((vec![c], i + 1)),
+        None => Err(Error("dangling backslash".into())),
+    }
+}
+
+/// Parses an optional repetition operator at `i`; returns
+/// `(min, max_inclusive, next_index)`.
+fn parse_repetition(chars: &[char], i: usize) -> Result<(usize, usize, usize), Error> {
+    match chars.get(i) {
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('*') => Ok((0, 8, i + 1)),
+        Some('+') => Ok((1, 8, i + 1)),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error("unterminated {} repetition".into()))?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().map_err(|_| bad_rep(&body))?,
+                    hi.trim().parse().map_err(|_| bad_rep(&body))?,
+                ),
+                None => {
+                    let n = body.trim().parse().map_err(|_| bad_rep(&body))?;
+                    (n, n)
+                }
+            };
+            if min > max {
+                return Err(bad_rep(&body));
+            }
+            Ok((min, max, close + 1))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+fn bad_rep(body: &str) -> Error {
+    Error(format!("invalid repetition {{{body}}}"))
+}
+
+/// The sample pool for `\PC`: printable ASCII (which includes the
+/// XML-special characters `< > & " '` that make it a useful fuzzing
+/// alphabet) plus assorted non-ASCII code points.
+fn non_control_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    pool.extend(['£', 'é', 'ñ', 'ß', '€', 'Ω', '中', '☃']);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    fn all(pattern: &str, checks: impl Fn(&str) -> bool) {
+        let strat = string_regex(pattern).unwrap();
+        let mut rng = rng_for_test(pattern);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(checks(&s), "pattern {pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        all("[ -~£énß]{0,40}", |s| {
+            s.chars().count() <= 40
+                && s.chars().all(|c| {
+                    (' '..='~').contains(&c) || ['£', 'é', 'n', 'ß'].contains(&c)
+                })
+        });
+    }
+
+    #[test]
+    fn leading_atom_then_repeated_class() {
+        all("[a-zA-Z_][a-zA-Z0-9_.-]{0,12}", |s| {
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            (first.is_ascii_alphabetic() || first == '_')
+                && cs.all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c))
+                && s.chars().count() <= 13
+        });
+    }
+
+    #[test]
+    fn non_control_category() {
+        all("\\PC{0,160}", |s| {
+            s.chars().count() <= 160 && s.chars().all(|c| !c.is_control())
+        });
+    }
+
+    #[test]
+    fn exact_repetition_and_shorthand() {
+        all("\\d{3}", |s| s.len() == 3 && s.chars().all(|c| c.is_ascii_digit()));
+        all("[a-z0-9]{1,8}", |s| {
+            (1..=8).contains(&s.len())
+                && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(string_regex("(group)").is_err());
+        assert!(string_regex("[^abc]").is_err());
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}
