@@ -1,0 +1,212 @@
+//! `--trace-json` output must be machine-readable: every line one
+//! valid JSON object with the documented keys. Runs the fig4
+//! experiment binary for a shortened horizon and validates the file
+//! with a small recursive-descent JSON checker (no external parser in
+//! this workspace).
+
+use std::process::Command;
+
+/// A strict-enough JSON syntax validator: objects, arrays, strings
+/// with escapes, numbers, literals. Returns the byte offset of the
+/// first error.
+struct JsonCheck<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCheck<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonCheck { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn validate(mut self) -> Result<(), String> {
+        self.ws();
+        self.value()?;
+        self.ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(
+                                    self.peek(),
+                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                ) {
+                                    return Err(format!(
+                                        "bad \\u escape at offset {}",
+                                        self.pos
+                                    ));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control byte 0x{c:02x} in string"))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>().map(|_| ()).map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+}
+
+#[test]
+fn trace_json_output_is_valid_jsonl() {
+    let path = std::env::temp_dir().join(format!("inca-trace-{}.jsonl", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_fig4"))
+        .env("INCA_HOURS", "1")
+        .arg("--trace-json")
+        .arg(&path)
+        .output()
+        .expect("fig4 binary runs");
+    assert!(output.status.success(), "fig4 failed: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Figure 4"), "experiment output intact:\n{stdout}");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1_000, "an hour of the deployment emits many spans, got {}", lines.len());
+
+    let mut traced_lines = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        JsonCheck::new(line)
+            .validate()
+            .unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+        for key in ["\"elapsed_s\":", "\"severity\":\"", "\"name\":\"", "\"fields\":{"] {
+            assert!(line.contains(key), "line {} missing {key}: {line}", i + 1);
+        }
+        if line.contains("\"trace_id\":\"") {
+            traced_lines += 1;
+            assert!(line.contains("\"span_id\":\""), "trace without span id: {line}");
+            assert!(line.contains("\"parent_span_id\":\""), "trace without parent: {line}");
+        }
+    }
+    assert!(
+        traced_lines > 500,
+        "pipeline spans should carry trace context, got {traced_lines} of {}",
+        lines.len()
+    );
+}

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 use inca_obs::metrics::Counter;
-use inca_obs::{Obs, Severity};
+use inca_obs::{Obs, Severity, TraceContext};
 use inca_report::{Header, Report, Timestamp};
 use inca_reporters::catalog::CatalogEntry;
 use inca_reporters::{Reporter, ReporterContext};
@@ -38,6 +38,9 @@ pub struct RunStats {
     pub skipped_dependency: u64,
     /// Submissions the server rejected or that failed to transmit.
     pub forward_errors: u64,
+    /// Fires swallowed because the daemon's own host was down (only
+    /// when offline-when-down modelling is enabled).
+    pub offline_skips: u64,
 }
 
 /// The per-resource client daemon.
@@ -64,6 +67,15 @@ pub struct DistributedController {
     skipped: Arc<Counter>,
     /// Rejected or failed forwards (`inca_daemon_forward_errors_total`).
     forward_errs: Arc<Counter>,
+    /// Fires swallowed while the host was down
+    /// (`inca_daemon_offline_skips_total`).
+    offline: Arc<Counter>,
+    /// When set, a fire on a down host (per the VO's failure model) is
+    /// swallowed instead of executed — the daemon process lives on the
+    /// resource it monitors, so an outage silences it. Off by default:
+    /// the paper's availability experiments measure the *reporters*
+    /// detecting the outage, which requires the daemon to keep running.
+    offline_when_down: bool,
 }
 
 impl DistributedController {
@@ -100,6 +112,10 @@ impl DistributedController {
             "inca_daemon_forward_errors_total",
             "Report submissions rejected by the server or lost in transit.",
         );
+        let offline = metrics.counter(
+            "inca_daemon_offline_skips_total",
+            "Reporter fires swallowed because the daemon's host was down.",
+        );
         DistributedController {
             spec,
             scheduler,
@@ -115,7 +131,18 @@ impl DistributedController {
             missed,
             skipped,
             forward_errs,
+            offline,
+            offline_when_down: false,
         }
+    }
+
+    /// Makes the daemon go silent while its host is down (per the VO's
+    /// failure model): due fires are swallowed and counted instead of
+    /// executed, so no report — not even an error report — reaches the
+    /// server until the host recovers. This is the realistic outage
+    /// shape the health subsystem's staleness rules detect.
+    pub fn set_offline_when_down(&mut self, offline: bool) {
+        self.offline_when_down = offline;
     }
 
     /// Registers a runnable reporter under its own name.
@@ -230,16 +257,36 @@ impl DistributedController {
 
     fn execute_entry(&mut self, idx: usize, t: Timestamp, vo: &Vo) {
         let entry = self.spec.entries[idx].clone();
+        if self.offline_when_down
+            && vo.resource(&self.spec.resource).is_some_and(|r| !r.is_up(t))
+        {
+            self.stats.offline_skips += 1;
+            self.offline.inc();
+            self.obs
+                .event("daemon.offline_skip")
+                .severity(Severity::Warn)
+                .field("reporter", &entry.reporter)
+                .field("resource", &self.spec.resource)
+                .field("fired_at", t.as_secs())
+                .finish();
+            return;
+        }
         self.stats.executed += 1;
         let duration = self.duration_model.duration_secs(&entry.reporter, t);
         let expected = entry.expected_runtime_secs.max(1);
+        // The report's lifecycle trace starts here: the root context is
+        // minted per fire and carried on the wire so the server and
+        // depot spans (and histogram exemplars) join the same trace.
+        let ctx = TraceContext::root();
         let span = self
             .obs
             .span("daemon.run")
+            .trace_ctx(ctx)
             .field("reporter", &entry.reporter)
             .field("resource", &self.spec.resource)
             .field("fired_at", t.as_secs())
             .field("sim_duration_s", duration);
+        let wire_ctx = span.child_ctx().unwrap_or(ctx);
 
         if duration > expected {
             // Killed: the daemon terminates the fork at t + expected
@@ -258,11 +305,14 @@ impl DistributedController {
                 ),
             );
             self.scheduler.record_outcome(&entry.reporter, false);
-            self.forward(ClientMessage::error_report(
-                self.spec.resource.clone(),
-                entry.branch.clone(),
-                &report,
-            ));
+            self.forward(
+                ClientMessage::error_report(
+                    self.spec.resource.clone(),
+                    entry.branch.clone(),
+                    &report,
+                )
+                .with_trace(wire_ctx),
+            );
             return;
         }
 
@@ -301,11 +351,10 @@ impl DistributedController {
         }
         span.field("outcome", if success { "succeeded" } else { "failed" }).finish();
         self.scheduler.record_outcome(&entry.reporter, success);
-        self.forward(ClientMessage::report(
-            self.spec.resource.clone(),
-            entry.branch.clone(),
-            &report,
-        ));
+        self.forward(
+            ClientMessage::report(self.spec.resource.clone(), entry.branch.clone(), &report)
+                .with_trace(wire_ctx),
+        );
     }
 
     fn forward(&mut self, message: ClientMessage) {
@@ -397,6 +446,67 @@ mod tests {
             assert!(report.is_success());
             assert_eq!(report.header.reporter, "version.globus");
         }
+    }
+
+    #[test]
+    fn every_forward_carries_a_fresh_trace_context() {
+        let transport = Arc::new(CollectingTransport::new());
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        )]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 3 * 3_600);
+        let sent = transport.take_sent();
+        assert_eq!(sent.len(), 3);
+        let mut trace_ids = std::collections::HashSet::new();
+        for m in &sent {
+            let ctx = m.trace.expect("every forwarded report carries a trace context");
+            assert_ne!(ctx.trace_id, 0);
+            assert!(trace_ids.insert(ctx.trace_id), "each fire mints its own trace");
+        }
+    }
+
+    #[test]
+    fn offline_when_down_swallows_fires_silently() {
+        use inca_sim::{FailureModel, OutageSchedule};
+        let transport = Arc::new(CollectingTransport::new());
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        )]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        daemon.set_offline_when_down(true);
+
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        let mut vo = Vo::new("tg", vec![], NetworkModel::new(0));
+        let mut res = VoResource::healthy(ResourceSpec::new("host.sdsc.edu", "sdsc", 2, "x", 1000, 2.0));
+        res.failure = FailureModel {
+            resource_outages: OutageSchedule::from_intervals(vec![(start, start + 2 * 3_600)]),
+            ..FailureModel::none()
+        };
+        vo.add_resource(res);
+
+        // Fires at 00:20 and 01:20 hit the outage; 02:20 runs normally.
+        daemon.run_until(&vo, start, start + 3 * 3_600);
+        let stats = daemon.stats();
+        assert_eq!(stats.offline_skips, 2, "{stats:?}");
+        assert_eq!(stats.executed, 1, "{stats:?}");
+        assert_eq!(
+            transport.take_sent().len(),
+            1,
+            "a down host sends nothing, not even error reports"
+        );
     }
 
     #[test]

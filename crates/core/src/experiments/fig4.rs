@@ -44,9 +44,8 @@ pub fn run(seed: u64, hours: u64) -> StatusPage {
         SimOptions {
             envelope_mode: EnvelopeMode::Body,
             verify_every_secs: None, // the page itself is built at the end
-            verify_resources: Vec::new(),
             track_availability: false,
-            obs: None,
+            ..Default::default()
         },
     )
     .run();

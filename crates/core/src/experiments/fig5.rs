@@ -38,7 +38,7 @@ pub fn run(seed: u64, days: u64) -> GraphSeries {
             verify_every_secs: Some(600),
             verify_resources: vec![(TRACKED_SITE.into(), TRACKED_HOST.into())],
             track_availability: true,
-            obs: None,
+            ..Default::default()
         },
     )
     .run();

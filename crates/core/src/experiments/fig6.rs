@@ -53,9 +53,8 @@ pub fn run(seed: u64, days: u64) -> GraphSeries {
         SimOptions {
             envelope_mode: EnvelopeMode::Body,
             verify_every_secs: None,
-            verify_resources: Vec::new(),
             track_availability: false,
-            obs: None,
+            ..Default::default()
         },
     )
     .run();

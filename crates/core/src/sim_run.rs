@@ -15,6 +15,7 @@ use std::sync::Arc;
 use inca_agreement::{verify_resource, ComplianceSummary};
 use inca_consumer::{build_status_page, AvailabilityTracker, StatusPage};
 use inca_controller::{DistributedController, Transport};
+use inca_health::{render_health_page, HealthMonitor, SloRule};
 use inca_obs::Obs;
 use inca_report::{BranchId, Timestamp};
 use inca_server::{
@@ -63,6 +64,21 @@ pub struct SimOptions {
     /// tests pass a fresh handle to get an isolated metrics registry
     /// and private trace sinks.
     pub obs: Option<Obs>,
+    /// SLO rules for the self-monitoring [`HealthMonitor`], or `None`
+    /// to disable health evaluation. The monitor shares the run's
+    /// `Obs` handle, so its alerts land in the same trace sinks and
+    /// its `inca_health_*` metrics in the same registry as the
+    /// pipeline it watches.
+    pub health_rules: Option<Vec<SloRule>>,
+    /// Health evaluation cadence in simulated seconds (paper cadence
+    /// for recomputed status pages: every ten minutes).
+    pub health_every_secs: u64,
+    /// When true, a daemon whose host resource is down swallows its
+    /// reporter fires — modelling the real deployment, where the
+    /// distributed controller dies with its host and the depot simply
+    /// stops hearing from it. Default false: the paper's availability
+    /// experiments (§5.1) need daemons alive to report failures.
+    pub offline_when_down: bool,
 }
 
 impl Default for SimOptions {
@@ -73,6 +89,9 @@ impl Default for SimOptions {
             verify_resources: Vec::new(),
             track_availability: true,
             obs: None,
+            health_rules: None,
+            health_every_secs: 600,
+            offline_when_down: false,
         }
     }
 }
@@ -87,6 +106,12 @@ pub struct SimOutcome {
     pub server: Arc<CentralizedController>,
     /// Number of verification passes performed.
     pub verification_passes: u64,
+    /// The health monitor after the run (alert history and firing
+    /// set), when [`SimOptions::health_rules`] was set.
+    pub health: Option<HealthMonitor>,
+    /// The rendered self-monitoring page at the end of the horizon,
+    /// when health monitoring was enabled.
+    pub health_page: Option<String>,
 }
 
 /// A wired, runnable simulation.
@@ -97,6 +122,7 @@ pub struct SimRun {
     daemons: Vec<DistributedController>,
     now: Arc<Mutex<Timestamp>>,
     tracker: AvailabilityTracker,
+    monitor: Option<HealthMonitor>,
 }
 
 impl SimRun {
@@ -131,9 +157,14 @@ impl SimRun {
                 deployment.seed ^ assignment.hostname.len() as u64,
                 obs.clone(),
             );
+            daemon.set_offline_when_down(options.offline_when_down);
             daemon.register_from_catalog(&deployment.catalog);
             daemons.push(daemon);
         }
+        let monitor = options
+            .health_rules
+            .clone()
+            .map(|rules| HealthMonitor::with_obs(rules, obs.clone()));
         SimRun {
             deployment,
             options,
@@ -141,6 +172,7 @@ impl SimRun {
             daemons,
             now,
             tracker: AvailabilityTracker::figure5(),
+            monitor,
         }
     }
 
@@ -195,6 +227,8 @@ impl SimRun {
         }
         let verify_every = self.options.verify_every_secs;
         let mut next_verify = verify_every.map(|v| start + v);
+        let health_every = self.options.health_every_secs.max(1);
+        let mut next_health = self.monitor.is_some().then(|| start + health_every);
         let mut passes = 0u64;
         loop {
             // The earliest pending event across all daemons.
@@ -203,12 +237,8 @@ impl SimRun {
                 .iter()
                 .filter_map(DistributedController::peek_next)
                 .min();
-            let next_event = match (next_fire, next_verify) {
-                (Some(f), Some(v)) => Some(f.min(v)),
-                (Some(f), None) => Some(f),
-                (None, Some(v)) => Some(v),
-                (None, None) => None,
-            };
+            let next_event =
+                [next_fire, next_verify, next_health].into_iter().flatten().min();
             let Some(t) = next_event else { break };
             if t >= end {
                 break;
@@ -218,6 +248,15 @@ impl SimRun {
                 self.verification_pass(t);
                 passes += 1;
                 next_verify = Some(t + verify_every.expect("next_verify implies cadence"));
+            }
+            if Some(t) == next_health {
+                let server = Arc::clone(&self.server);
+                if let Some(monitor) = self.monitor.as_mut() {
+                    server.with_depot(|depot| {
+                        monitor.evaluate(depot, t);
+                    });
+                }
+                next_health = Some(t + health_every);
             }
             for daemon in &mut self.daemons {
                 if daemon.peek_next() == Some(t) {
@@ -235,11 +274,25 @@ impl SimRun {
                 end,
             )
         });
+        // One closing health pass at the horizon, so alerts whose
+        // condition cleared near the end resolve, then the summary
+        // page — Inca monitoring Inca.
+        let health_page = {
+            let server = Arc::clone(&self.server);
+            self.monitor.as_mut().map(|monitor| {
+                server.with_depot(|depot| {
+                    monitor.evaluate(depot, end);
+                    render_health_page(depot, monitor, end)
+                })
+            })
+        };
         SimOutcome {
             final_page,
             daemons: self.daemons,
             server: self.server,
             verification_passes: passes,
+            health: self.monitor,
+            health_page,
         }
     }
 }

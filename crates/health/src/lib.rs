@@ -1,0 +1,41 @@
+//! Self-monitoring for the Inca reproduction: Inca monitoring Inca.
+//!
+//! The paper's deployment section (§5) is a story of discovering,
+//! after the fact, that parts of the framework itself had degraded —
+//! depot inserts slowing as the cache grew, reporters silently not
+//! running through maintenance windows. This crate closes that loop
+//! by pointing the framework's own instruments at itself:
+//!
+//! - [`rules`] — declarative SLO rules in a one-line-per-rule text
+//!   format: per-resource report staleness, controller error rate and
+//!   queue depth, depot insert-latency quantiles.
+//! - [`engine`] — [`HealthMonitor`] evaluates the rules against the
+//!   depot cache and the shared metrics registry, tracks
+//!   firing/resolved alerts edge-triggered across passes, and emits
+//!   `health.alert` events through the observability trace sinks.
+//! - [`page`] — renders the monitor's state as a status page through
+//!   the same [`QueryInterface`](inca_server::QueryInterface) and
+//!   table renderer the consumer uses for reporter data.
+//!
+//! ```
+//! use inca_health::{default_rules, HealthMonitor};
+//! use inca_obs::Obs;
+//! use inca_report::Timestamp;
+//! use inca_server::Depot;
+//!
+//! let obs = Obs::new();
+//! let depot = Depot::with_obs(obs.clone());
+//! let mut monitor = HealthMonitor::with_obs(default_rules("teragrid"), obs);
+//! let transitions = monitor.evaluate(&depot, Timestamp::from_secs(0));
+//! assert!(transitions.is_empty()); // nothing to alert on yet
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod page;
+pub mod rules;
+
+pub use engine::{AlertState, AlertTransition, FiringAlert, HealthMonitor};
+pub use page::render_health_page;
+pub use rules::{default_rules, parse_rules, RuleError, SloKind, SloRule};

@@ -1,0 +1,143 @@
+//! The self-monitoring status page.
+//!
+//! Renders the monitor's view of the deployment the same way the
+//! consumer renders reporter data (§3.2.4): fixed-width tables a
+//! cron-driven page generator can drop into the archived web pages.
+//! Inca monitoring Inca.
+
+use std::collections::BTreeMap;
+
+use inca_consumer::render::render_table;
+use inca_report::Timestamp;
+use inca_server::{Depot, QueryInterface};
+
+use crate::engine::HealthMonitor;
+
+/// Renders the health summary page: a headline, the per-resource
+/// freshness table built through the [`QueryInterface`], and the
+/// currently-firing alerts.
+pub fn render_health_page(depot: &Depot, monitor: &HealthMonitor, now: Timestamp) -> String {
+    let mut page = String::new();
+    page.push_str(&format!("Inca self-monitoring — {now}\n"));
+    page.push_str(&format!(
+        "rules: {}   firing: {}   transitions: {}\n\n",
+        monitor.rules().len(),
+        monitor.firing().len(),
+        monitor.history().len()
+    ));
+
+    page.push_str("Report freshness\n");
+    page.push_str(&freshness_table(depot, monitor, now));
+
+    page.push_str("\nFiring alerts\n");
+    if monitor.firing().is_empty() {
+        page.push_str("(none)\n");
+    } else {
+        let rows: Vec<Vec<String>> = monitor
+            .firing()
+            .iter()
+            .map(|((rule, subject), alert)| {
+                vec![
+                    rule.clone(),
+                    subject.clone(),
+                    alert.since.to_string(),
+                    alert.detail.clone(),
+                ]
+            })
+            .collect();
+        page.push_str(&render_table(&["rule", "subject", "since", "detail"], &rows));
+    }
+    page
+}
+
+/// One row per resource: report count, newest report time, age, and
+/// whether any alert names that resource as its subject.
+fn freshness_table(depot: &Depot, monitor: &HealthMonitor, now: Timestamp) -> String {
+    // (count, newest) per resource over the whole cache.
+    let mut per_resource: BTreeMap<String, (usize, Timestamp)> = BTreeMap::new();
+    if let Ok(reports) = QueryInterface::new(depot).reports(None) {
+        for (branch, report) in reports {
+            let resource = branch
+                .get("resource")
+                .map(str::to_string)
+                .unwrap_or_else(|| branch.to_string());
+            let entry = per_resource.entry(resource).or_insert((0, report.header.gmt));
+            entry.0 += 1;
+            if report.header.gmt > entry.1 {
+                entry.1 = report.header.gmt;
+            }
+        }
+    }
+    if per_resource.is_empty() {
+        return "(no cached reports)\n".to_string();
+    }
+    let rows: Vec<Vec<String>> = per_resource
+        .iter()
+        .map(|(resource, (count, newest))| {
+            let age = if *newest > now { 0 } else { now - *newest };
+            let status = if monitor.firing().keys().any(|(_, s)| s == resource) {
+                "ALERT"
+            } else {
+                "ok"
+            };
+            vec![
+                resource.clone(),
+                count.to_string(),
+                newest.to_string(),
+                age.to_string(),
+                status.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&["resource", "reports", "newest", "age (s)", "status"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::parse_rules;
+    use inca_obs::Obs;
+    use inca_report::ReportBuilder;
+    use inca_wire::envelope::{Envelope, EnvelopeMode};
+
+    #[test]
+    fn page_lists_resources_and_marks_alerting_ones() {
+        let obs = Obs::new();
+        let mut depot = Depot::with_obs(obs.clone());
+        let t0 = Timestamp::from_secs(1_090_000_000);
+        for (branch, gmt) in [
+            ("reporter=ping,resource=tg1,vo=tg", t0),
+            ("reporter=ping,resource=tg2,vo=tg", t0 + 5_000),
+        ] {
+            let report = ReportBuilder::new("r", "1.0")
+                .gmt(gmt)
+                .body_value("v", "1")
+                .success()
+                .unwrap();
+            let env = Envelope::new(branch.parse().unwrap(), report.to_xml());
+            depot.receive(&env.encode(EnvelopeMode::Body), gmt).unwrap();
+        }
+        let mut monitor =
+            HealthMonitor::with_obs(parse_rules("stale staleness vo=tg 3600").unwrap(), obs);
+        let now = t0 + 5_100;
+        monitor.evaluate(&depot, now);
+
+        let page = render_health_page(&depot, &monitor, now);
+        assert!(page.contains("rules: 1   firing: 1"));
+        assert!(page.contains("tg1"));
+        assert!(page.contains("ALERT"));
+        assert!(page.contains("tg2"));
+        assert!(page.contains("ok"));
+        assert!(page.contains("newest report 5100s old (max 3600s)"));
+    }
+
+    #[test]
+    fn empty_depot_renders_a_placeholder() {
+        let obs = Obs::new();
+        let depot = Depot::with_obs(obs.clone());
+        let monitor = HealthMonitor::with_obs(Vec::new(), obs);
+        let page = render_health_page(&depot, &monitor, Timestamp::from_secs(0));
+        assert!(page.contains("(no cached reports)"));
+        assert!(page.contains("(none)"));
+    }
+}

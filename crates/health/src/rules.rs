@@ -1,0 +1,221 @@
+//! Declarative SLO rules.
+//!
+//! A rule names a condition over the running deployment that, when
+//! violated, raises an alert. Rules are deliberately declarative — one
+//! line of text each — so a deployment's health policy can live in a
+//! config file next to its Inca agreement, the same way the paper
+//! keeps reporter schedules in specification documents (§3.1.1).
+//!
+//! The line format is whitespace-separated:
+//!
+//! ```text
+//! <name> staleness      <scope-branch-id> <max-age-secs>
+//! <name> error_rate     <max-ratio>
+//! <name> queue_depth    <max-depth>
+//! <name> insert_latency <quantile> <max-seconds>
+//! ```
+//!
+//! Blank lines and `#` comments are skipped.
+
+use std::fmt;
+
+use inca_report::BranchId;
+
+/// What a rule measures and the threshold it enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// The newest cached report under `scope`, grouped per resource,
+    /// must be younger than `max_age_secs`. This is the "is Inca still
+    /// hearing from resource X" check — during an outage the depot
+    /// keeps serving the last report it saw, so freshness (not
+    /// presence) is the signal.
+    ReportStaleness {
+        /// Branch-identifier suffix selecting the reports to watch
+        /// (e.g. `vo=teragrid`).
+        scope: BranchId,
+        /// Maximum tolerated age of a resource's newest report.
+        max_age_secs: u64,
+    },
+    /// Controller rejections divided by total submissions must stay at
+    /// or below `max_ratio`.
+    ErrorRate {
+        /// Maximum tolerated rejected/(accepted+rejected) ratio.
+        max_ratio: f64,
+    },
+    /// The controller's submission queue depth must stay at or below
+    /// `max_depth`.
+    QueueDepth {
+        /// Maximum tolerated queue depth.
+        max_depth: f64,
+    },
+    /// The depot insert-latency histogram's `quantile` must stay at or
+    /// below `max_seconds`.
+    InsertLatency {
+        /// Which quantile to check, in `(0, 1]` (e.g. `0.99`).
+        quantile: f64,
+        /// Maximum tolerated latency at that quantile, in seconds.
+        max_seconds: f64,
+    },
+}
+
+/// A named SLO rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Rule name, used as the alert identity (`rule` field on alert
+    /// events and transitions).
+    pub name: String,
+    /// The condition this rule enforces.
+    pub kind: SloKind,
+}
+
+impl fmt::Display for SloRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SloKind::ReportStaleness { scope, max_age_secs } => {
+                write!(f, "{} staleness {} {}", self.name, scope, max_age_secs)
+            }
+            SloKind::ErrorRate { max_ratio } => {
+                write!(f, "{} error_rate {}", self.name, max_ratio)
+            }
+            SloKind::QueueDepth { max_depth } => {
+                write!(f, "{} queue_depth {}", self.name, max_depth)
+            }
+            SloKind::InsertLatency { quantile, max_seconds } => {
+                write!(f, "{} insert_latency {} {}", self.name, quantile, max_seconds)
+            }
+        }
+    }
+}
+
+/// A rule line that failed to parse: `(1-based line number, message)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleError(pub usize, pub String);
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule line {}: {}", self.0, self.1)
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Parses a rules document in the line format described at the module
+/// level.
+pub fn parse_rules(text: &str) -> Result<Vec<SloRule>, RuleError> {
+    let mut rules = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let err = |msg: String| RuleError(lineno, msg);
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 3 {
+            return Err(err(format!("expected `<name> <kind> <args…>`, got {line:?}")));
+        }
+        let name = fields[0].to_string();
+        let kind = match fields[1] {
+            "staleness" => {
+                let [scope, age] = args::<2>(&fields, lineno)?;
+                SloKind::ReportStaleness {
+                    scope: scope
+                        .parse()
+                        .map_err(|e| err(format!("bad scope {scope:?}: {e:?}")))?,
+                    max_age_secs: age
+                        .parse()
+                        .map_err(|_| err(format!("bad max-age {age:?}")))?,
+                }
+            }
+            "error_rate" => {
+                let [ratio] = args::<1>(&fields, lineno)?;
+                SloKind::ErrorRate { max_ratio: parse_f64(&ratio, lineno)? }
+            }
+            "queue_depth" => {
+                let [depth] = args::<1>(&fields, lineno)?;
+                SloKind::QueueDepth { max_depth: parse_f64(&depth, lineno)? }
+            }
+            "insert_latency" => {
+                let [q, secs] = args::<2>(&fields, lineno)?;
+                let quantile = parse_f64(&q, lineno)?;
+                if !(quantile > 0.0 && quantile <= 1.0) {
+                    return Err(err(format!("quantile {quantile} outside (0, 1]")));
+                }
+                SloKind::InsertLatency { quantile, max_seconds: parse_f64(&secs, lineno)? }
+            }
+            other => return Err(err(format!("unknown rule kind {other:?}"))),
+        };
+        rules.push(SloRule { name, kind });
+    }
+    Ok(rules)
+}
+
+fn args<const N: usize>(fields: &[&str], lineno: usize) -> Result<[String; N], RuleError> {
+    let rest = &fields[2..];
+    if rest.len() != N {
+        return Err(RuleError(
+            lineno,
+            format!("`{}` takes {N} argument(s), got {}", fields[1], rest.len()),
+        ));
+    }
+    Ok(std::array::from_fn(|i| rest[i].to_string()))
+}
+
+fn parse_f64(s: &str, lineno: usize) -> Result<f64, RuleError> {
+    s.parse().map_err(|_| RuleError(lineno, format!("bad number {s:?}")))
+}
+
+/// The default self-monitoring policy for a virtual organization:
+/// per-resource report freshness under `vo=<vo>`, plus controller and
+/// depot vitals.
+pub fn default_rules(vo: &str) -> Vec<SloRule> {
+    parse_rules(&format!(
+        "report-staleness staleness vo={vo} 7200\n\
+         controller-error-rate error_rate 0.05\n\
+         controller-queue-depth queue_depth 32\n\
+         depot-insert-p99 insert_latency 0.99 1.0\n"
+    ))
+    .expect("default rules parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind_and_roundtrips_through_display() {
+        let text = "\n# freshness\nstale staleness resource=tg1,vo=tg 3600\n\
+                    errs error_rate 0.05\nqueue queue_depth 16\nslow insert_latency 0.99 0.5\n";
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 4);
+        assert_eq!(
+            rules[0].kind,
+            SloKind::ReportStaleness {
+                scope: "resource=tg1,vo=tg".parse().unwrap(),
+                max_age_secs: 3600
+            }
+        );
+        let rendered: String = rules.iter().map(|r| format!("{r}\n")).collect();
+        assert_eq!(parse_rules(&rendered).unwrap(), rules);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        assert_eq!(parse_rules("only two").unwrap_err().0, 1);
+        assert_eq!(parse_rules("# ok\nx staleness vo=tg").unwrap_err().0, 2);
+        assert!(parse_rules("x teleport 9").unwrap_err().1.contains("teleport"));
+        assert!(parse_rules("x insert_latency 1.5 2").unwrap_err().1.contains("quantile"));
+        assert!(parse_rules("x error_rate soon").unwrap_err().1.contains("soon"));
+    }
+
+    #[test]
+    fn default_rules_cover_the_pipeline() {
+        let rules = default_rules("teragrid");
+        assert_eq!(rules.len(), 4);
+        assert!(matches!(
+            &rules[0].kind,
+            SloKind::ReportStaleness { scope, max_age_secs: 7200 }
+                if scope.get("vo") == Some("teragrid")
+        ));
+    }
+}

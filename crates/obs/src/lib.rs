@@ -16,6 +16,9 @@
 //!   lock-free [`Counter`]s, [`Gauge`]s, and fixed-bucket
 //!   [`Histogram`]s, and renders the whole registry in the Prometheus
 //!   text exposition format.
+//! - **Exposition lint** ([`lint`]): a pure-Rust, promtool-style
+//!   conformance checker over rendered exposition text, used by the
+//!   format tests and `scripts/verify.sh`.
 //! - **Sample histograms** ([`hist`]): a bucket-keyed,
 //!   sample-retaining [`SampleHistogram`] used where exact
 //!   mean/std-dev/median summaries are needed (the paper's Table 4
@@ -64,6 +67,7 @@
 #![deny(missing_docs)]
 
 pub mod hist;
+pub mod lint;
 pub mod metrics;
 pub mod sinks;
 pub mod trace;
@@ -74,7 +78,7 @@ use std::sync::{Arc, OnceLock};
 use metrics::MetricsRegistry;
 use trace::{Span, Tracer};
 
-pub use trace::Severity;
+pub use trace::{Severity, TraceContext};
 
 /// A shared observability handle: one tracer plus one metrics
 /// registry.
@@ -120,6 +124,13 @@ impl Obs {
     /// when dropped or [`finish`](Span::finish)ed.
     pub fn span(&self, name: &'static str) -> Span {
         self.tracer.span(name)
+    }
+
+    /// Starts a point event (a span with no duration; shorthand for
+    /// `obs.tracer().event(name)`). Emitted when dropped or
+    /// [`finish`](Span::finish)ed.
+    pub fn event(&self, name: &'static str) -> Span {
+        self.tracer.event(name)
     }
 }
 

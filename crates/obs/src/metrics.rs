@@ -96,6 +96,18 @@ impl Gauge {
     }
 }
 
+/// A trace-id exemplar attached to a histogram bucket: one concrete
+/// observation a reader can follow from the aggregate back into the
+/// trace stream (rendered in the OpenMetrics `# {trace_id="…"} v`
+/// syntax).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Trace id of the operation that produced the observation.
+    pub trace_id: u64,
+    /// The observed value itself.
+    pub value: f64,
+}
+
 /// A fixed-bucket histogram in the Prometheus style: cumulative
 /// `le`-bound buckets plus a running sum and count.
 ///
@@ -111,6 +123,10 @@ pub struct Histogram {
     /// Sum of observed values, as `f64` bits.
     sum_bits: AtomicU64,
     count: AtomicU64,
+    /// Latest exemplar per bucket (same indexing as `counts`). Only
+    /// touched by [`Histogram::observe_with_exemplar`] and rendering —
+    /// plain [`Histogram::observe`] stays lock-free.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 impl Histogram {
@@ -128,10 +144,11 @@ impl Histogram {
         );
         assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
         Histogram {
-            bounds: bounds.to_vec(),
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             count: AtomicU64::new(0),
+            exemplars: Mutex::new(vec![None; bounds.len() + 1]),
+            bounds: bounds.to_vec(),
         }
     }
 
@@ -158,6 +175,33 @@ impl Histogram {
     /// Records a [`Duration`](std::time::Duration) in seconds.
     pub fn observe_duration(&self, d: std::time::Duration) {
         self.observe(d.as_secs_f64());
+    }
+
+    /// Records one observation and remembers it as the exemplar of the
+    /// bucket it lands in (latest observation wins). A `trace_id` of 0
+    /// means "no trace" and falls back to a plain [`observe`].
+    ///
+    /// [`observe`]: Histogram::observe
+    pub fn observe_with_exemplar(&self, v: f64, trace_id: u64) {
+        self.observe(v);
+        if trace_id == 0 {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| v > b);
+        let mut exemplars = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        exemplars[idx] = Some(Exemplar { trace_id, value: v });
+    }
+
+    /// [`observe_with_exemplar`](Histogram::observe_with_exemplar) for
+    /// a [`Duration`](std::time::Duration), in seconds.
+    pub fn observe_duration_with_exemplar(&self, d: std::time::Duration, trace_id: u64) {
+        self.observe_with_exemplar(d.as_secs_f64(), trace_id);
+    }
+
+    /// The latest exemplar per bucket (last slot is the `+Inf`
+    /// bucket); `None` where no exemplar has been recorded.
+    pub fn bucket_exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.exemplars.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The configured upper bounds (without the implicit `+Inf`).
@@ -374,6 +418,61 @@ impl MetricsRegistry {
         family.series.entry(key).or_insert_with(make).clone()
     }
 
+    /// Looks up an existing series without creating it.
+    fn lookup(&self, name: &str, labels: &[(&str, &str)]) -> Option<Instrument> {
+        let mut key: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        key.sort();
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        families.get(name)?.series.get(&key).cloned()
+    }
+
+    /// Current value of a registered counter series, or `None` if the
+    /// series does not exist (or is not a counter). Never creates the
+    /// series — the read-only entry point health evaluation uses.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.lookup(name, labels)? {
+            Instrument::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Sum of every series of a counter family (e.g. all `reason=…`
+    /// variants of a rejection counter), or `None` if the family does
+    /// not exist or is not a counter family.
+    pub fn counter_family_total(&self, name: &str) -> Option<u64> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.get(name)?;
+        if family.kind != Kind::Counter {
+            return None;
+        }
+        let mut total = 0;
+        for instrument in family.series.values() {
+            if let Instrument::Counter(c) = instrument {
+                total += c.get();
+            }
+        }
+        Some(total)
+    }
+
+    /// Current value of a registered gauge series, or `None` if the
+    /// series does not exist (or is not a gauge).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.lookup(name, labels)? {
+            Instrument::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Handle to a registered histogram series, or `None` if the
+    /// series does not exist (or is not a histogram).
+    pub fn histogram_of(&self, name: &str, labels: &[(&str, &str)]) -> Option<Arc<Histogram>> {
+        match self.lookup(name, labels)? {
+            Instrument::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
     /// Renders every registered metric in the Prometheus text
     /// exposition format. Families and series are sorted by name and
     /// label set, so the output is deterministic.
@@ -381,7 +480,7 @@ impl MetricsRegistry {
         let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for (name, family) in families.iter() {
-            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
             let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
             for (labels, instrument) in &family.series {
                 match instrument {
@@ -398,20 +497,23 @@ impl MetricsRegistry {
                     }
                     Instrument::Histogram(h) => {
                         let cumulative = h.cumulative_counts();
+                        let exemplars = h.bucket_exemplars();
                         for (i, &bound) in h.bounds().iter().enumerate() {
                             let le = fmt_f64(bound);
                             let _ = writeln!(
                                 out,
-                                "{name}_bucket{} {}",
+                                "{name}_bucket{} {}{}",
                                 label_str(labels, Some(&le)),
-                                cumulative[i]
+                                cumulative[i],
+                                exemplar_str(exemplars[i])
                             );
                         }
                         let _ = writeln!(
                             out,
-                            "{name}_bucket{} {}",
+                            "{name}_bucket{} {}{}",
                             label_str(labels, Some("+Inf")),
-                            cumulative[h.bounds().len()]
+                            cumulative[h.bounds().len()],
+                            exemplar_str(exemplars[h.bounds().len()])
                         );
                         let _ = writeln!(
                             out,
@@ -445,6 +547,18 @@ fn valid_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
+/// Escapes a label value for the exposition format: `\`, `"`, and
+/// newlines, per the Prometheus text-format rules.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escapes HELP text for the exposition format: `\` and newlines
+/// (quotes are legal in HELP and stay raw).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// Renders `{k="v",...}` (with an optional extra `le` label), or the
 /// empty string for an unlabelled series.
 fn label_str(labels: &[(String, String)], le: Option<&str>) -> String {
@@ -456,7 +570,7 @@ fn label_str(labels: &[(String, String)], le: Option<&str>) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
     if let Some(le) = le {
         if !labels.is_empty() {
@@ -466,6 +580,15 @@ fn label_str(labels: &[(String, String)], le: Option<&str>) -> String {
     }
     out.push('}');
     out
+}
+
+/// Renders an exemplar suffix for a `_bucket` line in the OpenMetrics
+/// syntax — ` # {trace_id="…"} value` — or the empty string.
+fn exemplar_str(exemplar: Option<Exemplar>) -> String {
+    match exemplar {
+        Some(e) => format!(" # {{trace_id=\"{:016x}\"}} {}", e.trace_id, fmt_f64(e.value)),
+        None => String::new(),
+    }
 }
 
 /// Formats an `f64` the way Prometheus expects (shortest round-trip
@@ -573,6 +696,72 @@ c_latency_seconds_count 2
 ";
         assert_eq!(text, expected);
         assert_eq!(text, reg.render(), "rendering must be stable across calls");
+    }
+
+    #[test]
+    fn label_values_and_help_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("esc_total", &[("path", "a\\b \"q\"\nend")], "Line one\nline \\two.")
+            .inc();
+        let text = reg.render();
+        assert!(
+            text.contains(r#"esc_total{path="a\\b \"q\"\nend"} 1"#),
+            "label value must escape backslash, quote, and newline: {text}"
+        );
+        assert!(
+            text.contains(r"# HELP esc_total Line one\nline \\two."),
+            "HELP must escape backslash and newline: {text}"
+        );
+        for line in text.lines() {
+            assert!(!line.is_empty(), "escaping must not split lines: {text}");
+        }
+    }
+
+    #[test]
+    fn exemplars_attach_to_the_observed_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("ex_seconds", "Exemplars.", &[0.001, 0.01]);
+        h.observe(0.0005); // no exemplar
+        h.observe_with_exemplar(0.005, 0xabcd);
+        h.observe_with_exemplar(5.0, 0x1234); // +Inf bucket
+        h.observe_with_exemplar(0.5, 0); // trace id 0 → no exemplar
+
+        let ex = h.bucket_exemplars();
+        assert_eq!(ex[0], None);
+        assert_eq!(ex[1], Some(Exemplar { trace_id: 0xabcd, value: 0.005 }));
+        assert_eq!(ex[2], Some(Exemplar { trace_id: 0x1234, value: 5.0 }));
+
+        let text = reg.render();
+        assert!(
+            text.contains("ex_seconds_bucket{le=\"0.01\"} 2 # {trace_id=\"000000000000abcd\"} 0.005"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ex_seconds_bucket{le=\"0.001\"} 1\n"),
+            "bucket without exemplar renders plain: {text}"
+        );
+        assert_eq!(h.count(), 4, "exemplar observations still count");
+    }
+
+    #[test]
+    fn read_api_looks_up_without_creating() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.counter_value("missing_total", &[]), None);
+        assert_eq!(reg.render(), "", "lookup must not create series");
+
+        reg.counter_with("rej_total", &[("reason", "a")], "Rejections.").add(2);
+        reg.counter_with("rej_total", &[("reason", "b")], "Rejections.").add(3);
+        assert_eq!(reg.counter_value("rej_total", &[("reason", "a")]), Some(2));
+        assert_eq!(reg.counter_value("rej_total", &[]), None);
+        assert_eq!(reg.counter_family_total("rej_total"), Some(5));
+
+        reg.gauge("depth", "Depth.").set(7.5);
+        assert_eq!(reg.gauge_value("depth", &[]), Some(7.5));
+        assert_eq!(reg.counter_family_total("depth"), None, "kind mismatch yields None");
+
+        let h = reg.histogram("lat_seconds", "Latency.", &[1.0]);
+        h.observe(0.5);
+        assert_eq!(reg.histogram_of("lat_seconds", &[]).unwrap().count(), 1);
     }
 
     #[test]

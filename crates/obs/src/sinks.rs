@@ -27,6 +27,13 @@ pub fn format_line(event: &Event) -> String {
     if let Some(d) = event.duration {
         let _ = write!(line, " {d:.1?}");
     }
+    if let Some(ctx) = event.trace {
+        let _ = write!(
+            line,
+            " trace={:016x} span={:016x} parent={:016x}",
+            ctx.trace_id, event.span_id, ctx.parent_span_id
+        );
+    }
     for (k, v) in &event.fields {
         let _ = write!(line, " {k}={v}");
     }
@@ -154,6 +161,13 @@ pub fn format_json(event: &Event) -> String {
     if let Some(d) = event.duration {
         let _ = write!(line, ",\"duration_s\":{:.9}", d.as_secs_f64());
     }
+    if let Some(ctx) = event.trace {
+        let _ = write!(
+            line,
+            ",\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\"parent_span_id\":\"{:016x}\"",
+            ctx.trace_id, event.span_id, ctx.parent_span_id
+        );
+    }
     line.push_str(",\"fields\":{");
     for (i, (k, v)) in event.fields.iter().enumerate() {
         if i > 0 {
@@ -176,7 +190,7 @@ impl TraceSink for JsonlSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{Severity, Tracer};
+    use crate::trace::{Severity, TraceContext, Tracer};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -186,6 +200,8 @@ mod tests {
             severity: Severity::Info,
             elapsed: Duration::from_micros(1204),
             duration: Some(Duration::from_micros(312)),
+            span_id: 0x2b,
+            trace: Some(TraceContext { trace_id: 0x1a, parent_span_id: 0x0c }),
             fields: vec![("size", "9257".into()), ("note", "a \"quoted\"\nvalue".into())],
         }
     }
@@ -196,6 +212,9 @@ mod tests {
         assert!(line.contains("INFO"), "{line}");
         assert!(line.contains("depot.insert"), "{line}");
         assert!(line.contains("size=9257"), "{line}");
+        assert!(line.contains("trace=000000000000001a"), "{line}");
+        assert!(line.contains("span=000000000000002b"), "{line}");
+        assert!(line.contains("parent=000000000000000c"), "{line}");
     }
 
     #[test]
@@ -203,6 +222,9 @@ mod tests {
         let json = format_json(&sample_event());
         assert!(json.contains("\"name\":\"depot.insert\""), "{json}");
         assert!(json.contains("\"duration_s\":0.000312"), "{json}");
+        assert!(json.contains("\"trace_id\":\"000000000000001a\""), "{json}");
+        assert!(json.contains("\"span_id\":\"000000000000002b\""), "{json}");
+        assert!(json.contains("\"parent_span_id\":\"000000000000000c\""), "{json}");
         assert!(json.contains(r#""note":"a \"quoted\"\nvalue""#), "{json}");
         assert!(!json.contains('\n'), "JSONL events must be single lines");
     }

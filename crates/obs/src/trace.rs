@@ -12,9 +12,88 @@
 //! hot paths unconditionally.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Returns a fresh process-unique non-zero id for traces and spans.
+///
+/// Ids come from a splitmix64 stream over a process-wide counter (the
+/// stream is offset by the process id so two concurrent processes
+/// writing to one JSONL file rarely collide). No clock is consulted,
+/// so id generation works in fully simulated time.
+fn next_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_add((std::process::id() as u64) << 32);
+    // splitmix64 finalizer.
+    let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    z.max(1)
+}
+
+/// The causal identity one report carries through the pipeline:
+/// schedule → exec → forward → accept → unpack → insert → archive.
+///
+/// A root context is minted where a report's life begins (the
+/// distributed controller's `daemon.run`); every downstream component
+/// re-parents the context with its own span id before handing it on,
+/// so all spans of one report's journey share a `trace_id` and chain
+/// through `parent_span_id`. The context travels on the wire as a
+/// `trace` attribute of `<incaMessage>` and `<soapEnvelope>` (see
+/// `docs/OBSERVABILITY.md`), rendered by [`fmt::Display`] as two
+/// 16-digit hex words joined by `-`:
+///
+/// ```text
+/// trace="00c4f2a91b6d3e07-000000000000001a"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Shared by every span in one report's lifecycle.
+    pub trace_id: u64,
+    /// Span id of the emitting parent; 0 at the root.
+    pub parent_span_id: u64,
+}
+
+impl TraceContext {
+    /// Mints a new root context (fresh trace id, no parent).
+    pub fn root() -> TraceContext {
+        TraceContext { trace_id: next_id(), parent_span_id: 0 }
+    }
+
+    /// The context a child operation should carry: same trace,
+    /// parented on `span_id`.
+    pub fn child(self, span_id: u64) -> TraceContext {
+        TraceContext { trace_id: self.trace_id, parent_span_id: span_id }
+    }
+}
+
+impl fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}-{:016x}", self.trace_id, self.parent_span_id)
+    }
+}
+
+impl std::str::FromStr for TraceContext {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TraceContext, String> {
+        let (t, p) = s
+            .split_once('-')
+            .ok_or_else(|| format!("trace context {s:?}: expected <trace>-<parent>"))?;
+        let trace_id = u64::from_str_radix(t, 16)
+            .map_err(|e| format!("trace context {s:?}: bad trace id: {e}"))?;
+        let parent_span_id = u64::from_str_radix(p, 16)
+            .map_err(|e| format!("trace context {s:?}: bad parent span id: {e}"))?;
+        if trace_id == 0 {
+            return Err(format!("trace context {s:?}: trace id must be non-zero"));
+        }
+        Ok(TraceContext { trace_id, parent_span_id })
+    }
+}
 
 /// How notable an event is. Ordered: `Debug < Info < Warn < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,6 +138,11 @@ pub struct Event {
     pub elapsed: Duration,
     /// How long the span ran; `None` for point events.
     pub duration: Option<Duration>,
+    /// Process-unique id of the span that produced this event.
+    pub span_id: u64,
+    /// Trace context the emitter attached, if the operation was part
+    /// of a report's cross-component lifecycle.
+    pub trace: Option<TraceContext>,
     /// Key/value fields attached by the emitter, in attachment order.
     pub fields: Vec<(&'static str, String)>,
 }
@@ -148,6 +232,8 @@ impl Tracer {
                 severity: Severity::Info,
                 start: None,
                 timed,
+                span_id: 0,
+                trace: None,
                 fields: Vec::new(),
             };
         }
@@ -157,6 +243,8 @@ impl Tracer {
             severity: Severity::Info,
             start: Some(Instant::now()),
             timed,
+            span_id: next_id(),
+            trace: None,
             fields: Vec::new(),
         }
     }
@@ -193,6 +281,8 @@ pub struct Span {
     severity: Severity,
     start: Option<Instant>,
     timed: bool,
+    span_id: u64,
+    trace: Option<TraceContext>,
     fields: Vec<(&'static str, String)>,
 }
 
@@ -212,6 +302,28 @@ impl Span {
         self
     }
 
+    /// Attaches the [`TraceContext`] this span participates in. The
+    /// emitted event carries it, linking this span into the context's
+    /// trace. Attached even on inert spans (it is a cheap copy), so
+    /// `id()`/`context()`-based propagation works identically whether
+    /// or not a sink is installed.
+    pub fn trace_ctx(mut self, ctx: TraceContext) -> Span {
+        self.trace = Some(ctx);
+        self
+    }
+
+    /// This span's process-unique id, or 0 if the span is inert
+    /// (tracing was inactive when it was created).
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// The context downstream work should carry: the attached trace
+    /// re-parented on this span. `None` if no context was attached.
+    pub fn child_ctx(&self) -> Option<TraceContext> {
+        self.trace.map(|ctx| ctx.child(self.span_id))
+    }
+
     /// Finishes the span now, emitting it to the sinks. Equivalent to
     /// dropping it, but reads better at call sites that finish early.
     pub fn finish(self) {}
@@ -226,6 +338,8 @@ impl Drop for Span {
             severity: self.severity,
             elapsed: start.duration_since(tracer.inner.epoch),
             duration: self.timed.then(|| start.elapsed()),
+            span_id: self.span_id,
+            trace: self.trace,
             fields: std::mem::take(&mut self.fields),
         });
     }
@@ -275,6 +389,60 @@ mod tests {
         assert_eq!(events[1].name, "point");
         assert!(events[1].duration.is_none());
         assert_eq!(events[1].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn trace_context_roundtrips_through_display() {
+        let ctx = TraceContext { trace_id: 0x00c4_f2a9_1b6d_3e07, parent_span_id: 0x1a };
+        let text = ctx.to_string();
+        assert_eq!(text, "00c4f2a91b6d3e07-000000000000001a");
+        assert_eq!(text.parse::<TraceContext>().unwrap(), ctx);
+        assert!("not-a-context".parse::<TraceContext>().is_err());
+        assert!("0000000000000000-0000000000000001".parse::<TraceContext>().is_err());
+    }
+
+    #[test]
+    fn root_contexts_are_distinct_and_children_share_the_trace() {
+        let a = TraceContext::root();
+        let b = TraceContext::root();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.parent_span_id, 0);
+        let child = a.child(42);
+        assert_eq!(child.trace_id, a.trace_id);
+        assert_eq!(child.parent_span_id, 42);
+    }
+
+    #[test]
+    fn spans_carry_ids_and_attached_contexts() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(8));
+        tracer.add_sink(ring.clone());
+
+        let ctx = TraceContext::root();
+        let span = tracer.span("traced").trace_ctx(ctx);
+        let id = span.id();
+        assert_ne!(id, 0);
+        assert_eq!(span.child_ctx(), Some(ctx.child(id)));
+        span.finish();
+        tracer.span("untraced").finish();
+
+        let events = ring.drain();
+        assert_eq!(events[0].span_id, id);
+        assert_eq!(events[0].trace, Some(ctx));
+        assert_eq!(events[1].trace, None);
+        assert_ne!(events[1].span_id, 0);
+        assert_ne!(events[1].span_id, id);
+    }
+
+    #[test]
+    fn inert_spans_still_propagate_the_trace_id() {
+        let tracer = Tracer::new();
+        let ctx = TraceContext::root();
+        let span = tracer.span("quiet").trace_ctx(ctx);
+        assert_eq!(span.id(), 0);
+        let child = span.child_ctx().unwrap();
+        assert_eq!(child.trace_id, ctx.trace_id);
+        assert_eq!(child.parent_span_id, 0);
     }
 
     #[test]

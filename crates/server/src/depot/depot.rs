@@ -152,7 +152,14 @@ impl Depot {
                 return Err(e.into());
             }
         };
-        let span = span.field("branch", &envelope.address);
+        // Join the report's trace if the envelope carried one; the
+        // archive leg re-parents on this insert span.
+        let mut span = span.field("branch", &envelope.address);
+        if let Some(ctx) = envelope.trace {
+            span = span.trace_ctx(ctx);
+        }
+        let archive_ctx = span.child_ctx();
+        let trace_id = envelope.trace.map_or(0, |ctx| ctx.trace_id);
         let t1 = Instant::now();
         if let Err(e) = self.cache.update(&envelope.address, &envelope.report_xml) {
             span.severity(Severity::Error).field("error", &e).finish();
@@ -167,8 +174,11 @@ impl Depot {
             .iter()
             .any(|r| envelope.address.matches_suffix(&r.query))
         {
-            let archive_span =
+            let mut archive_span =
                 self.obs.span("depot.archive.write").field("branch", &envelope.address);
+            if let Some(ctx) = archive_ctx {
+                archive_span = archive_span.trace_ctx(ctx);
+            }
             if let Ok(report) = Report::parse(&envelope.report_xml) {
                 let ingested = self.archive.ingest(&envelope.address, &report, now);
                 archive_span.field("series", ingested).finish();
@@ -183,8 +193,10 @@ impl Depot {
         };
         self.stats
             .record(timing.report_size, timing.response().as_secs_f64());
-        self.unpack_hist.observe_duration(timing.unpack);
-        self.insert_hist.observe_duration(timing.insert);
+        // Exemplars tie the aggregate latency back to one concrete
+        // trace (a no-op when the envelope carried no context).
+        self.unpack_hist.observe_duration_with_exemplar(timing.unpack, trace_id);
+        self.insert_hist.observe_duration_with_exemplar(timing.insert, trace_id);
         self.cache_bytes.set(self.cache.size_bytes() as f64);
         self.cache_reports.set(self.cache.report_count() as f64);
         span.field("size", timing.report_size)

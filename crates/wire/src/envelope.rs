@@ -20,6 +20,7 @@
 //!   address and a length; the report rides behind the envelope as raw
 //!   bytes and unpacking is a cheap slice.
 
+use inca_obs::TraceContext;
 use inca_report::{BranchId, Report};
 use inca_xml::{escape::escape_text, Element};
 
@@ -42,6 +43,10 @@ pub struct Envelope {
     pub address: BranchId,
     /// The serialized report — "the content of the envelope".
     pub report_xml: String,
+    /// Trace context of the accept that produced the envelope, carried
+    /// as an optional `trace` attribute so the depot's spans join the
+    /// report's trace.
+    pub trace: Option<TraceContext>,
 }
 
 /// Separator between the XML header and the raw attachment bytes.
@@ -50,21 +55,31 @@ const ATTACHMENT_SEP: u8 = 0;
 impl Envelope {
     /// Creates an envelope around an already-serialized report.
     pub fn new(address: BranchId, report_xml: impl Into<String>) -> Envelope {
-        Envelope { address, report_xml: report_xml.into() }
+        Envelope { address, report_xml: report_xml.into(), trace: None }
+    }
+
+    /// Attaches a trace context to carry to the depot.
+    pub fn with_trace(mut self, ctx: TraceContext) -> Envelope {
+        self.trace = Some(ctx);
+        self
     }
 
     /// Packs the envelope for the wire in the given mode.
     pub fn encode(&self, mode: EnvelopeMode) -> Vec<u8> {
+        let trace_attr = match self.trace {
+            Some(ctx) => format!(" trace=\"{ctx}\""),
+            None => String::new(),
+        };
         match mode {
             EnvelopeMode::Body => format!(
-                "<soapEnvelope mode=\"body\"><address>{}</address><body>{}</body></soapEnvelope>",
+                "<soapEnvelope mode=\"body\"{trace_attr}><address>{}</address><body>{}</body></soapEnvelope>",
                 escape_text(&self.address.to_string()),
                 escape_text(&self.report_xml),
             )
             .into_bytes(),
             EnvelopeMode::Attachment => {
                 let header = format!(
-                    "<soapEnvelope mode=\"attachment\" length=\"{}\"><address>{}</address></soapEnvelope>",
+                    "<soapEnvelope mode=\"attachment\" length=\"{}\"{trace_attr}><address>{}</address></soapEnvelope>",
                     self.report_xml.len(),
                     escape_text(&self.address.to_string()),
                 );
@@ -109,7 +124,7 @@ impl Envelope {
                 .map_err(|e| WireError::Malformed(format!("attachment not UTF-8: {e}")))?
                 .to_string();
             Report::parse(&report_xml).map_err(|e| WireError::BadReport(e.to_string()))?;
-            return Ok(Envelope { address, report_xml });
+            return Ok(Envelope { address, report_xml, trace: Self::trace_of(&root) });
         }
 
         let text = std::str::from_utf8(payload)
@@ -121,7 +136,14 @@ impl Envelope {
             .child_text("body")
             .ok_or_else(|| WireError::Malformed("missing <body>".into()))?;
         Report::parse(&report_xml).map_err(|e| WireError::BadReport(e.to_string()))?;
-        Ok(Envelope { address, report_xml })
+        Ok(Envelope { address, report_xml, trace: Self::trace_of(&root) })
+    }
+
+    /// Trace context from the optional `trace` attribute. Diagnostic
+    /// metadata only: a mangled value degrades to `None`, it never
+    /// rejects the envelope.
+    fn trace_of(root: &Element) -> Option<TraceContext> {
+        root.attribute("trace").and_then(|t| t.parse().ok())
     }
 
     fn expect_envelope(root: &Element, mode: &str) -> Result<(), WireError> {
@@ -177,6 +199,17 @@ mod tests {
         let env = sample();
         let decoded = Envelope::decode(&env.encode(EnvelopeMode::Attachment)).unwrap();
         assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn trace_context_roundtrips_in_both_modes() {
+        let ctx = TraceContext { trace_id: 0xfeed, parent_span_id: 0x42 };
+        let env = sample().with_trace(ctx);
+        for mode in [EnvelopeMode::Body, EnvelopeMode::Attachment] {
+            let decoded = Envelope::decode(&env.encode(mode)).unwrap();
+            assert_eq!(decoded.trace, Some(ctx));
+            assert_eq!(decoded, env);
+        }
     }
 
     #[test]

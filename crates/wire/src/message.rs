@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use inca_obs::TraceContext;
 use inca_report::{BranchId, Report};
 use inca_xml::{escape::escape_text, Element, XmlError};
 
@@ -55,6 +56,11 @@ pub struct ClientMessage {
     /// Whether this is an execution-error report rather than reporter
     /// output.
     pub is_error_report: bool,
+    /// Trace context of the controller run that produced the report,
+    /// carried as an optional `trace` attribute so the server can
+    /// stitch its spans into the same trace. Absent from messages sent
+    /// by peers without tracing.
+    pub trace: Option<TraceContext>,
 }
 
 impl ClientMessage {
@@ -65,6 +71,7 @@ impl ClientMessage {
             branch,
             report_xml: report.to_xml(),
             is_error_report: false,
+            trace: None,
         }
     }
 
@@ -75,15 +82,26 @@ impl ClientMessage {
             branch,
             report_xml: report.to_xml(),
             is_error_report: true,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace context to carry across the wire.
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
     }
 
     /// Serializes to the frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let kind = if self.is_error_report { "error" } else { "report" };
+        let trace_attr = match self.trace {
+            Some(ctx) => format!(" trace=\"{ctx}\""),
+            None => String::new(),
+        };
         let mut xml = String::with_capacity(self.report_xml.len() + 256);
         xml.push_str(&format!(
-            "<incaMessage kind=\"{kind}\"><resource>{}</resource><branch>{}</branch><payload>{}</payload></incaMessage>",
+            "<incaMessage kind=\"{kind}\"{trace_attr}><resource>{}</resource><branch>{}</branch><payload>{}</payload></incaMessage>",
             escape_text(&self.resource),
             escape_text(&self.branch.to_string()),
             escape_text(&self.report_xml),
@@ -122,7 +140,11 @@ impl ClientMessage {
         // Validate the payload is a spec-conformant report before the
         // server accepts it.
         Report::parse(&report_xml).map_err(|e| WireError::BadReport(e.to_string()))?;
-        Ok(ClientMessage { resource, branch, report_xml, is_error_report })
+        // Trace context is diagnostic metadata: a missing or mangled
+        // attribute must never cost us the report, so it degrades to
+        // None instead of erroring.
+        let trace = root.attribute("trace").and_then(|t| t.parse().ok());
+        Ok(ClientMessage { resource, branch, report_xml, is_error_report, trace })
     }
 }
 
@@ -194,6 +216,24 @@ mod tests {
         let decoded = ClientMessage::decode(&msg.encode()).unwrap();
         assert!(decoded.is_error_report);
         assert!(decoded.report_xml.contains("exceeded expected run time"));
+    }
+
+    #[test]
+    fn trace_context_roundtrips_and_degrades_gracefully() {
+        let ctx = TraceContext { trace_id: 0xdead_beef, parent_span_id: 0x77 };
+        let msg = ClientMessage::report("h", sample_branch(), &sample_report()).with_trace(ctx);
+        let decoded = ClientMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.trace, Some(ctx));
+        assert_eq!(decoded, msg);
+
+        // A mangled trace attribute drops to None without losing the
+        // report.
+        let mangled = String::from_utf8(msg.encode())
+            .unwrap()
+            .replace(&ctx.to_string(), "garbage");
+        let decoded = ClientMessage::decode(mangled.as_bytes()).unwrap();
+        assert_eq!(decoded.trace, None);
+        assert_eq!(decoded.branch, msg.branch);
     }
 
     #[test]

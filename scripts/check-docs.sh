@@ -3,7 +3,9 @@
 #   1. rustdoc over the whole workspace with warnings promoted to errors
 #      (broken intra-doc links, missing code-block languages, ...);
 #   2. a link check over every tracked *.md file: local link targets
-#      must exist, and markdown source-file links stay honest.
+#      must exist, and markdown source-file links stay honest;
+#   3. every inca_* metric name registered in code must appear in
+#      docs/OBSERVABILITY.md, so the metric reference cannot rot.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -28,6 +30,18 @@ for md in $(git ls-files '*.md'); do
       fail=1
     fi
   done
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== metrics documented =="
+# Every inca_* instrument name that appears in Rust code (registration
+# or assertion) must be mentioned in the observability guide.
+fail=0
+for name in $(grep -rhoE '"inca_[a-z0-9_]+"' crates src tests --include='*.rs' | tr -d '"' | sort -u); do
+  if ! grep -q "$name" docs/OBSERVABILITY.md; then
+    echo "UNDOCUMENTED METRIC: $name (add it to docs/OBSERVABILITY.md)"
+    fail=1
+  fi
 done
 [ "$fail" -eq 0 ] || exit 1
 echo "docs OK"

@@ -1,6 +1,6 @@
 #!/bin/sh
-# The full verify flow: the tier-1 gate (ROADMAP.md) plus the
-# documentation gate.
+# The full verify flow: the tier-1 gate (ROADMAP.md), the
+# self-monitoring/exposition gate, and the documentation gate.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -10,7 +10,20 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+# The observability stack guards itself: the SLO engine's unit tests,
+# the promtool-style exposition lint (format conformance of
+# QueryInterface::metrics_text()), and the end-to-end lineage +
+# staleness-alert test over a fault-injected simulated Monday.
+echo "== health + exposition gate =="
+cargo test -q -p inca-health
+cargo test -q -p inca-obs lint
+cargo test -q -p inca-obs --test ring_concurrency
+cargo test -q --test health_lineage
+
 echo "== docs =="
-scripts/check-docs.sh
+if ! scripts/check-docs.sh; then
+  echo "verify FAILED: documentation gate (scripts/check-docs.sh)" >&2
+  exit 1
+fi
 
 echo "verify OK"

@@ -33,12 +33,14 @@
 //! | Substrates: XML, cron, RRD, wire, simulated VO | [`xml`], [`cron`], [`rrd`], [`wire`], [`sim`] |
 //! | Deployments, simulation, experiments | [`harness`] |
 //! | Observability: tracing spans + Prometheus metrics | [`obs`] |
+//! | Self-monitoring: SLO rules, alerts, health page | [`health`] |
 
 pub use inca_agreement as agreement;
 pub use inca_consumer as consumer;
 pub use inca_controller as controller;
 pub use inca_core as harness;
 pub use inca_cron as cron;
+pub use inca_health as health;
 pub use inca_obs as obs;
 pub use inca_report as report;
 pub use inca_reporters as reporters;
@@ -54,6 +56,7 @@ pub mod prelude {
     pub use inca_consumer::{build_status_page, render_status_page, AvailabilityTracker};
     pub use inca_controller::{DistributedController, Spec, SpecEntry};
     pub use inca_core::{teragrid_deployment, Deployment, SimOptions, SimRun};
+    pub use inca_health::{default_rules, HealthMonitor, SloRule};
     pub use inca_obs::Obs;
     pub use inca_report::{Body, BranchId, Report, ReportBuilder, Timestamp};
     pub use inca_reporters::{Reporter, ReporterContext};
