@@ -1,0 +1,241 @@
+//! The tracked bench baseline for batched depot ingest and the
+//! parallel simulation tick (`BENCH_depot.json` at the repo root).
+//!
+//! Two measurements:
+//!
+//! 1. **Ingest**: N fresh reports into an M-report cache, once as M
+//!    sequential `XmlCache::update` calls (each streaming the whole
+//!    document — the paper's Figure 9 cost) and once as a single
+//!    `XmlCache::insert_batch` (one streaming pass + one splice for
+//!    the whole batch). The ratio is the amortization win.
+//! 2. **Simulation**: wall-clock for a seeded TeraGrid-scale
+//!    deployment at 1, 2 and 8 tick threads; the determinism test
+//!    guarantees all three produce identical outcomes, so this is a
+//!    pure scaling curve.
+//!
+//! Flags: `--smoke` shrinks both measurements to a seconds-long sanity
+//! pass (CI gate); `--out PATH` overrides the default output path
+//! `BENCH_depot.json` in the current directory.
+
+use std::time::{Duration, Instant};
+
+use inca_core::{teragrid_deployment, SimOptions, SimRun};
+use inca_obs::Obs;
+use inca_report::{BranchId, ReportBuilder, Timestamp};
+use inca_server::XmlCache;
+
+struct Config {
+    smoke: bool,
+    out: String,
+    cache_reports: usize,
+    batch_reports: usize,
+    reps: usize,
+    sim_horizon_secs: u64,
+    sim_threads: Vec<usize>,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out = "BENCH_depot.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: depot_throughput [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        Config {
+            smoke,
+            out,
+            cache_reports: 200,
+            batch_reports: 50,
+            reps: 1,
+            sim_horizon_secs: 1_200,
+            sim_threads: vec![1, 2],
+        }
+    } else {
+        Config {
+            smoke,
+            out,
+            cache_reports: 1_000,
+            batch_reports: 250,
+            reps: 5,
+            sim_horizon_secs: 7_200,
+            sim_threads: vec![1, 2, 8],
+        }
+    }
+}
+
+/// `n` distinct branches with realistic report payloads, offset so
+/// separately-built sets never collide.
+fn report_set(n: usize, offset: usize) -> Vec<(BranchId, String)> {
+    (0..n)
+        .map(|i| {
+            let id = offset + i;
+            let (site, resource) = (format!("site{}", id % 10), format!("m{}", id % 40));
+            let branch: BranchId = format!(
+                "reporter=version.pkg{id},resource={resource},site={site},vo=tg"
+            )
+            .parse()
+            .expect("generated branch is well-formed");
+            let xml = ReportBuilder::new(&format!("version.pkg{id}"), "1.0")
+                .host(&resource)
+                .gmt(Timestamp::from_secs(1_089_158_400 + id as u64))
+                .body_value("packageVersion", format!("2.4.{}", id % 20))
+                .success()
+                .expect("builder succeeds")
+                .to_xml();
+            (branch, xml)
+        })
+        .collect()
+}
+
+struct IngestResult {
+    sequential: Duration,
+    batched: Duration,
+    speedup: f64,
+}
+
+fn bench_ingest(cfg: &Config) -> IngestResult {
+    let seed = report_set(cfg.cache_reports, 0);
+    let batch = report_set(cfg.batch_reports, cfg.cache_reports);
+    let mut base = XmlCache::new();
+    for (branch, xml) in &seed {
+        base.update(branch, xml).expect("seed insert");
+    }
+    let doc = base.document().to_string();
+
+    let mut best_sequential = Duration::MAX;
+    let mut best_batched = Duration::MAX;
+    for _ in 0..cfg.reps.max(1) {
+        let mut cache = XmlCache::from_document(doc.clone()).expect("valid doc");
+        let started = Instant::now();
+        for (branch, xml) in &batch {
+            cache.update(branch, xml).expect("sequential insert");
+        }
+        best_sequential = best_sequential.min(started.elapsed());
+        let sequential_doc = cache.document().to_string();
+
+        let mut cache = XmlCache::from_document(doc.clone()).expect("valid doc");
+        let items: Vec<(&BranchId, &str)> =
+            batch.iter().map(|(b, x)| (b, x.as_str())).collect();
+        let started = Instant::now();
+        cache.insert_batch(&items).expect("batched insert");
+        best_batched = best_batched.min(started.elapsed());
+        assert_eq!(
+            cache.document(),
+            sequential_doc,
+            "batched ingest must be byte-identical to sequential"
+        );
+    }
+    IngestResult {
+        sequential: best_sequential,
+        batched: best_batched,
+        speedup: best_sequential.as_secs_f64() / best_batched.as_secs_f64().max(1e-9),
+    }
+}
+
+fn bench_simulation(cfg: &Config) -> Vec<(usize, Duration)> {
+    let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+    let end = start + cfg.sim_horizon_secs;
+    cfg.sim_threads
+        .iter()
+        .map(|&threads| {
+            let deployment = teragrid_deployment(42, start, end);
+            let options = SimOptions {
+                obs: Some(Obs::new()),
+                sim_threads: threads,
+                ..Default::default()
+            };
+            let started = Instant::now();
+            let outcome = SimRun::new(deployment, options).run();
+            let wall = started.elapsed();
+            assert!(
+                outcome.server.with_depot(|d| d.stats().report_count()) > 0,
+                "simulation produced no reports"
+            );
+            (threads, wall)
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = parse_args();
+    eprintln!(
+        "depot_throughput: ingest {} into {} ({} reps), sim {}s horizon at {:?} threads",
+        cfg.batch_reports, cfg.cache_reports, cfg.reps, cfg.sim_horizon_secs, cfg.sim_threads
+    );
+
+    let ingest = bench_ingest(&cfg);
+    eprintln!(
+        "  ingest: sequential {:.3}s, batched {:.3}s, speedup {:.1}x",
+        ingest.sequential.as_secs_f64(),
+        ingest.batched.as_secs_f64(),
+        ingest.speedup
+    );
+
+    let sim = bench_simulation(&cfg);
+    for (threads, wall) in &sim {
+        eprintln!("  sim: {threads} thread(s) -> {:.3}s", wall.as_secs_f64());
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"depot_throughput\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"ingest\": {\n");
+    json.push_str(&format!("    \"cache_reports\": {},\n", cfg.cache_reports));
+    json.push_str(&format!("    \"batch_reports\": {},\n", cfg.batch_reports));
+    json.push_str(&format!(
+        "    \"sequential_seconds\": {:.6},\n",
+        ingest.sequential.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        "    \"batched_seconds\": {:.6},\n",
+        ingest.batched.as_secs_f64()
+    ));
+    json.push_str(&format!("    \"speedup\": {:.2}\n", ingest.speedup));
+    json.push_str("  },\n");
+    json.push_str("  \"simulation\": {\n");
+    json.push_str(&format!(
+        "    \"horizon_secs\": {},\n",
+        cfg.sim_horizon_secs
+    ));
+    json.push_str("    \"runs\": [\n");
+    for (i, (threads, wall)) in sim.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"threads\": {}, \"wall_seconds\": {:.3}}}{}\n",
+            threads,
+            wall.as_secs_f64(),
+            if i + 1 < sim.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&cfg.out, &json).expect("write bench output");
+    eprintln!("wrote {}", cfg.out);
+
+    if !cfg.smoke && ingest.speedup < 3.0 {
+        eprintln!(
+            "FAIL: batched ingest speedup {:.2}x below the 3x floor",
+            ingest.speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -360,11 +360,18 @@ impl DistributedController {
     fn forward(&mut self, message: ClientMessage) {
         match self.transport.send(&message) {
             Ok(ServerResponse::Ack) => {}
-            Ok(ServerResponse::Rejected(_)) | Err(_) => {
-                self.stats.forward_errors += 1;
-                self.forward_errs.inc();
-            }
+            Ok(ServerResponse::Rejected(_)) | Err(_) => self.note_forward_error(),
         }
+    }
+
+    /// Records one rejected or lost forward after the fact. Batched
+    /// submission paths (the simulation drains buffered reports into
+    /// one server call per tick) learn the server's verdict only once
+    /// the batch returns, so the transport acks optimistically and the
+    /// driver reconciles rejections through this.
+    pub fn note_forward_error(&mut self) {
+        self.stats.forward_errors += 1;
+        self.forward_errs.inc();
     }
 
     /// Drives the daemon over `[from, to)` of simulated time.

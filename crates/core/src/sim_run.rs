@@ -2,10 +2,13 @@
 //!
 //! [`SimRun`] wires a [`Deployment`] together exactly as Figure 1 draws
 //! the architecture: one distributed controller per resource executing
-//! reporters against the simulated VO, an in-process transport standing
-//! in for the client→server TCP hop, the centralized controller
-//! checking the allowlist and enveloping reports, and the depot caching
-//! and archiving them. A verification consumer runs on a fixed cadence
+//! reporters against the simulated VO (concurrently across
+//! [`SimOptions::sim_threads`] OS threads — the real clients run on
+//! separate hosts), per-daemon buffers standing in for the
+//! client→server TCP hop and draining into one deterministic batched
+//! submission per tick, the centralized controller checking the
+//! allowlist and enveloping reports, and the depot caching and
+//! archiving them. A verification consumer runs on a fixed cadence
 //! (the paper's status pages were recomputed every ten minutes) and
 //! records availability percentages into the depot archive — the data
 //! behind Figures 4 and 5.
@@ -36,12 +39,41 @@ pub struct InProcTransport {
     resource: String,
 }
 
+impl InProcTransport {
+    /// A transport submitting directly to `server` as `resource`, with
+    /// the simulated clock read from `now` at each send.
+    pub fn new(
+        server: Arc<CentralizedController>,
+        now: Arc<Mutex<Timestamp>>,
+        resource: impl Into<String>,
+    ) -> InProcTransport {
+        InProcTransport { server, now, resource: resource.into() }
+    }
+}
+
 impl Transport for InProcTransport {
     fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
         let payload = message.encode();
         let now = *self.now.lock();
         let (response, _) = self.server.submit(&self.resource, &payload, now);
         Ok(response)
+    }
+}
+
+/// Per-daemon transport used by [`SimRun`]: reports accumulate in a
+/// tick-local buffer instead of hitting the server one at a time, and
+/// the run loop drains every buffer into a single
+/// [`CentralizedController::submit_batch`] after all daemons due at
+/// `t` have fired. The send itself always acks — rejections are
+/// reconciled against the originating daemon once the batch returns.
+struct BufferTransport {
+    buffer: Arc<Mutex<Vec<ClientMessage>>>,
+}
+
+impl Transport for BufferTransport {
+    fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
+        self.buffer.lock().push(message.clone());
+        Ok(ServerResponse::Ack)
     }
 }
 
@@ -79,6 +111,13 @@ pub struct SimOptions {
     /// stops hearing from it. Default false: the paper's availability
     /// experiments (§5.1) need daemons alive to report failures.
     pub offline_when_down: bool,
+    /// Worker threads for each simulation tick: the daemons due at
+    /// time `t` fire concurrently across this many OS threads (the
+    /// real deployment's clients run on separate hosts). The outcome
+    /// is identical for any value — every tick's reports drain into
+    /// one deterministic, branch-ordered batch regardless of how the
+    /// daemons were scheduled. Default 1 (sequential).
+    pub sim_threads: usize,
 }
 
 impl Default for SimOptions {
@@ -92,6 +131,7 @@ impl Default for SimOptions {
             health_rules: None,
             health_every_secs: 600,
             offline_when_down: false,
+            sim_threads: 1,
         }
     }
 }
@@ -120,6 +160,10 @@ pub struct SimRun {
     options: SimOptions,
     server: Arc<CentralizedController>,
     daemons: Vec<DistributedController>,
+    /// One `(hostname, buffer)` per daemon, same order as `daemons`;
+    /// each daemon's [`BufferTransport`] fills its buffer during the
+    /// tick and the run loop drains them all into one batched submit.
+    buffers: Vec<(String, Arc<Mutex<Vec<ClientMessage>>>)>,
     now: Arc<Mutex<Timestamp>>,
     tracker: AvailabilityTracker,
     monitor: Option<HealthMonitor>,
@@ -145,12 +189,11 @@ impl SimRun {
         });
         let now = Arc::new(Mutex::new(deployment.start));
         let mut daemons = Vec::with_capacity(deployment.assignments.len());
+        let mut buffers = Vec::with_capacity(deployment.assignments.len());
         for assignment in &deployment.assignments {
-            let transport = InProcTransport {
-                server: Arc::clone(&server),
-                now: Arc::clone(&now),
-                resource: assignment.hostname.clone(),
-            };
+            let buffer = Arc::new(Mutex::new(Vec::new()));
+            let transport = BufferTransport { buffer: Arc::clone(&buffer) };
+            buffers.push((assignment.hostname.clone(), buffer));
             let mut daemon = DistributedController::with_obs(
                 assignment.spec.clone(),
                 Box::new(transport),
@@ -170,6 +213,7 @@ impl SimRun {
             options,
             server,
             daemons,
+            buffers,
             now,
             tracker: AvailabilityTracker::figure5(),
             monitor,
@@ -217,6 +261,67 @@ impl SimRun {
         summaries
     }
 
+    /// Fires every daemon due at `t`, spread across
+    /// [`SimOptions::sim_threads`] OS threads — the real deployment's
+    /// clients run on separate hosts. Each daemon is sequential
+    /// internally (own seeded RNG, own scheduler, own buffer), so the
+    /// partitioning can only change wall-clock time, never any
+    /// daemon's output.
+    fn fire_due_daemons(&mut self, t: Timestamp) {
+        let vo = &self.deployment.vo;
+        let mut due: Vec<&mut DistributedController> = self
+            .daemons
+            .iter_mut()
+            .filter(|d| d.peek_next() == Some(t))
+            .collect();
+        let threads = self.options.sim_threads.max(1);
+        if threads == 1 || due.len() <= 1 {
+            for daemon in due {
+                daemon.run_next_batch(vo);
+            }
+            return;
+        }
+        let chunk = due.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for slice in due.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for daemon in slice {
+                        daemon.run_next_batch(vo);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Drains every daemon's tick buffer into one batched server
+    /// submission. The order is deterministic regardless of thread
+    /// count: buffers empty in daemon index order (each buffer's
+    /// content is fixed by that daemon's seed), then the combined
+    /// batch is stably sorted by branch. Rejections are reconciled
+    /// back onto the originating daemon's forward-error counters.
+    fn drain_tick(&mut self, t: Timestamp) {
+        let mut batch: Vec<(usize, ClientMessage)> = Vec::new();
+        for (index, (_, buffer)) in self.buffers.iter().enumerate() {
+            for message in buffer.lock().drain(..) {
+                batch.push((index, message));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by_cached_key(|(_, m)| m.branch.to_string());
+        let submissions: Vec<(String, Vec<u8>)> = batch
+            .iter()
+            .map(|(index, m)| (self.buffers[*index].0.clone(), m.encode()))
+            .collect();
+        let results = self.server.submit_batch(&submissions, t);
+        for ((index, _), (response, _)) in batch.iter().zip(&results) {
+            if matches!(response, ServerResponse::Rejected(_)) {
+                self.daemons[*index].note_forward_error();
+            }
+        }
+    }
+
     /// Runs the simulation over the deployment horizon and returns the
     /// outcome.
     pub fn run(mut self) -> SimOutcome {
@@ -258,11 +363,8 @@ impl SimRun {
                 }
                 next_health = Some(t + health_every);
             }
-            for daemon in &mut self.daemons {
-                if daemon.peek_next() == Some(t) {
-                    daemon.run_next_batch(&self.deployment.vo);
-                }
-            }
+            self.fire_due_daemons(t);
+            self.drain_tick(t);
         }
         *self.now.lock() = end;
         let final_page = self.server.with_depot(|depot| {

@@ -20,6 +20,11 @@ use std::sync::{Arc, Mutex};
 pub const DEFAULT_LATENCY_BOUNDS: [f64; 7] =
     [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
 
+/// Default buckets for batch-size histograms (reports per batched
+/// ingest): powers of two up to 1024.
+pub const BATCH_SIZE_BOUNDS: [f64; 11] =
+    [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {

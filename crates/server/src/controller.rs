@@ -120,16 +120,17 @@ impl CentralizedController {
         &self.obs
     }
 
-    /// Processes one framed client payload from `peer_host`.
-    ///
-    /// Returns the response to send back plus the depot timing when the
-    /// submission was accepted.
-    pub fn submit(
+    /// Admission for one framed payload — allowlist, decode, and
+    /// enveloping — shared by [`CentralizedController::submit`] and
+    /// [`CentralizedController::submit_batch`]. On success, returns
+    /// the encoded envelope plus the open `controller.accept` span
+    /// (already joined to the message's trace); the caller finishes
+    /// the span once the depot outcome is known.
+    fn admit(
         &self,
         peer_host: &str,
         payload: &[u8],
-        now: Timestamp,
-    ) -> (ServerResponse, Option<DepotTiming>) {
+    ) -> Result<(Vec<u8>, inca_obs::trace::Span), ServerResponse> {
         let span = self
             .obs
             .span("controller.accept")
@@ -138,17 +139,16 @@ impl CentralizedController {
         if !self.config.allowlist.allows(peer_host) {
             self.rejected_allowlist.inc();
             span.severity(Severity::Warn).field("rejected", "allowlist").finish();
-            return (
-                ServerResponse::Rejected(format!("host {peer_host} not in allowlist")),
-                None,
-            );
+            return Err(ServerResponse::Rejected(format!(
+                "host {peer_host} not in allowlist"
+            )));
         }
         let message = match ClientMessage::decode(payload) {
             Ok(m) => m,
             Err(e) => {
                 self.rejected_decode.inc();
                 span.severity(Severity::Warn).field("rejected", "decode").finish();
-                return (ServerResponse::Rejected(e.to_string()), None);
+                return Err(ServerResponse::Rejected(e.to_string()));
             }
         };
         if message.is_error_report {
@@ -165,7 +165,23 @@ impl CentralizedController {
         if let Some(ctx) = depot_ctx {
             envelope = envelope.with_trace(ctx);
         }
-        let bytes = envelope.encode(self.config.envelope_mode);
+        Ok((envelope.encode(self.config.envelope_mode), span))
+    }
+
+    /// Processes one framed client payload from `peer_host`.
+    ///
+    /// Returns the response to send back plus the depot timing when the
+    /// submission was accepted.
+    pub fn submit(
+        &self,
+        peer_host: &str,
+        payload: &[u8],
+        now: Timestamp,
+    ) -> (ServerResponse, Option<DepotTiming>) {
+        let (bytes, span) = match self.admit(peer_host, payload) {
+            Ok(admitted) => admitted,
+            Err(response) => return (response, None),
+        };
         // All requests serialize through the depot, as in the paper;
         // the gauge tracks how many submissions are queued on it.
         self.queue_depth.add(1.0);
@@ -186,6 +202,60 @@ impl CentralizedController {
                 (ServerResponse::Rejected(e.to_string()), None)
             }
         }
+    }
+
+    /// Processes a burst of `(peer_host, payload)` submissions in one
+    /// depot pass, returning one response per submission in order.
+    ///
+    /// Admission (allowlist, decode, per-message accept span and
+    /// counters) is identical to [`CentralizedController::submit`];
+    /// the depot lock is taken **once** and every admitted report is
+    /// spliced by a single [`Depot::receive_batch`] — the amortization
+    /// the paper's §5.2.2 scalability analysis calls for. The
+    /// simulation engine drains each tick's reporter output through
+    /// here.
+    pub fn submit_batch(
+        &self,
+        submissions: &[(String, Vec<u8>)],
+        now: Timestamp,
+    ) -> Vec<(ServerResponse, Option<DepotTiming>)> {
+        let mut results: Vec<Option<(ServerResponse, Option<DepotTiming>)>> =
+            (0..submissions.len()).map(|_| None).collect();
+        let mut admitted: Vec<(usize, inca_obs::trace::Span)> = Vec::new();
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        for (index, (peer_host, payload)) in submissions.iter().enumerate() {
+            match self.admit(peer_host, payload) {
+                Ok((bytes, span)) => {
+                    admitted.push((index, span));
+                    batch.push(bytes);
+                }
+                Err(response) => results[index] = Some((response, None)),
+            }
+        }
+        self.queue_depth.add(batch.len() as f64);
+        let outcomes = {
+            let mut depot = self.depot.lock();
+            depot.receive_batch(&batch, now)
+        };
+        self.queue_depth.sub(batch.len() as f64);
+        for ((index, span), outcome) in admitted.into_iter().zip(outcomes) {
+            results[index] = Some(match outcome {
+                Ok(timing) => {
+                    self.accepted.inc();
+                    span.finish();
+                    (ServerResponse::Ack, Some(timing))
+                }
+                Err(e) => {
+                    self.rejected_depot.inc();
+                    span.severity(Severity::Warn).field("rejected", "depot").finish();
+                    (ServerResponse::Rejected(e.to_string()), None)
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every submission resolved"))
+            .collect()
     }
 
     /// Runs a closure against the depot under the lock (query access).
@@ -425,6 +495,48 @@ mod tests {
         let payload = ClientMessage::error_report("h", branch, &report).encode();
         controller.submit("h", &payload, Timestamp::from_secs(0));
         assert_eq!(controller.error_report_count(), 1);
+    }
+
+    #[test]
+    fn submit_batch_matches_sequential_submits() {
+        let config = ControllerConfig {
+            allowlist: HostAllowlist::from_entries(["*.teragrid.org"]),
+            envelope_mode: EnvelopeMode::Body,
+        };
+        let batched = CentralizedController::new(config.clone(), Depot::new());
+        let sequential = CentralizedController::new(config, Depot::new());
+
+        let hosts = [
+            "tg-login1.sdsc.teragrid.org",
+            "evil.example.com", // allowlist reject
+            "tg-login2.ncsa.teragrid.org",
+            "tg-login1.sdsc.teragrid.org", // replaces the first branch
+        ];
+        let mut submissions: Vec<(String, Vec<u8>)> = hosts
+            .iter()
+            .map(|h| (h.to_string(), message(h)))
+            .collect();
+        submissions.push(("tg-login3.psc.teragrid.org".into(), b"garbage".to_vec()));
+
+        let now = Timestamp::from_secs(2_000);
+        let results = batched.submit_batch(&submissions, now);
+        assert_eq!(results.len(), submissions.len());
+        assert_eq!(results[0].0, ServerResponse::Ack);
+        assert!(matches!(results[1].0, ServerResponse::Rejected(_)));
+        assert_eq!(results[2].0, ServerResponse::Ack);
+        assert_eq!(results[3].0, ServerResponse::Ack);
+        assert!(matches!(results[4].0, ServerResponse::Rejected(_)));
+        assert!(results[3].1.is_some(), "accepted submissions carry timings");
+
+        for (host, payload) in &submissions {
+            sequential.submit(host, payload, now);
+        }
+        assert_eq!(
+            batched.with_depot(|d| d.cache().document().to_string()),
+            sequential.with_depot(|d| d.cache().document().to_string()),
+            "batched admission must build the same cache as sequential"
+        );
+        assert_eq!(batched.with_depot(|d| d.stats().report_count()), 3);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! time is linear in cache size, which is precisely the behaviour
 //! Figure 9 measures.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use inca_report::BranchId;
@@ -138,6 +139,91 @@ impl XmlCache {
                 self.doc = out;
             }
         }
+        Ok(())
+    }
+
+    /// Inserts or replaces `items.len()` reports in one pass.
+    ///
+    /// This is the §5.2.2 amortization: [`XmlCache::update`] streams
+    /// the whole document once *per report*, so a burst of N arrivals
+    /// costs O(N × cache). `insert_batch` streams the document exactly
+    /// once to index every splice point, then rebuilds the string
+    /// exactly once — O(N + cache) — while producing a document
+    /// **byte-identical** to applying the same updates sequentially
+    /// (the `batch_matches_sequential` property test holds this
+    /// equivalence).
+    ///
+    /// Duplicate branches within one batch behave like sequential
+    /// updates: the report lands where the first occurrence would have
+    /// inserted it, holding the content of the last occurrence. On
+    /// error (a corrupt document) the cache is left untouched.
+    pub fn insert_batch(&mut self, items: &[(&BranchId, &str)]) -> Result<(), CacheError> {
+        match items {
+            [] => return Ok(()),
+            [(branch, xml)] => return self.update(branch, xml),
+            _ => {}
+        }
+        // Dedup: position follows the first occurrence of a branch,
+        // content follows the last (sequential update semantics).
+        let mut order: Vec<Vec<(String, String)>> = Vec::with_capacity(items.len());
+        let mut content: BTreeMap<Vec<(String, String)>, &str> = BTreeMap::new();
+        for (branch, xml) in items {
+            let h: Vec<(String, String)> = branch
+                .hierarchy()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect();
+            if !content.contains_key(&h) {
+                order.push(h.clone());
+            }
+            content.insert(h, xml);
+        }
+        // One stream over the document indexes every splice point.
+        let index = CacheIndex::build(&self.doc)?;
+        let mut patches: Vec<(usize, Patch<'_>)> = Vec::new();
+        let mut inserts: BTreeMap<usize, InsertNode> = BTreeMap::new();
+        for h in order {
+            let xml = content[&h];
+            if let Some(&(start, end)) = index.reports.get(&h) {
+                patches.push((start, Patch::Replace { end, xml }));
+                continue;
+            }
+            // Deepest existing level: insert just before its close tag
+            // (the root entry guarantees the loop terminates).
+            let mut depth = h.len();
+            let at = loop {
+                if let Some(&at) = index.closes.get(&h[..depth]) {
+                    break at;
+                }
+                depth -= 1;
+            };
+            inserts.entry(at).or_default().add(&h[depth..], xml);
+        }
+        let mut grown = 0usize;
+        for (at, node) in inserts {
+            grown += node.rendered_len();
+            patches.push((at, Patch::Insert(node)));
+        }
+        // Replace ranges are disjoint report subtrees and insert
+        // points sit on close tags outside them, so ordering by offset
+        // yields one well-formed left-to-right rebuild.
+        patches.sort_by_key(|(offset, _)| *offset);
+        let mut out = String::with_capacity(self.doc.len() + grown);
+        let mut cursor = 0usize;
+        for (offset, patch) in patches {
+            out.push_str(&self.doc[cursor..offset]);
+            match patch {
+                Patch::Replace { end, xml } => {
+                    out.push_str(xml);
+                    cursor = end;
+                }
+                Patch::Insert(node) => {
+                    node.render(&mut out);
+                    cursor = offset;
+                }
+            }
+        }
+        out.push_str(&self.doc[cursor..]);
+        self.doc = out;
         Ok(())
     }
 
@@ -316,6 +402,147 @@ impl XmlCache {
     }
 }
 
+
+/// One splice of a batched rebuild.
+enum Patch<'a> {
+    /// Replace an existing `<incaReport>` (range end + new bytes).
+    Replace { end: usize, xml: &'a str },
+    /// Insert a merged fragment of new levels and reports.
+    Insert(InsertNode),
+}
+
+/// Everything a batch needs to know about the current document,
+/// gathered in a single stream: the byte range of the first
+/// `<incaReport>` directly under each branch path (the one
+/// [`XmlCache::update`] would replace) and the close-tag offset of
+/// each path (where an update inserts missing content). The empty
+/// path maps to `</incaCache>`.
+#[derive(Default)]
+struct CacheIndex {
+    reports: BTreeMap<Vec<(String, String)>, (usize, usize)>,
+    closes: BTreeMap<Vec<(String, String)>, usize>,
+}
+
+impl CacheIndex {
+    fn build(doc: &str) -> Result<CacheIndex, CacheError> {
+        let mut tok = Tokenizer::new(doc);
+        match tok.next_token()? {
+            Some(Token::StartTag { name, .. }) if name == "incaCache" => {}
+            other => return Err(CacheError::Corrupt(format!("bad root: {other:?}"))),
+        }
+        let mut path: Vec<(String, String)> = Vec::new();
+        let mut index = CacheIndex::default();
+        loop {
+            let pre = tok.offset();
+            let token = tok
+                .next_token()?
+                .ok_or_else(|| CacheError::Corrupt("unexpected end of cache".into()))?;
+            match token {
+                Token::StartTag { name: "branch", ref attrs, self_closing } => {
+                    if !self_closing {
+                        match (attr(attrs, "name"), attr(attrs, "id")) {
+                            (Some(n), Some(v)) => path.push((n.to_string(), v.to_string())),
+                            _ => {
+                                return Err(CacheError::Corrupt(
+                                    "branch element missing name/id".into(),
+                                ))
+                            }
+                        }
+                    }
+                }
+                Token::EndTag { name: "branch" } => {
+                    index.closes.entry(path.clone()).or_insert(pre);
+                    if path.pop().is_none() {
+                        return Err(CacheError::Corrupt("unbalanced </branch>".into()));
+                    }
+                }
+                Token::StartTag { name: "incaReport", self_closing, .. } => {
+                    let end = if self_closing {
+                        tok.offset()
+                    } else {
+                        skip_subtree(&mut tok, "incaReport")?
+                    };
+                    index.reports.entry(path.clone()).or_insert((pre, end));
+                }
+                Token::EndTag { name: "incaCache" } => {
+                    index.closes.insert(Vec::new(), pre);
+                    return Ok(index);
+                }
+                Token::StartTag { name, self_closing, .. } => {
+                    if !self_closing {
+                        skip_subtree(&mut tok, name)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Merged fragment for every batch item inserting at one splice
+/// point. Entries keep arrival order, which is exactly the document
+/// order sequential updates would have produced: each later update
+/// lands just before the close tag, i.e. after everything inserted
+/// there earlier.
+#[derive(Default)]
+struct InsertNode {
+    entries: Vec<InsertEntry>,
+}
+
+enum InsertEntry {
+    Report(String),
+    Branch(String, String, InsertNode),
+}
+
+impl InsertNode {
+    fn add(&mut self, rest: &[(String, String)], xml: &str) {
+        match rest.split_first() {
+            None => self.entries.push(InsertEntry::Report(xml.to_string())),
+            Some(((n, v), tail)) => {
+                for entry in &mut self.entries {
+                    if let InsertEntry::Branch(en, ev, child) = entry {
+                        if en == n && ev == v {
+                            return child.add(tail, xml);
+                        }
+                    }
+                }
+                let mut child = InsertNode::default();
+                child.add(tail, xml);
+                self.entries.push(InsertEntry::Branch(n.clone(), v.clone(), child));
+            }
+        }
+    }
+
+    fn rendered_len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                InsertEntry::Report(xml) => xml.len(),
+                // Upper bound: attr escaping can only grow the tag.
+                InsertEntry::Branch(n, v, child) => {
+                    64 + 2 * (n.len() + v.len()) + child.rendered_len()
+                }
+            })
+            .sum()
+    }
+
+    fn render(&self, out: &mut String) {
+        for entry in &self.entries {
+            match entry {
+                InsertEntry::Report(xml) => out.push_str(xml),
+                InsertEntry::Branch(n, v, child) => {
+                    out.push_str("<branch name=\"");
+                    out.push_str(&escape_attr(n));
+                    out.push_str("\" id=\"");
+                    out.push_str(&escape_attr(v));
+                    out.push_str("\">");
+                    child.render(out);
+                    out.push_str("</branch>");
+                }
+            }
+        }
+    }
+}
 
 fn attr<'a>(attrs: &'a [inca_xml::Attribute<'a>], name: &str) -> Option<&'a str> {
     attrs.iter().find(|a| a.name == name).map(|a| a.value.as_ref())
@@ -530,6 +757,103 @@ mod tests {
         cache.update(&b, &report("s", "1")).unwrap();
         assert_eq!(cache.report_count(), 1);
         assert!(cache.subtree(&b).unwrap().is_some());
+    }
+
+    /// Applies `items` one `update` at a time — the reference
+    /// semantics every `insert_batch` result must match byte-for-byte.
+    fn sequential(items: &[(&BranchId, &str)]) -> XmlCache {
+        let mut cache = XmlCache::new();
+        for (b, xml) in items {
+            cache.update(b, xml).unwrap();
+        }
+        cache
+    }
+
+    #[test]
+    fn batch_empty_and_singleton() {
+        let mut cache = XmlCache::new();
+        cache.insert_batch(&[]).unwrap();
+        assert_eq!(cache.report_count(), 0);
+        let b = branch("reporter=a,site=s,vo=tg");
+        let xml = report("a", "1");
+        cache.insert_batch(&[(&b, xml.as_str())]).unwrap();
+        assert_eq!(cache.document(), sequential(&[(&b, xml.as_str())]).document());
+    }
+
+    #[test]
+    fn batch_into_empty_cache_matches_sequential() {
+        let branches: Vec<BranchId> = (0..20)
+            .map(|i| branch(&format!("reporter=r{i},resource=m{},site=s{},vo=tg", i % 4, i % 2)))
+            .collect();
+        let reports: Vec<String> = (0..20).map(|i| report(&format!("r{i}"), &i.to_string())).collect();
+        let items: Vec<(&BranchId, &str)> =
+            branches.iter().zip(reports.iter().map(String::as_str)).collect();
+        let mut batched = XmlCache::new();
+        batched.insert_batch(&items).unwrap();
+        assert_eq!(batched.document(), sequential(&items).document());
+        assert_eq!(batched.report_count(), 20);
+    }
+
+    #[test]
+    fn batch_mixes_replaces_and_inserts() {
+        // Pre-populate, then batch a mix of updates to existing
+        // branches and brand-new siblings/sites.
+        let seed: Vec<BranchId> = (0..10)
+            .map(|i| branch(&format!("reporter=r{i},resource=m{},site=s0,vo=tg", i % 3)))
+            .collect();
+        let seed_reports: Vec<String> = (0..10).map(|i| report(&format!("r{i}"), "old")).collect();
+        let seed_items: Vec<(&BranchId, &str)> =
+            seed.iter().zip(seed_reports.iter().map(String::as_str)).collect();
+
+        let fresh: Vec<BranchId> = vec![
+            branch("reporter=r2,resource=m2,site=s0,vo=tg"), // replace
+            branch("reporter=new1,resource=m0,site=s0,vo=tg"), // new reporter, old resource
+            branch("reporter=new2,resource=m9,site=s0,vo=tg"), // new resource
+            branch("reporter=new3,resource=m0,site=s9,vo=tg"), // new site
+            branch("reporter=new4,resource=m1,site=s9,vo=tg"), // shares the new site
+            branch("site=s0,vo=tg"),                           // intermediate-level report
+        ];
+        let fresh_reports: Vec<String> =
+            (0..fresh.len()).map(|i| report(&format!("n{i}"), "new")).collect();
+        let fresh_items: Vec<(&BranchId, &str)> =
+            fresh.iter().zip(fresh_reports.iter().map(String::as_str)).collect();
+
+        let mut batched = sequential(&seed_items);
+        batched.insert_batch(&fresh_items).unwrap();
+        let mut reference = sequential(&seed_items);
+        for (b, xml) in &fresh_items {
+            reference.update(b, xml).unwrap();
+        }
+        assert_eq!(batched.document(), reference.document());
+        assert_eq!(batched.report_count(), 15);
+    }
+
+    #[test]
+    fn batch_duplicate_branch_last_write_wins() {
+        let b1 = branch("reporter=a,site=s,vo=tg");
+        let b2 = branch("reporter=b,site=s,vo=tg");
+        let (ra1, ra2, rb) = (report("a", "first"), report("a", "second"), report("b", "x"));
+        let items: Vec<(&BranchId, &str)> =
+            vec![(&b1, ra1.as_str()), (&b2, rb.as_str()), (&b1, ra2.as_str())];
+        let mut batched = XmlCache::new();
+        batched.insert_batch(&items).unwrap();
+        assert_eq!(batched.document(), sequential(&items).document());
+        assert_eq!(batched.report_count(), 2);
+        assert!(batched.document().contains("second"));
+        assert!(!batched.document().contains("first"));
+    }
+
+    #[test]
+    fn batch_with_escaped_branch_values_matches_sequential() {
+        let b1 = BranchId::new([("reporter", "a&b\"c"), ("vo", "t<g")]).unwrap();
+        let b2 = BranchId::new([("reporter", "plain"), ("vo", "t<g")]).unwrap();
+        let (r1, r2) = (report("x", "1"), report("y", "2"));
+        let items: Vec<(&BranchId, &str)> = vec![(&b1, r1.as_str()), (&b2, r2.as_str())];
+        let mut batched = XmlCache::new();
+        batched.insert_batch(&items).unwrap();
+        assert_eq!(batched.document(), sequential(&items).document());
+        assert!(batched.subtree(&b1).unwrap().is_some());
+        assert!(batched.subtree(&b2).unwrap().is_some());
     }
 
     #[test]

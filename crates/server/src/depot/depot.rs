@@ -12,9 +12,10 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use inca_obs::metrics::{Gauge, Histogram, DEFAULT_LATENCY_BOUNDS};
-use inca_obs::{Obs, Severity};
-use inca_report::{Report, Timestamp};
+use inca_obs::metrics::{Gauge, Histogram, BATCH_SIZE_BOUNDS, DEFAULT_LATENCY_BOUNDS};
+use inca_obs::trace::Span;
+use inca_obs::{Obs, Severity, TraceContext};
+use inca_report::{BranchId, Report, Timestamp};
 use inca_wire::envelope::Envelope;
 use inca_wire::message::WireError;
 
@@ -93,6 +94,12 @@ pub struct Depot {
     cache_bytes: Arc<Gauge>,
     /// Cached report count (`inca_depot_cache_reports`).
     cache_reports: Arc<Gauge>,
+    /// Reports per batched ingest (`inca_depot_batch_size`).
+    batch_size_hist: Arc<Histogram>,
+    /// Whole-batch cache-splice latency
+    /// (`inca_depot_batch_insert_seconds`); the amortized per-report
+    /// share additionally lands in `inca_depot_insert_seconds`.
+    batch_insert_hist: Arc<Histogram>,
 }
 
 impl Depot {
@@ -118,6 +125,16 @@ impl Depot {
             obs.metrics().gauge("inca_depot_cache_bytes", "Cache document size in bytes.");
         let cache_reports =
             obs.metrics().gauge("inca_depot_cache_reports", "Reports held in the cache.");
+        let batch_size_hist = obs.metrics().histogram(
+            "inca_depot_batch_size",
+            "Reports accepted per batched ingest.",
+            &BATCH_SIZE_BOUNDS,
+        );
+        let batch_insert_hist = obs.metrics().histogram(
+            "inca_depot_batch_insert_seconds",
+            "Time splicing one whole batch into the cache document.",
+            &DEFAULT_LATENCY_BOUNDS,
+        );
         Depot {
             cache: XmlCache::new(),
             archive: ArchiveStore::with_obs(&obs),
@@ -127,6 +144,8 @@ impl Depot {
             insert_hist,
             cache_bytes,
             cache_reports,
+            batch_size_hist,
+            batch_insert_hist,
         }
     }
 
@@ -203,6 +222,127 @@ impl Depot {
             .field("cache_bytes", self.cache.size_bytes())
             .finish();
         Ok(timing)
+    }
+
+    /// Receives a burst of encoded envelopes at (virtual) time `now`,
+    /// returning one timing/error per envelope in input order.
+    ///
+    /// Per-report behaviour — validation, trace lineage (each accepted
+    /// report still gets its own `depot.insert` span joined on the
+    /// envelope's trace), archival, and response statistics — matches
+    /// N calls to [`Depot::receive`]. The difference is the splice:
+    /// the whole batch goes through [`XmlCache::insert_batch`], which
+    /// streams the cache document **once**, so the per-tick cost drops
+    /// from O(batch × cache) to O(batch + cache). Each report's
+    /// [`DepotTiming::insert`] is its amortized share of that single
+    /// pass. A decode failure rejects only that envelope; a cache
+    /// failure (corruption) rejects the batch without mutating.
+    pub fn receive_batch(
+        &mut self,
+        envelopes: &[Vec<u8>],
+        now: Timestamp,
+    ) -> Vec<Result<DepotTiming, DepotError>> {
+        struct Pending {
+            index: usize,
+            envelope: Envelope,
+            unpack: Duration,
+            span: Span,
+            archive_ctx: Option<TraceContext>,
+            trace_id: u64,
+        }
+        let total_bytes: usize = envelopes.iter().map(Vec::len).sum();
+        let batch_span = self
+            .obs
+            .span("depot.insert_batch")
+            .field("envelopes", envelopes.len())
+            .field("bytes", total_bytes);
+        let mut results: Vec<Option<Result<DepotTiming, DepotError>>> =
+            (0..envelopes.len()).map(|_| None).collect();
+        let mut accepted: Vec<Pending> = Vec::with_capacity(envelopes.len());
+        for (index, bytes) in envelopes.iter().enumerate() {
+            let span = self.obs.span("depot.insert").field("bytes", bytes.len());
+            let t0 = Instant::now();
+            match Envelope::decode(bytes) {
+                Ok(envelope) => {
+                    let unpack = t0.elapsed();
+                    let mut span =
+                        span.field("branch", &envelope.address).field("batched", true);
+                    if let Some(ctx) = envelope.trace {
+                        span = span.trace_ctx(ctx);
+                    }
+                    let archive_ctx = span.child_ctx();
+                    let trace_id = envelope.trace.map_or(0, |ctx| ctx.trace_id);
+                    accepted.push(Pending { index, envelope, unpack, span, archive_ctx, trace_id });
+                }
+                Err(e) => {
+                    span.severity(Severity::Warn).field("error", &e).finish();
+                    results[index] = Some(Err(e.into()));
+                }
+            }
+        }
+        // One streaming pass splices every accepted report.
+        let items: Vec<(&BranchId, &str)> = accepted
+            .iter()
+            .map(|p| (&p.envelope.address, p.envelope.report_xml.as_str()))
+            .collect();
+        let t1 = Instant::now();
+        let insert_result = self.cache.insert_batch(&items);
+        let insert_total = t1.elapsed();
+        drop(items);
+        if let Err(e) = insert_result {
+            batch_span.severity(Severity::Error).field("error", &e).finish();
+            for pending in accepted {
+                pending.span.severity(Severity::Error).field("error", &e).finish();
+                results[pending.index] = Some(Err(DepotError::Cache(e.clone())));
+            }
+            return results.into_iter().map(|r| r.expect("every envelope resolved")).collect();
+        }
+        let accepted_count = accepted.len();
+        let amortized = insert_total
+            .checked_div(accepted_count.max(1) as u32)
+            .unwrap_or(Duration::ZERO);
+        // Per-report archival and accounting, as the sequential path.
+        for pending in accepted {
+            let Pending { index, envelope, unpack, span, archive_ctx, trace_id } = pending;
+            let t2 = Instant::now();
+            if self
+                .archive
+                .rules()
+                .iter()
+                .any(|r| envelope.address.matches_suffix(&r.query))
+            {
+                let mut archive_span =
+                    self.obs.span("depot.archive.write").field("branch", &envelope.address);
+                if let Some(ctx) = archive_ctx {
+                    archive_span = archive_span.trace_ctx(ctx);
+                }
+                if let Ok(report) = Report::parse(&envelope.report_xml) {
+                    let ingested = self.archive.ingest(&envelope.address, &report, now);
+                    archive_span.field("series", ingested).finish();
+                }
+            }
+            let timing = DepotTiming {
+                unpack,
+                insert: amortized,
+                archive: t2.elapsed(),
+                report_size: envelope.report_xml.len(),
+            };
+            self.stats
+                .record(timing.report_size, timing.response().as_secs_f64());
+            self.unpack_hist.observe_duration_with_exemplar(timing.unpack, trace_id);
+            self.insert_hist.observe_duration_with_exemplar(timing.insert, trace_id);
+            span.field("size", timing.report_size).finish();
+            results[index] = Some(Ok(timing));
+        }
+        self.batch_size_hist.observe(accepted_count as f64);
+        self.batch_insert_hist.observe_duration(insert_total);
+        self.cache_bytes.set(self.cache.size_bytes() as f64);
+        self.cache_reports.set(self.cache.report_count() as f64);
+        batch_span
+            .field("accepted", accepted_count)
+            .field("cache_bytes", self.cache.size_bytes())
+            .finish();
+        results.into_iter().map(|r| r.expect("every envelope resolved")).collect()
     }
 
     /// The cache (read access for the querying interface).
@@ -356,6 +496,95 @@ mod tests {
     }
 
     #[test]
+    fn receive_batch_matches_sequential_receives() {
+        let t = Timestamp::from_secs(1_000);
+        let envelopes: Vec<Vec<u8>> = (0..25)
+            .map(|i| {
+                envelope_bytes(
+                    &format!("reporter=r{},resource=m{},vo=tg", i % 20, i % 4),
+                    &i.to_string(),
+                    if i % 2 == 0 { EnvelopeMode::Body } else { EnvelopeMode::Attachment },
+                )
+            })
+            .collect();
+        let mut batched = Depot::new();
+        let results = batched.receive_batch(&envelopes, t);
+        assert_eq!(results.len(), 25);
+        for r in &results {
+            let timing = r.as_ref().unwrap();
+            assert!(timing.report_size > 0);
+        }
+        let mut sequential = Depot::new();
+        for env in &envelopes {
+            sequential.receive(env, t).unwrap();
+        }
+        assert_eq!(batched.cache().document(), sequential.cache().document());
+        assert_eq!(batched.stats().report_count(), 25);
+    }
+
+    #[test]
+    fn receive_batch_rejects_only_bad_envelopes() {
+        let t = Timestamp::from_secs(1_000);
+        let envelopes = vec![
+            envelope_bytes("reporter=a,vo=tg", "1", EnvelopeMode::Body),
+            b"garbage".to_vec(),
+            envelope_bytes("reporter=b,vo=tg", "2", EnvelopeMode::Body),
+        ];
+        let mut depot = Depot::new();
+        let results = depot.receive_batch(&envelopes, t);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DepotError::Envelope(_))));
+        assert!(results[2].is_ok());
+        assert_eq!(depot.cache().report_count(), 2);
+        assert_eq!(depot.stats().report_count(), 2, "rejected envelopes are not counted");
+    }
+
+    #[test]
+    fn receive_batch_feeds_archive_rules_and_batch_metrics() {
+        let obs = inca_obs::Obs::new();
+        let mut depot = Depot::with_obs(obs.clone());
+        depot.add_archive_rule(ArchiveRule {
+            name: "v".into(),
+            query: "vo=tg".parse().unwrap(),
+            path: "v".parse().unwrap(),
+            policy: ArchivePolicy::every("p", 86_400),
+            period_secs: 600,
+        });
+        let t0 = Timestamp::from_secs(600_000);
+        for i in 1..=3u64 {
+            let envelopes: Vec<Vec<u8>> = (0..2)
+                .map(|j| {
+                    let report = ReportBuilder::new("r", "1.0")
+                        .gmt(t0 + i * 600)
+                        .body_value("v", (i * 10 + j).to_string())
+                        .success()
+                        .unwrap();
+                    Envelope::new(
+                        format!("reporter=r{j},resource=m,vo=tg").parse::<BranchId>().unwrap(),
+                        report.to_xml(),
+                    )
+                    .encode(EnvelopeMode::Body)
+                })
+                .collect();
+            for r in depot.receive_batch(&envelopes, t0 + i * 600) {
+                r.unwrap();
+            }
+        }
+        let branch: BranchId = "reporter=r0,resource=m,vo=tg".parse().unwrap();
+        let series = depot
+            .archive()
+            .fetch_rule_series("v", &branch, ConsolidationFn::Average, t0, t0 + 2_000)
+            .unwrap();
+        assert!(series.known_points().count() >= 2, "batched reports must still archive");
+        // The batch histograms saw three batches of two.
+        let size_hist = obs.metrics().histogram_of("inca_depot_batch_size", &[]).unwrap();
+        assert_eq!(size_hist.count(), 3);
+        let batch_hist =
+            obs.metrics().histogram_of("inca_depot_batch_insert_seconds", &[]).unwrap();
+        assert_eq!(batch_hist.count(), 3);
+    }
+
+    #[test]
     fn save_and_load_roundtrip() {
         let mut depot = Depot::new();
         depot.add_archive_rule(ArchiveRule {
@@ -438,6 +667,11 @@ mod tests {
     }
 
     #[test]
+    // Slow (multi-megabyte cache rebuilds): excluded from the default
+    // `cargo test -q` run now that the bench binary (`depot_throughput`)
+    // owns the scaling measurement. scripts/verify.sh opts back in via
+    // `cargo test -p inca-server --lib -- --ignored`.
+    #[ignore = "slow Figure 9 scaling check; run with --ignored (scripts/verify.sh does)"]
     fn insert_time_grows_with_cache_size() {
         // The Figure 9 mechanism, asserted coarsely: inserting into a
         // multi-megabyte cache takes longer than into a near-empty one.

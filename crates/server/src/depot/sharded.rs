@@ -74,9 +74,61 @@ impl ShardedCache {
             .entry(self.shard_key(branch))
             .or_default()
             .update(branch, report_xml);
+        self.sync_gauges();
+        result
+    }
+
+    /// Batched insert: items are grouped by shard and each touched
+    /// shard streams its document exactly once
+    /// ([`XmlCache::insert_batch`]), so a burst costs O(batch +
+    /// touched-shard bytes) instead of O(batch × shard).
+    pub fn insert_batch(&mut self, items: &[(&BranchId, &str)]) -> Result<(), CacheError> {
+        let mut by_shard: BTreeMap<String, Vec<(&BranchId, &str)>> = BTreeMap::new();
+        for &(branch, xml) in items {
+            by_shard.entry(self.shard_key(branch)).or_default().push((branch, xml));
+        }
+        let mut result = Ok(());
+        for (key, group) in by_shard {
+            if let Err(e) = self.shards.entry(key).or_default().insert_batch(&group) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.sync_gauges();
+        result
+    }
+
+    /// The persisted form: one `(shard key, document)` pair per shard.
+    pub fn shard_documents(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.shards.iter().map(|(k, c)| (k.as_str(), c.document()))
+    }
+
+    /// Restores a cache persisted via [`ShardedCache::shard_documents`],
+    /// validating every shard document. Gauges reflect the restored
+    /// state immediately — a freshly loaded cache must not report zero
+    /// (or stale) shard sizes until the first insert happens to land
+    /// in the largest shard.
+    pub fn from_documents<I, K, D>(depth: usize, docs: I, obs: &Obs) -> Result<ShardedCache, CacheError>
+    where
+        I: IntoIterator<Item = (K, D)>,
+        K: Into<String>,
+        D: Into<String>,
+    {
+        let mut cache = ShardedCache::with_obs(depth, obs);
+        for (key, doc) in docs {
+            cache.shards.insert(key.into(), XmlCache::from_document(doc.into())?);
+        }
+        cache.sync_gauges();
+        Ok(cache)
+    }
+
+    /// Recomputes both gauges from the shard map. Every mutation (and
+    /// every load) funnels through here so the exported
+    /// `inca_depot_shard_largest_bytes` can never go stale against
+    /// [`ShardedCache::largest_shard_bytes`].
+    fn sync_gauges(&self) {
         self.shards_gauge.set(self.shards.len() as f64);
         self.largest_gauge.set(self.largest_shard_bytes() as f64);
-        result
     }
 
     /// All reports matching a suffix query, across shards.
@@ -199,5 +251,76 @@ mod tests {
     fn depth_zero_clamped_to_one() {
         let cache = ShardedCache::new(0);
         assert_eq!(cache.depth, 1);
+    }
+
+    #[test]
+    fn batch_insert_matches_sequential_updates() {
+        let mut batched = ShardedCache::new(2);
+        let mut reference = ShardedCache::new(2);
+        let branches: Vec<BranchId> = (0..30)
+            .map(|i| branch(&format!("reporter=r{i},resource=m{},site=s{},vo=tg", i % 5, i % 3)))
+            .collect();
+        let reports: Vec<String> = (0..30).map(|i| report(&format!("r{i}"), &i.to_string())).collect();
+        let items: Vec<(&BranchId, &str)> =
+            branches.iter().zip(reports.iter().map(String::as_str)).collect();
+        batched.insert_batch(&items).unwrap();
+        for (b, xml) in &items {
+            reference.update(b, xml).unwrap();
+        }
+        assert_eq!(batched.shard_count(), reference.shard_count());
+        let a: Vec<(&str, &str)> = batched.shard_documents().collect();
+        let b: Vec<(&str, &str)> = reference.shard_documents().collect();
+        assert_eq!(a, b, "per-shard documents must match the sequential result");
+    }
+
+    #[test]
+    fn gauges_track_every_mutation_and_survive_reload() {
+        // Regression: the largest-shard gauge used to be refreshed
+        // only by plain updates, so a batch insert or a save/load
+        // round-trip could leave it stale against the real maximum.
+        let obs = Obs::new();
+        let mut cache = ShardedCache::with_obs(2, &obs);
+        let gauge = |name: &str| obs.metrics().gauge_value(name, &[]).unwrap();
+
+        let branches: Vec<BranchId> = (0..12)
+            .map(|i| branch(&format!("reporter=r{i},resource=m1,site=s{},vo=tg", i % 3)))
+            .collect();
+        let reports: Vec<String> =
+            (0..12).map(|i| report(&format!("r{i}"), &"x".repeat(200 * (i + 1)))).collect();
+        let items: Vec<(&BranchId, &str)> =
+            branches.iter().zip(reports.iter().map(String::as_str)).collect();
+        cache.insert_batch(&items).unwrap();
+        assert_eq!(gauge("inca_depot_shards"), cache.shard_count() as f64);
+        assert_eq!(
+            gauge("inca_depot_shard_largest_bytes"),
+            cache.largest_shard_bytes() as f64,
+            "batch insert must refresh the largest-shard gauge"
+        );
+
+        // Save/load round-trip into a fresh registry: the gauges must
+        // describe the loaded shards, not remain at zero.
+        let docs: Vec<(String, String)> = cache
+            .shard_documents()
+            .map(|(k, d)| (k.to_string(), d.to_string()))
+            .collect();
+        let obs2 = Obs::new();
+        let loaded = ShardedCache::from_documents(2, docs, &obs2).unwrap();
+        assert_eq!(loaded.largest_shard_bytes(), cache.largest_shard_bytes());
+        assert_eq!(
+            obs2.metrics().gauge_value("inca_depot_shard_largest_bytes", &[]).unwrap(),
+            loaded.largest_shard_bytes() as f64,
+            "restored cache must report its real largest shard"
+        );
+        assert_eq!(
+            obs2.metrics().gauge_value("inca_depot_shards", &[]).unwrap(),
+            loaded.shard_count() as f64
+        );
+    }
+
+    #[test]
+    fn from_documents_rejects_corrupt_shards() {
+        let obs = Obs::new();
+        let err = ShardedCache::from_documents(2, [("vo=tg", "<notACache/>")], &obs);
+        assert!(err.is_err());
     }
 }

@@ -117,6 +117,33 @@ proptest! {
     }
 
     #[test]
+    fn batch_insert_is_byte_identical_to_sequential_updates(
+        seed in proptest::collection::vec(update_strategy(), 0..20),
+        batch in proptest::collection::vec(update_strategy(), 1..30)
+    ) {
+        // Pre-populate both caches identically, then apply `batch`
+        // once via insert_batch and once as individual updates: the
+        // amortized path must reproduce the sequential document
+        // byte-for-byte (duplicate branches, replaces, fresh levels
+        // and all).
+        let mut batched = XmlCache::new();
+        let mut reference = XmlCache::new();
+        for u in &seed {
+            batched.update(&branch_of(u), &report_xml(u)).unwrap();
+            reference.update(&branch_of(u), &report_xml(u)).unwrap();
+        }
+        let branches: Vec<BranchId> = batch.iter().map(branch_of).collect();
+        let reports: Vec<String> = batch.iter().map(report_xml).collect();
+        let items: Vec<(&BranchId, &str)> =
+            branches.iter().zip(reports.iter().map(String::as_str)).collect();
+        batched.insert_batch(&items).unwrap();
+        for (b, xml) in &items {
+            reference.update(b, xml).unwrap();
+        }
+        prop_assert_eq!(batched.document(), reference.document());
+    }
+
+    #[test]
     fn updates_replace_in_place_keeping_size_steady(
         payloads in proptest::collection::vec(value_strategy(), 2..10)
     ) {

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates the tracked depot-ingest/simulation bench baseline
+# (BENCH_depot.json at the repo root). Pass --smoke for the seconds-long
+# CI sanity variant, and --out PATH to write elsewhere (the smoke gate
+# in scripts/verify.sh does both so it never clobbers the committed
+# full-mode baseline). Any extra flags are forwarded to the binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p inca-bench --bin depot_throughput
+exec target/release/depot_throughput "$@"

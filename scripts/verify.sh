@@ -10,15 +10,34 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+# The Figure 9 scaling check streams multi-megabyte caches and is
+# #[ignore]d in the default suite; verify still runs it.
+echo "== slow depot scaling check (--ignored) =="
+cargo test -q -p inca-server --lib -- --ignored
+
 # The observability stack guards itself: the SLO engine's unit tests,
 # the promtool-style exposition lint (format conformance of
-# QueryInterface::metrics_text()), and the end-to-end lineage +
-# staleness-alert test over a fault-injected simulated Monday.
+# QueryInterface::metrics_text()), the end-to-end lineage +
+# staleness-alert test over a fault-injected simulated Monday, and the
+# thread-count determinism contract of the parallel simulation engine.
 echo "== health + exposition gate =="
 cargo test -q -p inca-health
 cargo test -q -p inca-obs lint
 cargo test -q -p inca-obs --test ring_concurrency
 cargo test -q --test health_lineage
+cargo test -q --test determinism
+
+# The bench baseline must stay runnable: a smoke pass writes its JSON
+# to target/ (never the tracked BENCH_depot.json) and we check the
+# fields consumers of the baseline rely on are present.
+echo "== bench smoke gate =="
+scripts/bench.sh --smoke --out target/BENCH_depot.smoke.json
+for key in '"speedup"' '"threads"' '"batched_seconds"' '"wall_seconds"'; do
+  if ! grep -q "$key" target/BENCH_depot.smoke.json; then
+    echo "verify FAILED: bench smoke output missing $key" >&2
+    exit 1
+  fi
+done
 
 echo "== docs =="
 if ! scripts/check-docs.sh; then
