@@ -1,0 +1,403 @@
+//! The tracked bench baseline for the indexed query engine
+//! (`BENCH_query.json` at the repo root).
+//!
+//! Two measurements:
+//!
+//! 1. **Read path**: a mixed query workload (exact-report lookups,
+//!    site subtrees, suffix report sets) against an N-report cache,
+//!    answered once by the persistent branch index and once by the
+//!    streaming full-document scan the index replaced (kept as the
+//!    debug oracle). Both paths return byte-identical answers — the
+//!    proptest oracle holds that — so the ratio is a pure O(result)
+//!    vs O(cache) comparison. Full mode gates on the index being at
+//!    least 3x faster.
+//! 2. **Contention**: N reader threads querying through the
+//!    controller's shared depot lock while one writer streams ingest,
+//!    for a fixed wall-clock window per N. The tracked numbers are
+//!    total reads and reads/second — the curve shows readers are not
+//!    serialized behind ingest (on a single-core host it tracks
+//!    overhead, not parallel speedup).
+//!
+//! Flags: `--smoke` shrinks both measurements to a seconds-long sanity
+//! pass (CI gate); `--out PATH` overrides the default output path
+//! `BENCH_query.json` in the current directory.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use inca_obs::Obs;
+use inca_report::{BranchId, ReportBuilder, Timestamp};
+use inca_server::{CentralizedController, ControllerConfig, Depot, QueryInterface, XmlCache};
+use inca_wire::message::{ClientMessage, ServerResponse};
+
+struct Config {
+    smoke: bool,
+    out: String,
+    cache_reports: usize,
+    exact_lookups: usize,
+    reps: usize,
+    reader_counts: Vec<usize>,
+    contention_window: Duration,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out = "BENCH_query.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: query_throughput [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        Config {
+            smoke,
+            out,
+            cache_reports: 200,
+            exact_lookups: 40,
+            reps: 1,
+            reader_counts: vec![1, 2],
+            contention_window: Duration::from_millis(100),
+        }
+    } else {
+        Config {
+            smoke,
+            out,
+            cache_reports: 1_000,
+            exact_lookups: 200,
+            reps: 5,
+            reader_counts: vec![1, 2, 4],
+            contention_window: Duration::from_millis(400),
+        }
+    }
+}
+
+/// `n` distinct branches with realistic report payloads (the same
+/// shape `depot_throughput` seeds: 10 sites x 40 resources).
+fn report_set(n: usize) -> Vec<(BranchId, String)> {
+    (0..n)
+        .map(|id| {
+            let (site, resource) = (format!("site{}", id % 10), format!("m{}", id % 40));
+            let branch: BranchId = format!(
+                "reporter=version.pkg{id},resource={resource},site={site},vo=tg"
+            )
+            .parse()
+            .expect("generated branch is well-formed");
+            let xml = ReportBuilder::new(&format!("version.pkg{id}"), "1.0")
+                .host(&resource)
+                .gmt(Timestamp::from_secs(1_089_158_400 + id as u64))
+                .body_value("packageVersion", format!("2.4.{}", id % 20))
+                .success()
+                .expect("builder succeeds")
+                .to_xml();
+            (branch, xml)
+        })
+        .collect()
+}
+
+/// The mixed read workload: every site subtree, every site report set,
+/// the unfiltered report set, and `exact_lookups` exact-report hits.
+struct Workload {
+    subtrees: Vec<BranchId>,
+    suffixes: Vec<BranchId>,
+    exacts: Vec<BranchId>,
+}
+
+fn workload(seed: &[(BranchId, String)], exact_lookups: usize) -> Workload {
+    let sites: Vec<BranchId> = (0..10)
+        .map(|s| format!("site=site{s},vo=tg").parse().expect("site query"))
+        .collect();
+    let step = (seed.len() / exact_lookups.max(1)).max(1);
+    Workload {
+        subtrees: sites.clone(),
+        suffixes: sites,
+        exacts: seed.iter().step_by(step).map(|(b, _)| b.clone()).collect(),
+    }
+}
+
+struct ReadResult {
+    indexed: Duration,
+    scan: Duration,
+    speedup: f64,
+    queries: usize,
+}
+
+fn bench_reads(cfg: &Config) -> ReadResult {
+    let seed = report_set(cfg.cache_reports);
+    let mut cache = XmlCache::new();
+    for (branch, xml) in &seed {
+        cache.update(branch, xml).expect("seed insert");
+    }
+    let w = workload(&seed, cfg.exact_lookups);
+    let queries = w.subtrees.len() + w.suffixes.len() + 1 + w.exacts.len();
+
+    let mut best_indexed = Duration::MAX;
+    let mut best_scan = Duration::MAX;
+    for _ in 0..cfg.reps.max(1) {
+        // Indexed path: what `QueryInterface` serves on a memo miss.
+        let started = Instant::now();
+        let mut indexed_bytes = 0usize;
+        for q in &w.subtrees {
+            indexed_bytes += cache.subtree(q).expect("subtree").map_or(0, |s| s.len());
+        }
+        for q in &w.suffixes {
+            for (_, xml) in cache.reports(Some(q)).expect("reports") {
+                indexed_bytes += xml.len();
+            }
+        }
+        for (_, xml) in cache.reports(None).expect("all reports") {
+            indexed_bytes += xml.len();
+        }
+        for b in &w.exacts {
+            indexed_bytes += cache.report_exact(b).expect("seeded branch present").len();
+        }
+        best_indexed = best_indexed.min(started.elapsed());
+
+        // Streaming oracle: the pre-index implementation.
+        let started = Instant::now();
+        let mut scan_bytes = 0usize;
+        for q in &w.subtrees {
+            scan_bytes += cache.scan_subtree(q).expect("subtree").map_or(0, |s| s.len());
+        }
+        for q in &w.suffixes {
+            for (_, xml) in cache.scan_reports(Some(q)).expect("reports") {
+                scan_bytes += xml.len();
+            }
+        }
+        for (_, xml) in cache.scan_reports(None).expect("all reports") {
+            scan_bytes += xml.len();
+        }
+        for b in &w.exacts {
+            let exact = cache
+                .scan_reports(Some(b))
+                .expect("reports")
+                .into_iter()
+                .find(|(bb, _)| bb == b)
+                .expect("seeded branch present");
+            scan_bytes += exact.1.len();
+        }
+        best_scan = best_scan.min(started.elapsed());
+
+        assert_eq!(indexed_bytes, scan_bytes, "index and scan answered differently");
+    }
+    ReadResult {
+        indexed: best_indexed,
+        scan: best_scan,
+        speedup: best_scan.as_secs_f64() / best_indexed.as_secs_f64().max(1e-9),
+        queries,
+    }
+}
+
+struct ContentionPoint {
+    readers: usize,
+    reads: u64,
+    reads_per_sec: f64,
+    writes: u64,
+}
+
+fn message(id: usize, value: &str) -> Vec<u8> {
+    let resource = format!("m{}", id % 40);
+    let report = ReportBuilder::new(&format!("version.pkg{id}"), "1.0")
+        .host(&resource)
+        .gmt(Timestamp::from_secs(1_089_158_400))
+        .body_value("packageVersion", value)
+        .success()
+        .expect("builder succeeds");
+    let branch: BranchId = format!(
+        "reporter=version.pkg{id},resource={resource},site=site{},vo=tg",
+        id % 10
+    )
+    .parse()
+    .expect("branch is well-formed");
+    ClientMessage::report(&resource, branch, &report).encode()
+}
+
+fn bench_contention(cfg: &Config) -> Vec<ContentionPoint> {
+    cfg.reader_counts
+        .iter()
+        .map(|&readers| {
+            let mut depot = Depot::with_obs(Obs::new());
+            for id in 0..cfg.cache_reports {
+                let env = inca_wire::envelope::Envelope::new(
+                    format!(
+                        "reporter=version.pkg{id},resource=m{},site=site{},vo=tg",
+                        id % 40,
+                        id % 10
+                    )
+                    .parse()
+                    .expect("branch"),
+                    ReportBuilder::new(&format!("version.pkg{id}"), "1.0")
+                        .gmt(Timestamp::from_secs(1_089_158_400))
+                        .body_value("packageVersion", "2.4.0")
+                        .success()
+                        .expect("builder succeeds")
+                        .to_xml(),
+                );
+                depot
+                    .receive(
+                        &env.encode(inca_wire::envelope::EnvelopeMode::Body),
+                        Timestamp::from_secs(1_089_158_400),
+                    )
+                    .expect("seed receive");
+            }
+            let controller =
+                Arc::new(CentralizedController::new(ControllerConfig::default(), depot));
+            let done = Arc::new(AtomicBool::new(false));
+            let start = Arc::new(Barrier::new(readers + 2));
+
+            let reader_handles: Vec<_> = (0..readers)
+                .map(|r| {
+                    let c = Arc::clone(&controller);
+                    let done = Arc::clone(&done);
+                    let start = Arc::clone(&start);
+                    std::thread::spawn(move || {
+                        let site: BranchId =
+                            format!("site=site{},vo=tg", r % 10).parse().expect("site query");
+                        start.wait();
+                        let mut reads = 0u64;
+                        while !done.load(Ordering::Relaxed) {
+                            c.with_depot(|d| {
+                                let q = QueryInterface::new(d);
+                                let subtree = q.current(&site).expect("well-formed");
+                                assert!(subtree.is_some());
+                            });
+                            reads += 1;
+                        }
+                        reads
+                    })
+                })
+                .collect();
+
+            let writer = {
+                let c = Arc::clone(&controller);
+                let done = Arc::clone(&done);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    let mut writes = 0u64;
+                    let mut i = 0usize;
+                    while !done.load(Ordering::Relaxed) {
+                        let value = format!("3.0.{writes}");
+                        let payload = message(i % 1_000, &value);
+                        let (resp, _) = c.submit(
+                            "bench.host",
+                            &payload,
+                            Timestamp::from_secs(1_089_158_401 + writes),
+                        );
+                        assert_eq!(resp, ServerResponse::Ack);
+                        writes += 1;
+                        i += 7;
+                    }
+                    writes
+                })
+            };
+
+            start.wait();
+            let window = cfg.contention_window;
+            std::thread::sleep(window);
+            done.store(true, Ordering::Relaxed);
+            let reads: u64 = reader_handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread"))
+                .sum();
+            let writes = writer.join().expect("writer thread");
+            ContentionPoint {
+                readers,
+                reads,
+                reads_per_sec: reads as f64 / window.as_secs_f64(),
+                writes,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = parse_args();
+    eprintln!(
+        "query_throughput: {} reads over a {}-report cache ({} reps), contention at {:?} readers",
+        cfg.exact_lookups + 21,
+        cfg.cache_reports,
+        cfg.reps,
+        cfg.reader_counts
+    );
+
+    let reads = bench_reads(&cfg);
+    eprintln!(
+        "  reads: {} queries, indexed {:.6}s, scan {:.6}s, speedup {:.1}x",
+        reads.queries,
+        reads.indexed.as_secs_f64(),
+        reads.scan.as_secs_f64(),
+        reads.speedup
+    );
+
+    let contention = bench_contention(&cfg);
+    for p in &contention {
+        eprintln!(
+            "  contention: {} reader(s) -> {} reads ({:.0}/s) alongside {} writes",
+            p.readers, p.reads, p.reads_per_sec, p.writes
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"query_throughput\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"reads\": {\n");
+    json.push_str(&format!("    \"cache_reports\": {},\n", cfg.cache_reports));
+    json.push_str(&format!("    \"queries\": {},\n", reads.queries));
+    json.push_str(&format!(
+        "    \"indexed_seconds\": {:.6},\n",
+        reads.indexed.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        "    \"scan_seconds\": {:.6},\n",
+        reads.scan.as_secs_f64()
+    ));
+    json.push_str(&format!("    \"speedup\": {:.2}\n", reads.speedup));
+    json.push_str("  },\n");
+    json.push_str("  \"contention\": {\n");
+    json.push_str(&format!(
+        "    \"window_seconds\": {:.3},\n",
+        cfg.contention_window.as_secs_f64()
+    ));
+    json.push_str("    \"runs\": [\n");
+    for (i, p) in contention.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"readers\": {}, \"reads\": {}, \"reads_per_sec\": {:.0}, \"writes\": {}}}{}\n",
+            p.readers,
+            p.reads,
+            p.reads_per_sec,
+            p.writes,
+            if i + 1 < contention.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&cfg.out, &json).expect("write bench output");
+    eprintln!("wrote {}", cfg.out);
+
+    if !cfg.smoke && reads.speedup < 3.0 {
+        eprintln!(
+            "FAIL: indexed read speedup {:.2}x below the 3x floor",
+            reads.speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,7 @@
 //! records availability percentages into the depot archive — the data
 //! behind Figures 4 and 5.
 
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 use inca_agreement::{verify_resource, ComplianceSummary};
 use inca_consumer::{build_status_page, AvailabilityTracker, StatusPage};
@@ -24,6 +24,7 @@ use inca_report::{BranchId, Timestamp};
 use inca_server::{
     CentralizedController, ControllerConfig, Depot, QueryInterface,
 };
+use inca_sim::Vo;
 use inca_wire::envelope::EnvelopeMode;
 use inca_wire::message::{ClientMessage, ServerResponse};
 use inca_wire::HostAllowlist;
@@ -74,6 +75,73 @@ impl Transport for BufferTransport {
     fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
         self.buffer.lock().push(message.clone());
         Ok(ServerResponse::Ack)
+    }
+}
+
+/// Persistent tick workers, spawned once per run and reused for every
+/// simulated tick (`BENCH_depot.json`'s scaling curve used to pay a
+/// `thread::scope` spawn *per tick*, which inverted it — more threads,
+/// more spawns, slower run).
+///
+/// Daemons move: a tick hands each due `(index, daemon)` to the pool
+/// over a channel, workers pull from the shared queue (dynamic load
+/// balance instead of fixed chunks), fire the daemon against the VO,
+/// and send it home. `Transport: Send` makes the move legal, and each
+/// daemon is internally sequential, so which worker runs it can only
+/// change wall-clock time, never output.
+struct WorkerPool {
+    /// `None` only during drop (closing the channel stops the workers).
+    task_tx: Option<mpsc::Sender<(usize, DistributedController)>>,
+    done_rx: mpsc::Receiver<(usize, DistributedController)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers firing daemons against `vo` (a clone
+    /// of the deployment's VO — read-only during the run).
+    fn new(threads: usize, vo: Arc<Vo>) -> WorkerPool {
+        let (task_tx, task_rx) = mpsc::channel::<(usize, DistributedController)>();
+        let (done_tx, done_rx) = mpsc::channel();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let handles = (0..threads)
+            .map(|_| {
+                let task_rx = Arc::clone(&task_rx);
+                let done_tx = done_tx.clone();
+                let vo = Arc::clone(&vo);
+                std::thread::spawn(move || loop {
+                    let task = task_rx.lock().recv();
+                    let Ok((index, mut daemon)) = task else { break };
+                    daemon.run_next_batch(&vo);
+                    if done_tx.send((index, daemon)).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { task_tx: Some(task_tx), done_rx, handles }
+    }
+
+    /// Runs every `(index, daemon)` task across the pool, returning
+    /// the daemons (in completion order) once all have fired.
+    fn run_tick(
+        &self,
+        tasks: Vec<(usize, DistributedController)>,
+    ) -> Vec<(usize, DistributedController)> {
+        let count = tasks.len();
+        let tx = self.task_tx.as_ref().expect("pool is live");
+        for task in tasks {
+            tx.send(task).expect("worker thread alive");
+        }
+        (0..count).map(|_| self.done_rx.recv().expect("worker thread alive")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.task_tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -159,7 +227,9 @@ pub struct SimRun {
     deployment: Deployment,
     options: SimOptions,
     server: Arc<CentralizedController>,
-    daemons: Vec<DistributedController>,
+    /// `None` marks a daemon currently out on the worker pool; every
+    /// slot is `Some` between ticks.
+    daemons: Vec<Option<DistributedController>>,
     /// One `(hostname, buffer)` per daemon, same order as `daemons`;
     /// each daemon's [`BufferTransport`] fills its buffer during the
     /// tick and the run loop drains them all into one batched submit.
@@ -167,6 +237,9 @@ pub struct SimRun {
     now: Arc<Mutex<Timestamp>>,
     tracker: AvailabilityTracker,
     monitor: Option<HealthMonitor>,
+    /// Persistent tick workers when `sim_threads > 1` (spawned once,
+    /// reused every tick, joined when the run ends).
+    pool: Option<WorkerPool>,
 }
 
 impl SimRun {
@@ -202,12 +275,14 @@ impl SimRun {
             );
             daemon.set_offline_when_down(options.offline_when_down);
             daemon.register_from_catalog(&deployment.catalog);
-            daemons.push(daemon);
+            daemons.push(Some(daemon));
         }
         let monitor = options
             .health_rules
             .clone()
             .map(|rules| HealthMonitor::with_obs(rules, obs.clone()));
+        let pool = (options.sim_threads > 1)
+            .then(|| WorkerPool::new(options.sim_threads, Arc::new(deployment.vo.clone())));
         SimRun {
             deployment,
             options,
@@ -217,6 +292,7 @@ impl SimRun {
             now,
             tracker: AvailabilityTracker::figure5(),
             monitor,
+            pool,
         }
     }
 
@@ -261,36 +337,44 @@ impl SimRun {
         summaries
     }
 
-    /// Fires every daemon due at `t`, spread across
-    /// [`SimOptions::sim_threads`] OS threads — the real deployment's
-    /// clients run on separate hosts. Each daemon is sequential
-    /// internally (own seeded RNG, own scheduler, own buffer), so the
-    /// partitioning can only change wall-clock time, never any
-    /// daemon's output.
+    /// Fires every daemon due at `t`, spread across the persistent
+    /// [`WorkerPool`] when [`SimOptions::sim_threads`] `> 1` — the
+    /// real deployment's clients run on separate hosts. Each daemon is
+    /// sequential internally (own seeded RNG, own scheduler, own
+    /// buffer), so which worker runs it can only change wall-clock
+    /// time, never any daemon's output.
     fn fire_due_daemons(&mut self, t: Timestamp) {
-        let vo = &self.deployment.vo;
-        let mut due: Vec<&mut DistributedController> = self
+        let due: Vec<usize> = self
             .daemons
-            .iter_mut()
-            .filter(|d| d.peek_next() == Some(t))
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                d.as_ref().expect("daemon home between ticks").peek_next() == Some(t)
+            })
+            .map(|(index, _)| index)
             .collect();
-        let threads = self.options.sim_threads.max(1);
-        if threads == 1 || due.len() <= 1 {
-            for daemon in due {
-                daemon.run_next_batch(vo);
+        match &self.pool {
+            Some(pool) if due.len() > 1 => {
+                let tasks: Vec<(usize, DistributedController)> = due
+                    .into_iter()
+                    .map(|index| {
+                        (index, self.daemons[index].take().expect("daemon home between ticks"))
+                    })
+                    .collect();
+                for (index, daemon) in pool.run_tick(tasks) {
+                    self.daemons[index] = Some(daemon);
+                }
             }
-            return;
+            _ => {
+                let vo = &self.deployment.vo;
+                for index in due {
+                    self.daemons[index]
+                        .as_mut()
+                        .expect("daemon home between ticks")
+                        .run_next_batch(vo);
+                }
+            }
         }
-        let chunk = due.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for slice in due.chunks_mut(chunk) {
-                scope.spawn(move || {
-                    for daemon in slice {
-                        daemon.run_next_batch(vo);
-                    }
-                });
-            }
-        });
     }
 
     /// Drains every daemon's tick buffer into one batched server
@@ -317,7 +401,10 @@ impl SimRun {
         let results = self.server.submit_batch(&submissions, t);
         for ((index, _), (response, _)) in batch.iter().zip(&results) {
             if matches!(response, ServerResponse::Rejected(_)) {
-                self.daemons[*index].note_forward_error();
+                self.daemons[*index]
+                    .as_mut()
+                    .expect("daemon home between ticks")
+                    .note_forward_error();
             }
         }
     }
@@ -327,7 +414,7 @@ impl SimRun {
     pub fn run(mut self) -> SimOutcome {
         let start = self.deployment.start;
         let end = self.deployment.end;
-        for daemon in &mut self.daemons {
+        for daemon in self.daemons.iter_mut().flatten() {
             daemon.prime(start);
         }
         let verify_every = self.options.verify_every_secs;
@@ -340,6 +427,7 @@ impl SimRun {
             let next_fire = self
                 .daemons
                 .iter()
+                .flatten()
                 .filter_map(DistributedController::peek_next)
                 .min();
             let next_event =
@@ -390,7 +478,11 @@ impl SimRun {
         };
         SimOutcome {
             final_page,
-            daemons: self.daemons,
+            daemons: self
+                .daemons
+                .into_iter()
+                .map(|d| d.expect("every daemon returned home"))
+                .collect(),
             server: self.server,
             verification_passes: passes,
             health: self.monitor,

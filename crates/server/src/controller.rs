@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use inca_obs::metrics::{Counter, Gauge};
 use inca_obs::{Obs, Severity};
@@ -58,7 +58,11 @@ impl Default for ControllerConfig {
 /// The centralized controller with its depot.
 pub struct CentralizedController {
     config: ControllerConfig,
-    depot: Mutex<Depot>,
+    /// Reader-writer lock, not a mutex: consumers, the health monitor
+    /// and metric scrapes read the depot concurrently with each other;
+    /// only ingest takes the write side. The depot's interior query
+    /// memo has its own lock, so shared guards stay `Sync`-safe.
+    depot: RwLock<Depot>,
     /// Error reports received (the §3.1.3 special reports).
     error_reports: Mutex<u64>,
     /// Observability handle, inherited from the depot so controller
@@ -103,7 +107,7 @@ impl CentralizedController {
         );
         CentralizedController {
             config,
-            depot: Mutex::new(depot),
+            depot: RwLock::new(depot),
             error_reports: Mutex::new(0),
             obs,
             accepted,
@@ -182,11 +186,12 @@ impl CentralizedController {
             Ok(admitted) => admitted,
             Err(response) => return (response, None),
         };
-        // All requests serialize through the depot, as in the paper;
-        // the gauge tracks how many submissions are queued on it.
+        // Writes serialize through the depot's write lock, as in the
+        // paper (reads share the lock); the gauge tracks how many
+        // submissions are queued on it.
         self.queue_depth.add(1.0);
         let result = {
-            let mut depot = self.depot.lock();
+            let mut depot = self.depot.write();
             depot.receive(&bytes, now)
         };
         self.queue_depth.sub(1.0);
@@ -234,7 +239,7 @@ impl CentralizedController {
         }
         self.queue_depth.add(batch.len() as f64);
         let outcomes = {
-            let mut depot = self.depot.lock();
+            let mut depot = self.depot.write();
             depot.receive_batch(&batch, now)
         };
         self.queue_depth.sub(batch.len() as f64);
@@ -258,14 +263,17 @@ impl CentralizedController {
             .collect()
     }
 
-    /// Runs a closure against the depot under the lock (query access).
+    /// Runs a closure against the depot under a **shared** read guard:
+    /// any number of consumers, health checks and metric scrapes run
+    /// concurrently, blocking only while ingest holds the write side.
     pub fn with_depot<R>(&self, f: impl FnOnce(&Depot) -> R) -> R {
-        f(&self.depot.lock())
+        f(&self.depot.read())
     }
 
-    /// Mutable depot access (archive-rule upload, consumer recording).
+    /// Mutable depot access (archive-rule upload, consumer recording)
+    /// under the exclusive write guard.
     pub fn with_depot_mut<R>(&self, f: impl FnOnce(&mut Depot) -> R) -> R {
-        f(&mut self.depot.lock())
+        f(&mut self.depot.write())
     }
 
     /// Number of execution-error reports received.

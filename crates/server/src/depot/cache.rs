@@ -16,6 +16,17 @@
 //! so memory stays at two document buffers regardless of report count;
 //! time is linear in cache size, which is precisely the behaviour
 //! Figure 9 measures.
+//!
+//! Reads no longer pay that walk. The cache keeps a persistent
+//! branch index — branch path → byte range of its `<branch>`
+//! element, plus the byte range of the report stored directly at each
+//! path — maintained *incrementally* by [`XmlCache::update`] and
+//! [`XmlCache::insert_batch`] (a splice shifts affected ranges by the
+//! byte delta; it never re-tokenizes). Queries ([`XmlCache::subtree`],
+//! [`XmlCache::reports`], [`XmlCache::report_exact`]) are O(result)
+//! lookups into that index. The original streaming implementations
+//! survive as [`XmlCache::scan_subtree`] / [`XmlCache::scan_reports`]:
+//! the debug oracle the property tests compare against, byte for byte.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -55,11 +66,41 @@ enum Splice {
     Insert { at: usize, missing_from: usize },
 }
 
+/// A branch path in cache-document order: general component first
+/// (`vo` outermost), exactly the nesting order of the `<branch>`
+/// elements. Suffix queries become *prefix* matches on these keys, so
+/// a `BTreeMap` range scan answers them in O(result).
+type PathKey = Vec<(String, String)>;
+
+const BRANCH_CLOSE: &str = "</branch>";
+
+/// Ceiling (bytes) under which debug builds cross-check every mutation
+/// against the streaming oracle. The check is O(cache), so running it
+/// on large documents would turn the replay experiments (Figure 8/9
+/// tests, which time `receive` for real — their smallest steady cache
+/// is 200 KB) into measurements of the oracle instead of the cache.
+/// Unit and property tests all operate far below this ceiling and keep
+/// full coverage.
+#[cfg(debug_assertions)]
+const DEBUG_ORACLE_MAX_DOC: usize = 128 * 1024;
+
 /// The single-document XML cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct XmlCache {
     doc: String,
+    index: BranchIndex,
+    generation: u64,
 }
+
+/// The document alone defines cache identity; the index is derived
+/// state and the generation is mutation bookkeeping.
+impl PartialEq for XmlCache {
+    fn eq(&self, other: &XmlCache) -> bool {
+        self.doc == other.doc
+    }
+}
+
+impl Eq for XmlCache {}
 
 impl Default for XmlCache {
     fn default() -> Self {
@@ -70,7 +111,11 @@ impl Default for XmlCache {
 impl XmlCache {
     /// An empty cache.
     pub fn new() -> XmlCache {
-        XmlCache { doc: "<incaCache></incaCache>".to_string() }
+        XmlCache {
+            doc: "<incaCache></incaCache>".to_string(),
+            index: BranchIndex { root_close: "<incaCache>".len(), ..BranchIndex::default() },
+            generation: 0,
+        }
     }
 
     /// The full document (the "no branch identifier supplied" query of
@@ -80,11 +125,19 @@ impl XmlCache {
     }
 
     /// Rebuilds a cache from a persisted document, validating the root
-    /// and well-formedness (persistence support).
+    /// and well-formedness (persistence support) and rebuilding the
+    /// branch index from scratch — the only place it is ever rebuilt.
     pub fn from_document(doc: String) -> Result<XmlCache, CacheError> {
-        // A full walk validates well-formedness and the root element.
-        let cache = XmlCache { doc };
-        cache.reports(None)?;
+        let index = BranchIndex::build(&doc)?;
+        let cache = XmlCache { doc, index, generation: 0 };
+        // A full walk validates well-formedness and every branch id,
+        // and cross-checks the freshly built index.
+        let scanned = cache.scan_reports(None)?;
+        if scanned.len() != cache.index.reports.len() {
+            return Err(CacheError::Corrupt(
+                "branch index disagrees with a full scan".into(),
+            ));
+        }
         if !cache.doc.starts_with("<incaCache") {
             return Err(CacheError::Corrupt("document root is not <incaCache>".into()));
         }
@@ -96,21 +149,49 @@ impl XmlCache {
         self.doc.len()
     }
 
-    /// Number of cached reports.
+    /// Number of cached reports — one index entry per report, O(1).
     pub fn report_count(&self) -> usize {
-        // Report bodies escape all '<', so the literal tag text cannot
-        // occur inside report content; substring counting is exact.
-        self.doc.matches("<incaReport").count()
+        self.index.reports.len()
+    }
+
+    /// Monotone counter bumped by every successful mutation. Memoized
+    /// query layers compare generations instead of documents to decide
+    /// whether a cached result is still valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Inserts or replaces the report stored at `branch`.
     ///
-    /// The report XML is spliced verbatim (it was validated upstream by
-    /// the envelope decode), so the cost here is the stream walk to the
-    /// splice point plus the rebuild of the document string.
+    /// The splice point comes from the branch index (no stream walk):
+    /// an existing report's recorded byte range, or the close tag of
+    /// the deepest existing ancestor level. After the splice the index
+    /// shifts affected ranges by the byte delta and records any levels
+    /// the fragment created. The report XML is spliced verbatim (it was
+    /// validated upstream by the envelope decode), so the remaining
+    /// cost is the rebuild of the document string.
     pub fn update(&mut self, branch: &BranchId, report_xml: &str) -> Result<(), CacheError> {
-        let hierarchy: Vec<(&str, &str)> = branch.hierarchy().collect();
-        let splice = Self::find_splice(&self.doc, &hierarchy)?;
+        let hierarchy: PathKey = branch
+            .hierarchy()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect();
+        let splice = match self.index.reports.get(&hierarchy) {
+            Some(&(start, end)) => Splice::Replace { start, end },
+            None => {
+                let (at, missing_from) = self.index.deepest_close(&hierarchy);
+                Splice::Insert { at, missing_from }
+            }
+        };
+        #[cfg(debug_assertions)]
+        if self.doc.len() <= DEBUG_ORACLE_MAX_DOC {
+            let refs: Vec<(&str, &str)> =
+                hierarchy.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+            debug_assert_eq!(
+                splice,
+                Self::find_splice(&self.doc, &refs)?,
+                "indexed splice point diverged from the streaming oracle"
+            );
+        }
         match splice {
             Splice::Replace { start, end } => {
                 let mut out = String::with_capacity(self.doc.len() + report_xml.len());
@@ -118,28 +199,63 @@ impl XmlCache {
                 out.push_str(report_xml);
                 out.push_str(&self.doc[end..]);
                 self.doc = out;
+                self.index.splice_shift(start, end, report_xml.len());
             }
             Splice::Insert { at, missing_from } => {
                 let mut fragment = String::with_capacity(report_xml.len() + 128);
+                let mut open_lens = Vec::with_capacity(hierarchy.len() - missing_from);
                 for (name, id) in &hierarchy[missing_from..] {
-                    fragment.push_str(&format!(
-                        "<branch name=\"{}\" id=\"{}\">",
-                        escape_attr(name),
-                        escape_attr(id)
-                    ));
+                    let before = fragment.len();
+                    fragment.push_str("<branch name=\"");
+                    fragment.push_str(&escape_attr(name));
+                    fragment.push_str("\" id=\"");
+                    fragment.push_str(&escape_attr(id));
+                    fragment.push_str("\">");
+                    open_lens.push(fragment.len() - before);
                 }
+                let report_at = fragment.len();
                 fragment.push_str(report_xml);
                 for _ in &hierarchy[missing_from..] {
-                    fragment.push_str("</branch>");
+                    fragment.push_str(BRANCH_CLOSE);
                 }
                 let mut out = String::with_capacity(self.doc.len() + fragment.len());
                 out.push_str(&self.doc[..at]);
                 out.push_str(&fragment);
                 out.push_str(&self.doc[at..]);
                 self.doc = out;
+                self.index.splice_shift(at, at, fragment.len());
+                // Record the levels the fragment created: level j skips
+                // j open tags at the front and j close tags at the back.
+                let mut open_prefix = 0usize;
+                for (j, open_len) in open_lens.iter().enumerate() {
+                    let start = at + open_prefix;
+                    let end = at + fragment.len() - BRANCH_CLOSE.len() * j;
+                    self.index
+                        .branches
+                        .insert(hierarchy[..missing_from + j + 1].to_vec(), (start, end));
+                    open_prefix += open_len;
+                }
+                self.index
+                    .reports
+                    .insert(hierarchy, (at + report_at, at + report_at + report_xml.len()));
             }
         }
+        self.generation += 1;
+        self.debug_check_index();
         Ok(())
+    }
+
+    /// Debug-build invariant: the incrementally maintained index must
+    /// equal a from-scratch rebuild after every mutation.
+    fn debug_check_index(&self) {
+        #[cfg(debug_assertions)]
+        if self.doc.len() <= DEBUG_ORACLE_MAX_DOC {
+            debug_assert_eq!(
+                self.index,
+                BranchIndex::build(&self.doc).expect("mutated cache stays well-formed"),
+                "persistent branch index diverged from a fresh rebuild"
+            );
+        }
     }
 
     /// Inserts or replaces `items.len()` reports in one pass.
@@ -177,31 +293,29 @@ impl XmlCache {
             }
             content.insert(h, xml);
         }
-        // One stream over the document indexes every splice point.
-        let index = CacheIndex::build(&self.doc)?;
+        // Every splice point comes straight from the persistent index
+        // (the pre-batch document state, exactly what a fresh stream
+        // walk used to gather).
         let mut patches: Vec<(usize, Patch<'_>)> = Vec::new();
-        let mut inserts: BTreeMap<usize, InsertNode> = BTreeMap::new();
+        let mut inserts: BTreeMap<usize, (PathKey, InsertNode)> = BTreeMap::new();
         for h in order {
             let xml = content[&h];
-            if let Some(&(start, end)) = index.reports.get(&h) {
-                patches.push((start, Patch::Replace { end, xml }));
+            if let Some(&(start, end)) = self.index.reports.get(&h) {
+                patches.push((start, Patch::Replace { end, xml, path: h }));
                 continue;
             }
-            // Deepest existing level: insert just before its close tag
-            // (the root entry guarantees the loop terminates).
-            let mut depth = h.len();
-            let at = loop {
-                if let Some(&at) = index.closes.get(&h[..depth]) {
-                    break at;
-                }
-                depth -= 1;
-            };
-            inserts.entry(at).or_default().add(&h[depth..], xml);
+            // Deepest existing level: insert just before its close tag.
+            let (at, depth) = self.index.deepest_close(&h);
+            inserts
+                .entry(at)
+                .or_insert_with(|| (h[..depth].to_vec(), InsertNode::default()))
+                .1
+                .add(&h[depth..], xml);
         }
         let mut grown = 0usize;
-        for (at, node) in inserts {
+        for (at, (parent, node)) in inserts {
             grown += node.rendered_len();
-            patches.push((at, Patch::Insert(node)));
+            patches.push((at, Patch::Insert(parent, node)));
         }
         // Replace ranges are disjoint report subtrees and insert
         // points sit on close tags outside them, so ordering by offset
@@ -209,25 +323,44 @@ impl XmlCache {
         patches.sort_by_key(|(offset, _)| *offset);
         let mut out = String::with_capacity(self.doc.len() + grown);
         let mut cursor = 0usize;
+        // Bookkeeping for the incremental index maintenance: the byte
+        // delta of each applied patch (keyed by its old end offset, in
+        // document order), the new ranges of replaced reports, and the
+        // rendered fragments to index afterwards.
+        let mut applied: Vec<(usize, i64)> = Vec::new();
+        let mut targets: Vec<(PathKey, (usize, usize))> = Vec::new();
+        let mut fresh: Vec<(PathKey, usize, InsertNode)> = Vec::new();
         for (offset, patch) in patches {
             out.push_str(&self.doc[cursor..offset]);
             match patch {
-                Patch::Replace { end, xml } => {
+                Patch::Replace { end, xml, path } => {
+                    let new_start = out.len();
                     out.push_str(xml);
+                    applied.push((end, xml.len() as i64 - (end - offset) as i64));
+                    targets.push((path, (new_start, new_start + xml.len())));
                     cursor = end;
                 }
-                Patch::Insert(node) => {
+                Patch::Insert(parent, node) => {
+                    let new_start = out.len();
                     node.render(&mut out);
+                    applied.push((offset, (out.len() - new_start) as i64));
+                    fresh.push((parent, new_start, node));
                     cursor = offset;
                 }
             }
         }
         out.push_str(&self.doc[cursor..]);
         self.doc = out;
+        self.index.apply_batch(applied, targets, fresh);
+        self.generation += 1;
+        self.debug_check_index();
         Ok(())
     }
 
     /// Streams to the point where `hierarchy` lives (or should live).
+    /// Retained as the debug oracle for the indexed splice lookup in
+    /// [`XmlCache::update`].
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     fn find_splice(doc: &str, hierarchy: &[(&str, &str)]) -> Result<Splice, CacheError> {
         let mut tok = Tokenizer::new(doc);
         // Consume the root start tag.
@@ -294,7 +427,23 @@ impl XmlCache {
     /// level with every report below it — "this can either be a single
     /// report, a set of related reports, or a specific portion of a
     /// report" (§3.2.3).
+    ///
+    /// O(log cache): one index lookup, one slice copy. The matched
+    /// level is exactly the branch element at the query's path, so the
+    /// result is byte-identical to [`XmlCache::scan_subtree`] — the
+    /// property tests hold the two together.
     pub fn subtree(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
+        let path: PathKey = query
+            .hierarchy()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect();
+        Ok(self.index.branches.get(&path).map(|&(start, end)| self.doc[start..end].to_string()))
+    }
+
+    /// The full-scan twin of [`XmlCache::subtree`]: streams the whole
+    /// document to find the queried level. Kept as the debug oracle —
+    /// O(cache), trust it over the index when they disagree.
+    pub fn scan_subtree(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
         let hierarchy: Vec<(&str, &str)> = query.hierarchy().collect();
         let mut tok = Tokenizer::new(&self.doc);
         match tok.next_token()? {
@@ -340,10 +489,59 @@ impl XmlCache {
         }
     }
 
-    /// Walks the whole cache collecting `(branch, report_xml)` pairs
-    /// whose branch matches the suffix `query` (or all reports when
-    /// `query` is `None`). Used by data consumers.
+    /// Collects `(branch, report_xml)` pairs whose branch matches the
+    /// suffix `query` (or all reports when `query` is `None`). Used by
+    /// data consumers.
+    ///
+    /// O(result log cache): a suffix query is a prefix of the
+    /// general-first index keys, so one `BTreeMap` range scan finds
+    /// every match; results are then ordered by byte offset, which is
+    /// document order — byte-identical to [`XmlCache::scan_reports`].
     pub fn reports(&self, query: Option<&BranchId>) -> Result<Vec<(BranchId, String)>, CacheError> {
+        let mut hits: Vec<(&PathKey, (usize, usize))> = match query {
+            None => self.index.reports.iter().map(|(k, &v)| (k, v)).collect(),
+            Some(q) => {
+                let prefix: PathKey = q
+                    .hierarchy()
+                    .map(|(n, v)| (n.to_string(), v.to_string()))
+                    .collect();
+                self.index
+                    .reports
+                    .range(prefix.clone()..)
+                    .take_while(|(k, _)| k.starts_with(&prefix[..]))
+                    .map(|(k, &v)| (k, v))
+                    .collect()
+            }
+        };
+        hits.sort_by_key(|&(_, (start, _))| start);
+        hits.into_iter()
+            .map(|(path, (start, end))| {
+                let pairs: Vec<(String, String)> = path.iter().rev().cloned().collect();
+                let branch =
+                    BranchId::new(pairs).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+                Ok((branch, self.doc[start..end].to_string()))
+            })
+            .collect()
+    }
+
+    /// The report stored *exactly at* `branch` (no suffix matching):
+    /// one index lookup, no allocation beyond the probe key. `None`
+    /// when the branch holds no direct report.
+    pub fn report_exact(&self, branch: &BranchId) -> Option<&str> {
+        let path: PathKey = branch
+            .hierarchy()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect();
+        self.index.reports.get(&path).map(|&(start, end)| &self.doc[start..end])
+    }
+
+    /// The full-scan twin of [`XmlCache::reports`]: walks the whole
+    /// cache in one stream. Kept as the debug oracle — O(cache), trust
+    /// it over the index when they disagree.
+    pub fn scan_reports(
+        &self,
+        query: Option<&BranchId>,
+    ) -> Result<Vec<(BranchId, String)>, CacheError> {
         let mut tok = Tokenizer::new(&self.doc);
         match tok.next_token()? {
             Some(Token::StartTag { name, .. }) if name == "incaCache" => {}
@@ -405,33 +603,40 @@ impl XmlCache {
 
 /// One splice of a batched rebuild.
 enum Patch<'a> {
-    /// Replace an existing `<incaReport>` (range end + new bytes).
-    Replace { end: usize, xml: &'a str },
-    /// Insert a merged fragment of new levels and reports.
-    Insert(InsertNode),
+    /// Replace an existing `<incaReport>` (range end + new bytes + the
+    /// branch path whose index entry the replacement re-points).
+    Replace { end: usize, xml: &'a str, path: PathKey },
+    /// Insert a merged fragment of new levels and reports just before
+    /// the close tag of the branch at the carried parent path.
+    Insert(PathKey, InsertNode),
 }
 
-/// Everything a batch needs to know about the current document,
-/// gathered in a single stream: the byte range of the first
-/// `<incaReport>` directly under each branch path (the one
-/// [`XmlCache::update`] would replace) and the close-tag offset of
-/// each path (where an update inserts missing content). The empty
-/// path maps to `</incaCache>`.
-#[derive(Default)]
-struct CacheIndex {
-    reports: BTreeMap<Vec<(String, String)>, (usize, usize)>,
-    closes: BTreeMap<Vec<(String, String)>, usize>,
+/// The persistent read index: the byte range of every `<branch>`
+/// element (through its close tag) keyed by general-first path, the
+/// byte range of the report stored directly at each path (the one
+/// [`XmlCache::update`] replaces), and the offset of `</incaCache>`.
+///
+/// Built from scratch only by [`XmlCache::from_document`]; every
+/// mutation maintains it incrementally by shifting affected ranges —
+/// [`BranchIndex::splice_shift`] for a single splice,
+/// [`BranchIndex::apply_batch`] for a batched rebuild.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct BranchIndex {
+    branches: BTreeMap<PathKey, (usize, usize)>,
+    reports: BTreeMap<PathKey, (usize, usize)>,
+    root_close: usize,
 }
 
-impl CacheIndex {
-    fn build(doc: &str) -> Result<CacheIndex, CacheError> {
+impl BranchIndex {
+    fn build(doc: &str) -> Result<BranchIndex, CacheError> {
         let mut tok = Tokenizer::new(doc);
         match tok.next_token()? {
             Some(Token::StartTag { name, .. }) if name == "incaCache" => {}
             other => return Err(CacheError::Corrupt(format!("bad root: {other:?}"))),
         }
-        let mut path: Vec<(String, String)> = Vec::new();
-        let mut index = CacheIndex::default();
+        let mut path: PathKey = Vec::new();
+        let mut starts: Vec<usize> = Vec::new();
+        let mut index = BranchIndex::default();
         loop {
             let pre = tok.offset();
             let token = tok
@@ -441,7 +646,10 @@ impl CacheIndex {
                 Token::StartTag { name: "branch", ref attrs, self_closing } => {
                     if !self_closing {
                         match (attr(attrs, "name"), attr(attrs, "id")) {
-                            (Some(n), Some(v)) => path.push((n.to_string(), v.to_string())),
+                            (Some(n), Some(v)) => {
+                                path.push((n.to_string(), v.to_string()));
+                                starts.push(pre);
+                            }
                             _ => {
                                 return Err(CacheError::Corrupt(
                                     "branch element missing name/id".into(),
@@ -451,10 +659,15 @@ impl CacheIndex {
                     }
                 }
                 Token::EndTag { name: "branch" } => {
-                    index.closes.entry(path.clone()).or_insert(pre);
-                    if path.pop().is_none() {
-                        return Err(CacheError::Corrupt("unbalanced </branch>".into()));
+                    let start = starts
+                        .pop()
+                        .ok_or_else(|| CacheError::Corrupt("unbalanced </branch>".into()))?;
+                    if index.branches.insert(path.clone(), (start, tok.offset())).is_some() {
+                        return Err(CacheError::Corrupt(
+                            "duplicate branch path (ids must be unique per level)".into(),
+                        ));
                     }
+                    path.pop();
                 }
                 Token::StartTag { name: "incaReport", self_closing, .. } => {
                     let end = if self_closing {
@@ -462,10 +675,14 @@ impl CacheIndex {
                     } else {
                         skip_subtree(&mut tok, "incaReport")?
                     };
-                    index.reports.entry(path.clone()).or_insert((pre, end));
+                    if index.reports.insert(path.clone(), (pre, end)).is_some() {
+                        return Err(CacheError::Corrupt(
+                            "duplicate report directly under one branch path".into(),
+                        ));
+                    }
                 }
                 Token::EndTag { name: "incaCache" } => {
-                    index.closes.insert(Vec::new(), pre);
+                    index.root_close = pre;
                     return Ok(index);
                 }
                 Token::StartTag { name, self_closing, .. } => {
@@ -475,6 +692,85 @@ impl CacheIndex {
                 }
                 _ => {}
             }
+        }
+    }
+
+    /// The insertion point for a branch that holds no report yet: the
+    /// close tag of its deepest existing ancestor (the root when none
+    /// exists). Returns `(byte offset, matched depth)`.
+    fn deepest_close(&self, hierarchy: &[(String, String)]) -> (usize, usize) {
+        let mut depth = hierarchy.len();
+        loop {
+            if depth == 0 {
+                return (self.root_close, 0);
+            }
+            if let Some(&(_, end)) = self.branches.get(&hierarchy[..depth]) {
+                return (end - BRANCH_CLOSE.len(), depth);
+            }
+            depth -= 1;
+        }
+    }
+
+    /// Adjusts every entry for the replacement of old byte range
+    /// `[start, end)` by `new_len` bytes (`start == end` is a pure
+    /// insert). Nesting means an entry is entirely after the splice
+    /// (shift both ends), contains it or *is* the replaced report
+    /// (shift the end only), or is entirely before (untouched); an
+    /// entry ending exactly at an insert point stays put, because the
+    /// fragment lands after it.
+    fn splice_shift(&mut self, start: usize, end: usize, new_len: usize) {
+        let delta = new_len as i64 - (end - start) as i64;
+        if delta == 0 {
+            return;
+        }
+        let shift = |x: usize| (x as i64 + delta) as usize;
+        for range in self.branches.values_mut().chain(self.reports.values_mut()) {
+            if range.0 >= end {
+                range.0 = shift(range.0);
+                range.1 = shift(range.1);
+            } else if range.1 > start {
+                range.1 = shift(range.1);
+            }
+        }
+        self.root_close = shift(self.root_close);
+    }
+
+    /// Re-coordinates the whole index after a batched rebuild.
+    ///
+    /// `applied` holds `(old end offset, byte delta)` per patch in
+    /// document order; a start coordinate moves by the deltas of every
+    /// patch ending at or before it, an end coordinate by those ending
+    /// strictly before it (an insert at the coordinate itself lands
+    /// after the entry). The replaced reports (`targets`) get their
+    /// recorded new ranges, then the rendered fragments (`fresh`) are
+    /// walked to index the levels and reports they created.
+    fn apply_batch(
+        &mut self,
+        applied: Vec<(usize, i64)>,
+        targets: Vec<(PathKey, (usize, usize))>,
+        fresh: Vec<(PathKey, usize, InsertNode)>,
+    ) {
+        let ends: Vec<usize> = applied.iter().map(|&(end, _)| end).collect();
+        let cums: Vec<i64> = applied
+            .iter()
+            .scan(0i64, |acc, &(_, delta)| {
+                *acc += delta;
+                Some(*acc)
+            })
+            .collect();
+        let before = |count: usize| if count == 0 { 0 } else { cums[count - 1] };
+        let for_start = |x: usize| before(ends.partition_point(|&e| e <= x));
+        let for_end = |x: usize| before(ends.partition_point(|&e| e < x));
+        for range in self.branches.values_mut().chain(self.reports.values_mut()) {
+            range.0 = (range.0 as i64 + for_start(range.0)) as usize;
+            range.1 = (range.1 as i64 + for_end(range.1)) as usize;
+        }
+        self.root_close = (self.root_close as i64 + for_start(self.root_close)) as usize;
+        for (path, range) in targets {
+            self.reports.insert(path, range);
+        }
+        for (mut path, start, node) in fresh {
+            node.index_into(&mut path, start, &mut self.branches, &mut self.reports);
         }
     }
 }
@@ -537,10 +833,46 @@ impl InsertNode {
                     out.push_str(&escape_attr(v));
                     out.push_str("\">");
                     child.render(out);
-                    out.push_str("</branch>");
+                    out.push_str(BRANCH_CLOSE);
                 }
             }
         }
+    }
+
+    /// Mirrors [`InsertNode::render`] offset-for-offset to index what
+    /// the fragment created: `at` is where the fragment begins in the
+    /// *new* document and `path` the branch level it rendered into.
+    /// Returns the rendered byte length.
+    fn index_into(
+        &self,
+        path: &mut PathKey,
+        at: usize,
+        branches: &mut BTreeMap<PathKey, (usize, usize)>,
+        reports: &mut BTreeMap<PathKey, (usize, usize)>,
+    ) -> usize {
+        let mut offset = at;
+        for entry in &self.entries {
+            match entry {
+                InsertEntry::Report(xml) => {
+                    reports.entry(path.clone()).or_insert((offset, offset + xml.len()));
+                    offset += xml.len();
+                }
+                InsertEntry::Branch(n, v, child) => {
+                    let open = "<branch name=\"".len()
+                        + escape_attr(n).len()
+                        + "\" id=\"".len()
+                        + escape_attr(v).len()
+                        + "\">".len();
+                    path.push((n.clone(), v.clone()));
+                    let inner = child.index_into(path, offset + open, branches, reports);
+                    let total = open + inner + BRANCH_CLOSE.len();
+                    branches.insert(path.clone(), (offset, offset + total));
+                    path.pop();
+                    offset += total;
+                }
+            }
+        }
+        offset - at
     }
 }
 
@@ -854,6 +1186,128 @@ mod tests {
         assert_eq!(batched.document(), sequential(&items).document());
         assert!(batched.subtree(&b1).unwrap().is_some());
         assert!(batched.subtree(&b2).unwrap().is_some());
+    }
+
+    /// Indexed reads must be byte-identical to the streaming oracle.
+    fn assert_reads_match_scan(cache: &XmlCache, queries: &[BranchId]) {
+        assert_eq!(
+            cache.reports(None).unwrap(),
+            cache.scan_reports(None).unwrap(),
+            "indexed reports(None) diverged from the scan oracle"
+        );
+        for q in queries {
+            assert_eq!(
+                cache.subtree(q).unwrap(),
+                cache.scan_subtree(q).unwrap(),
+                "indexed subtree({q}) diverged from the scan oracle"
+            );
+            assert_eq!(
+                cache.reports(Some(q)).unwrap(),
+                cache.scan_reports(Some(q)).unwrap(),
+                "indexed reports({q}) diverged from the scan oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_reads_match_scan_across_mixed_mutations() {
+        let mut cache = XmlCache::new();
+        let queries: Vec<BranchId> = [
+            "vo=tg",
+            "site=sdsc,vo=tg",
+            "site=ncsa,vo=tg",
+            "resource=m1,site=sdsc,vo=tg",
+            "reporter=a,resource=m1,site=sdsc,vo=tg",
+            "reporter=zzz,resource=m1,site=sdsc,vo=tg",
+            "vo=other",
+        ]
+        .iter()
+        .map(|s| branch(s))
+        .collect();
+        cache.update(&branch("reporter=a,resource=m1,site=sdsc,vo=tg"), &report("a", "1")).unwrap();
+        assert_reads_match_scan(&cache, &queries);
+        cache.update(&branch("reporter=b,resource=m2,site=ncsa,vo=tg"), &report("b", "2")).unwrap();
+        assert_reads_match_scan(&cache, &queries);
+        let (b3, b4, b5) = (
+            branch("reporter=c,resource=m1,site=sdsc,vo=tg"),
+            branch("reporter=a,resource=m1,site=sdsc,vo=tg"),
+            branch("site=sdsc,vo=tg"),
+        );
+        let (r3, r4, r5) = (report("c", "3"), report("a", "longer-replacement"), report("s", "5"));
+        cache
+            .insert_batch(&[(&b3, r3.as_str()), (&b4, r4.as_str()), (&b5, r5.as_str())])
+            .unwrap();
+        assert_reads_match_scan(&cache, &queries);
+        cache.update(&branch("reporter=d,resource=m9,site=psc,vo=tg"), &report("d", "6")).unwrap();
+        assert_reads_match_scan(&cache, &queries);
+        // a (replaced in the batch), b, c, the site-level report, d.
+        assert_eq!(cache.report_count(), 5);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut cache = XmlCache::new();
+        assert_eq!(cache.generation(), 0);
+        let b = branch("reporter=a,site=s,vo=tg");
+        cache.update(&b, &report("a", "1")).unwrap();
+        assert_eq!(cache.generation(), 1);
+        cache.update(&b, &report("a", "2")).unwrap();
+        assert_eq!(cache.generation(), 2);
+        let b2 = branch("reporter=b,site=s,vo=tg");
+        let (ra, rb) = (report("a", "3"), report("b", "4"));
+        cache.insert_batch(&[(&b, ra.as_str()), (&b2, rb.as_str())]).unwrap();
+        assert_eq!(cache.generation(), 3, "one batch bumps the generation once");
+        cache.insert_batch(&[]).unwrap();
+        assert_eq!(cache.generation(), 3, "an empty batch is not a mutation");
+    }
+
+    #[test]
+    fn report_exact_ignores_suffix_matches() {
+        let mut cache = XmlCache::new();
+        let deep = branch("reporter=a,resource=m1,site=sdsc,vo=tg");
+        let mid = branch("site=sdsc,vo=tg");
+        cache.update(&deep, &report("a", "deep")).unwrap();
+        assert_eq!(cache.report_exact(&deep), Some(cache.reports(Some(&deep)).unwrap()[0].1.as_str()));
+        // The site level contains a report below it but stores none
+        // directly, so exact lookup misses where suffix matching hits.
+        assert!(cache.report_exact(&mid).is_none());
+        assert_eq!(cache.reports(Some(&mid)).unwrap().len(), 1);
+        cache.update(&mid, &report("summary", "mid")).unwrap();
+        assert!(cache.report_exact(&mid).unwrap().contains("mid"));
+        assert!(cache.report_exact(&deep).unwrap().contains("deep"));
+        assert!(cache.report_exact(&branch("vo=other")).is_none());
+    }
+
+    #[test]
+    fn from_document_rebuilds_a_working_index() {
+        let mut cache = XmlCache::new();
+        for i in 0..10 {
+            let b = branch(&format!("reporter=r{i},resource=m{},site=s{},vo=tg", i % 3, i % 2));
+            cache.update(&b, &report(&format!("r{i}"), &i.to_string())).unwrap();
+        }
+        let mut reloaded = XmlCache::from_document(cache.document().to_string()).unwrap();
+        assert_eq!(reloaded.report_count(), 10);
+        assert_eq!(reloaded.reports(None).unwrap(), cache.reports(None).unwrap());
+        // And the rebuilt index keeps working through further writes.
+        reloaded.update(&branch("reporter=r0,resource=m0,site=s0,vo=tg"), &report("r0", "new")).unwrap();
+        assert!(reloaded.report_exact(&branch("reporter=r0,resource=m0,site=s0,vo=tg")).unwrap().contains("new"));
+    }
+
+    #[test]
+    fn from_document_rejects_duplicate_sibling_reports() {
+        let dup = "<incaCache><branch name=\"vo\" id=\"tg\">\
+                   <incaReport>one</incaReport><incaReport>two</incaReport>\
+                   </branch></incaCache>";
+        assert!(matches!(
+            XmlCache::from_document(dup.to_string()),
+            Err(CacheError::Corrupt(_))
+        ));
+        let dup_branch = "<incaCache><branch name=\"vo\" id=\"tg\"></branch>\
+                          <branch name=\"vo\" id=\"tg\"></branch></incaCache>";
+        assert!(matches!(
+            XmlCache::from_document(dup_branch.to_string()),
+            Err(CacheError::Corrupt(_))
+        ));
     }
 
     #[test]

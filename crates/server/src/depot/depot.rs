@@ -21,6 +21,7 @@ use inca_wire::message::WireError;
 
 use crate::depot::archive::{ArchiveRule, ArchiveStore};
 use crate::depot::cache::{CacheError, XmlCache};
+use crate::depot::memo::{MemoValue, QueryMemo};
 use crate::stats::ResponseStats;
 
 /// Errors from depot processing.
@@ -100,7 +101,16 @@ pub struct Depot {
     /// (`inca_depot_batch_insert_seconds`); the amortized per-report
     /// share additionally lands in `inca_depot_insert_seconds`.
     batch_insert_hist: Arc<Histogram>,
+    /// Recent query results, stamped with the cache generation that
+    /// produced them (see [`QueryMemo`]). Interior mutability keeps it
+    /// usable through the controller's shared read guard.
+    memo: QueryMemo,
 }
+
+/// Distinct query keys the depot memoizes before evicting — sized for
+/// the status pages' working set, small enough that a full probe is a
+/// handful of string compares.
+const QUERY_MEMO_CAPACITY: usize = 32;
 
 impl Depot {
     /// An empty depot observing into [`Obs::global`].
@@ -146,6 +156,7 @@ impl Depot {
             cache_reports,
             batch_size_hist,
             batch_insert_hist,
+            memo: QueryMemo::new(QUERY_MEMO_CAPACITY),
         }
     }
 
@@ -348,6 +359,51 @@ impl Depot {
     /// The cache (read access for the querying interface).
     pub fn cache(&self) -> &XmlCache {
         &self.cache
+    }
+
+    /// [`XmlCache::subtree`] through the query memo. The returned flag
+    /// is `true` on a memo hit (the cache was not touched).
+    pub fn query_subtree(&self, query: &BranchId) -> Result<(Option<String>, bool), CacheError> {
+        let generation = self.cache.generation();
+        let key = format!("subtree:{query}");
+        if let Some(MemoValue::Subtree(v)) = self.memo.get(generation, &key) {
+            return Ok((v, true));
+        }
+        let v = self.cache.subtree(query)?;
+        self.memo.put(generation, key, MemoValue::Subtree(v.clone()));
+        Ok((v, false))
+    }
+
+    /// [`XmlCache::reports`] through the query memo. The returned flag
+    /// is `true` on a memo hit.
+    pub fn query_reports(
+        &self,
+        query: Option<&BranchId>,
+    ) -> Result<(Vec<(BranchId, String)>, bool), CacheError> {
+        let generation = self.cache.generation();
+        let key = match query {
+            Some(q) => format!("reports:{q}"),
+            None => "reports:*".to_string(),
+        };
+        if let Some(MemoValue::Reports(v)) = self.memo.get(generation, &key) {
+            return Ok((v, true));
+        }
+        let v = self.cache.reports(query)?;
+        self.memo.put(generation, key, MemoValue::Reports(v.clone()));
+        Ok((v, false))
+    }
+
+    /// [`XmlCache::report_exact`] through the query memo. The returned
+    /// flag is `true` on a memo hit.
+    pub fn query_report_exact(&self, branch: &BranchId) -> (Option<String>, bool) {
+        let generation = self.cache.generation();
+        let key = format!("exact:{branch}");
+        if let Some(MemoValue::Exact(v)) = self.memo.get(generation, &key) {
+            return (v, true);
+        }
+        let v = self.cache.report_exact(branch).map(str::to_string);
+        self.memo.put(generation, key, MemoValue::Exact(v.clone()));
+        (v, false)
     }
 
     /// The archive store (read access for the querying interface).

@@ -131,6 +131,14 @@ impl ShardedCache {
         self.largest_gauge.set(self.largest_shard_bytes() as f64);
     }
 
+    /// The exact report at a full branch identifier, or `None`: the
+    /// shard key routes the lookup to the one shard that could hold
+    /// it, and that shard's branch index answers in one probe —
+    /// no shard walk, no document scan.
+    pub fn report_exact(&self, branch: &BranchId) -> Option<&str> {
+        self.shards.get(&self.shard_key(branch))?.report_exact(branch)
+    }
+
     /// All reports matching a suffix query, across shards.
     pub fn reports(
         &self,
@@ -207,6 +215,26 @@ mod tests {
         assert_eq!(all.len(), 3);
         let sdsc = cache.reports(Some(&branch("site=sdsc,vo=tg"))).unwrap();
         assert_eq!(sdsc.len(), 1);
+    }
+
+    #[test]
+    fn exact_lookup_routes_to_one_shard() {
+        let mut cache = ShardedCache::new(2);
+        for (b, r) in [
+            ("reporter=a,resource=m1,site=sdsc,vo=tg", "1"),
+            ("reporter=b,resource=m2,site=ncsa,vo=tg", "2"),
+        ] {
+            cache.update(&branch(b), &report("r", r)).unwrap();
+        }
+        let hit = cache
+            .report_exact(&branch("reporter=a,resource=m1,site=sdsc,vo=tg"))
+            .expect("cached report found");
+        assert!(hit.contains(">1<"));
+        // A full identifier that only differs below the shard key
+        // misses inside the right shard; an unknown site misses the
+        // shard map entirely.
+        assert!(cache.report_exact(&branch("reporter=z,resource=m1,site=sdsc,vo=tg")).is_none());
+        assert!(cache.report_exact(&branch("reporter=a,resource=m1,site=psc,vo=tg")).is_none());
     }
 
     #[test]

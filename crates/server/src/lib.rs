@@ -30,6 +30,7 @@ pub use controller::{CentralizedController, ControllerConfig, TcpServerHandle};
 pub use depot::cache::{CacheError, XmlCache};
 pub use depot::archive::{ArchiveRule, ArchiveStore};
 pub use depot::depot::{Depot, DepotError, DepotTiming};
+pub use depot::memo::{MemoValue, QueryMemo};
 pub use depot::sharded::ShardedCache;
 pub use query::QueryInterface;
 pub use stats::{BucketStats, ResponseStats, SIZE_BUCKETS};

@@ -20,21 +20,43 @@ use crate::depot::depot::Depot;
 #[derive(Debug)]
 pub struct QueryInterface<'a> {
     depot: &'a Depot,
-    /// Cache-query latency (`inca_depot_query_seconds`), in the
-    /// depot's registry.
-    query_hist: Arc<Histogram>,
+    /// Cache-query latency (`inca_depot_query_seconds{result="hit"}`):
+    /// queries answered from the depot's memo without touching the
+    /// cache index.
+    query_hit_hist: Arc<Histogram>,
+    /// Cache-query latency (`inca_depot_query_seconds{result="miss"}`):
+    /// queries that went to the cache index (and refreshed the memo).
+    query_miss_hist: Arc<Histogram>,
 }
 
 impl<'a> QueryInterface<'a> {
     /// Wraps a depot. Query metrics register in the depot's
     /// [`Obs`](inca_obs::Obs) handle.
     pub fn new(depot: &'a Depot) -> Self {
-        let query_hist = depot.obs().metrics().histogram(
+        let metrics = depot.obs().metrics();
+        let help = "Time answering one current-data cache query.";
+        let query_hit_hist = metrics.histogram_with(
             "inca_depot_query_seconds",
-            "Time answering one current-data cache query.",
+            &[("result", "hit")],
+            help,
             &DEFAULT_LATENCY_BOUNDS,
         );
-        QueryInterface { depot, query_hist }
+        let query_miss_hist = metrics.histogram_with(
+            "inca_depot_query_seconds",
+            &[("result", "miss")],
+            help,
+            &DEFAULT_LATENCY_BOUNDS,
+        );
+        QueryInterface { depot, query_hit_hist, query_miss_hist }
+    }
+
+    /// Records one query's latency under its memo outcome label.
+    fn observe(&self, hit: bool, elapsed: std::time::Duration) {
+        if hit {
+            self.query_hit_hist.observe_duration(elapsed);
+        } else {
+            self.query_miss_hist.observe_duration(elapsed);
+        }
     }
 
     /// Renders every metric of the depot's registry — controller,
@@ -56,33 +78,51 @@ impl<'a> QueryInterface<'a> {
     /// `None` when nothing matches.
     pub fn current(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
         let start = std::time::Instant::now();
-        let result = self.depot.cache().subtree(query);
-        self.query_hist.observe_duration(start.elapsed());
-        result
+        let result = self.depot.query_subtree(query);
+        match result {
+            Ok((value, hit)) => {
+                self.observe(hit, start.elapsed());
+                Ok(value)
+            }
+            Err(e) => {
+                self.observe(false, start.elapsed());
+                Err(e)
+            }
+        }
     }
 
     /// The single report at a full branch identifier, parsed.
+    ///
+    /// One exact-match index lookup: a full identifier names exactly
+    /// one cached report (ids are unique per level), so there is no
+    /// need to collect every deeper report that merely *ends* with the
+    /// query and filter afterwards.
     pub fn report(&self, branch: &BranchId) -> Result<Option<Report>, CacheError> {
-        let reports = self.depot.cache().reports(Some(branch))?;
-        // A full identifier matches exactly one cached report (the one
-        // whose branch equals the query); prefer the exact match over
-        // deeper reports that merely end with the query.
-        for (b, xml) in &reports {
-            if b == branch {
-                return Ok(Some(Report::parse(xml).map_err(|e| {
-                    CacheError::Corrupt(format!("cached report unparseable: {e}"))
-                })?));
-            }
+        let start = std::time::Instant::now();
+        let (xml, hit) = self.depot.query_report_exact(branch);
+        self.observe(hit, start.elapsed());
+        match xml {
+            Some(xml) => Ok(Some(Report::parse(&xml).map_err(|e| {
+                CacheError::Corrupt(format!("cached report unparseable: {e}"))
+            })?)),
+            None => Ok(None),
         }
-        Ok(None)
     }
 
     /// All cached reports matching a suffix query (or every report).
     pub fn reports(&self, query: Option<&BranchId>) -> Result<Vec<(BranchId, Report)>, CacheError> {
         let start = std::time::Instant::now();
-        let raw = self.depot.cache().reports(query);
-        self.query_hist.observe_duration(start.elapsed());
-        let raw = raw?;
+        let raw = self.depot.query_reports(query);
+        let raw = match raw {
+            Ok((value, hit)) => {
+                self.observe(hit, start.elapsed());
+                value
+            }
+            Err(e) => {
+                self.observe(false, start.elapsed());
+                return Err(e);
+            }
+        };
         let mut out = Vec::with_capacity(raw.len());
         for (branch, xml) in raw {
             let report = Report::parse(&xml)
@@ -186,6 +226,70 @@ mod tests {
         let ncsa = q.reports(Some(&"site=ncsa,vo=tg".parse().unwrap())).unwrap();
         assert_eq!(ncsa.len(), 1);
         assert_eq!(ncsa[0].0.get("resource"), Some("tg2"));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo_until_ingest_invalidates() {
+        // An isolated registry: the hit/miss counts below must not see
+        // queries from concurrently running tests.
+        let mut depot = Depot::with_obs(inca_obs::Obs::new());
+        let t = Timestamp::from_secs(1_000);
+        for (branch, value) in [
+            ("reporter=version.globus,resource=tg1,site=sdsc,vo=tg", "2.4.3"),
+            ("reporter=version.mpich,resource=tg1,site=sdsc,vo=tg", "1.2.5"),
+            ("reporter=version.globus,resource=tg2,site=ncsa,vo=tg", "2.4.1"),
+        ] {
+            let report = ReportBuilder::new("r", "1.0")
+                .gmt(t)
+                .body_value("packageVersion", value)
+                .success()
+                .unwrap();
+            let env = Envelope::new(branch.parse().unwrap(), report.to_xml());
+            depot.receive(&env.encode(EnvelopeMode::Body), t).unwrap();
+        }
+        let q = QueryInterface::new(&depot);
+        let branch: BranchId =
+            "reporter=version.globus,resource=tg1,site=sdsc,vo=tg".parse().unwrap();
+        let site: BranchId = "site=sdsc,vo=tg".parse().unwrap();
+        // First pass misses, second pass hits, and hits return the
+        // exact same answers.
+        let first = (
+            q.current(&site).unwrap(),
+            q.report(&branch).unwrap().map(|r| r.to_xml()),
+            q.reports(None).unwrap().len(),
+        );
+        let second = (
+            q.current(&site).unwrap(),
+            q.report(&branch).unwrap().map(|r| r.to_xml()),
+            q.reports(None).unwrap().len(),
+        );
+        assert_eq!(first, second);
+        let metrics = depot.obs().metrics();
+        let hits = metrics
+            .histogram_of("inca_depot_query_seconds", &[("result", "hit")])
+            .expect("hit series registered");
+        let misses = metrics
+            .histogram_of("inca_depot_query_seconds", &[("result", "miss")])
+            .expect("miss series registered");
+        assert_eq!(misses.count(), 3, "first pass goes to the index");
+        assert_eq!(hits.count(), 3, "second pass is served by the memo");
+
+        // Ingest bumps the cache generation: the same queries miss
+        // again and observe the new data.
+        let t = Timestamp::from_secs(2_000);
+        let report = ReportBuilder::new("r", "1.0")
+            .gmt(t)
+            .body_value("packageVersion", "9.9.9")
+            .success()
+            .unwrap();
+        let env = Envelope::new(branch.clone(), report.to_xml());
+        depot.receive(&env.encode(EnvelopeMode::Body), t).unwrap();
+        let q = QueryInterface::new(&depot);
+        assert_eq!(misses.count(), 3);
+        let fresh = q.report(&branch).unwrap().unwrap();
+        let p: inca_xml::IncaPath = "packageVersion".parse().unwrap();
+        assert_eq!(fresh.body.lookup_text(&p).unwrap(), "9.9.9");
+        assert_eq!(misses.count(), 4, "generation bump invalidates the memo");
     }
 
     #[test]

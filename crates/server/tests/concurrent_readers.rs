@@ -1,0 +1,149 @@
+//! Readers share the depot lock: the controller's depot sits behind a
+//! reader-writer lock, so consumers, health probes and the metrics
+//! endpoint read concurrently with each other while ingest writes
+//! serialize. These tests hold that contract under real threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use inca_report::{BranchId, ReportBuilder, Timestamp};
+use inca_server::{CentralizedController, ControllerConfig, Depot, QueryInterface};
+use inca_wire::message::{ClientMessage, ServerResponse};
+
+fn controller() -> Arc<CentralizedController> {
+    Arc::new(CentralizedController::new(
+        ControllerConfig::default(),
+        Depot::with_obs(inca_obs::Obs::new()),
+    ))
+}
+
+fn message(reporter: &str, resource: &str, value: &str) -> Vec<u8> {
+    let report = ReportBuilder::new(reporter, "1.0")
+        .host(resource)
+        .gmt(Timestamp::from_secs(1_000))
+        .body_value("packageVersion", value)
+        .success()
+        .unwrap();
+    let branch: BranchId = format!("reporter={reporter},resource={resource},site=sdsc,vo=tg")
+        .parse()
+        .unwrap();
+    ClientMessage::report(resource, branch, &report).encode()
+}
+
+/// Two readers hold the depot simultaneously: each parks on a shared
+/// barrier *while inside* `with_depot`. Under the old exclusive lock
+/// this deadlocks; under the reader-writer lock both enter and the
+/// barrier releases.
+#[test]
+fn two_readers_hold_the_depot_at_once() {
+    let c = controller();
+    let (resp, _) = c.submit("h", &message("version.globus", "tg1", "2.4.3"), Timestamp::from_secs(1_000));
+    assert_eq!(resp, ServerResponse::Ack);
+    let rendezvous = Arc::new(Barrier::new(2));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            let rendezvous = Arc::clone(&rendezvous);
+            thread::spawn(move || {
+                c.with_depot(|depot| {
+                    // Both threads must be inside the read closure at
+                    // the same time for either to get past this point.
+                    rendezvous.wait();
+                    depot.cache().report_count()
+                })
+            })
+        })
+        .collect();
+    for r in readers {
+        assert_eq!(r.join().expect("reader thread panicked"), 1);
+    }
+}
+
+/// N readers query continuously while one writer streams inserts and
+/// replacements through `submit`/`submit_batch`. Every read must see a
+/// self-consistent snapshot: the document parses, counts agree across
+/// query styles, and an exact-match lookup returns parseable XML.
+#[test]
+fn readers_see_consistent_snapshots_during_ingest() {
+    let c = controller();
+    // Seed one branch so readers always have something to find.
+    let (resp, _) = c.submit("h", &message("version.globus", "tg1", "0.0.0"), Timestamp::from_secs(999));
+    assert_eq!(resp, ServerResponse::Ack);
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(4));
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                let pinned: BranchId =
+                    "reporter=version.globus,resource=tg1,site=sdsc,vo=tg".parse().unwrap();
+                start.wait();
+                let mut reads = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    c.with_depot(|depot| {
+                        let q = QueryInterface::new(depot);
+                        let all = q.reports(None).expect("cache stays well-formed");
+                        let count = depot.cache().report_count();
+                        assert_eq!(all.len(), count, "reports() disagrees with the index count");
+                        let seeded = q
+                            .report(&pinned)
+                            .expect("exact lookup stays well-formed")
+                            .expect("seeded branch never disappears");
+                        let p: inca_xml::IncaPath = "packageVersion".parse().unwrap();
+                        assert!(seeded.body.lookup_text(&p).is_ok());
+                        let site = q
+                            .current(&"site=sdsc,vo=tg".parse().unwrap())
+                            .expect("subtree stays well-formed")
+                            .expect("seeded site never disappears");
+                        assert!(site.matches("<incaReport").count() >= 1);
+                    });
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    let writer = {
+        let c = Arc::clone(&c);
+        let start = Arc::clone(&start);
+        thread::spawn(move || {
+            start.wait();
+            for i in 0..60u64 {
+                // Alternate fresh branches with replacements of the
+                // pinned branch, singly and in batches.
+                let t = Timestamp::from_secs(1_000 + i);
+                if i % 3 == 0 {
+                    let batch: Vec<(String, Vec<u8>)> = (0..4)
+                        .map(|j| {
+                            let resource = format!("batch{}x{j}", i);
+                            ("h".to_string(), message("version.mpich", &resource, "1.2.5"))
+                        })
+                        .collect();
+                    for (resp, _) in c.submit_batch(&batch, t) {
+                        assert_eq!(resp, ServerResponse::Ack);
+                    }
+                } else {
+                    let value = format!("2.4.{i}");
+                    let (resp, _) = c.submit("h", &message("version.globus", "tg1", &value), t);
+                    assert_eq!(resp, ServerResponse::Ack);
+                }
+            }
+        })
+    };
+
+    writer.join().expect("writer thread panicked");
+    done.store(true, Ordering::Relaxed);
+    let mut total_reads = 0;
+    for r in readers {
+        total_reads += r.join().expect("reader thread panicked");
+    }
+    assert!(total_reads > 0, "readers made progress during ingest");
+    // 20 batches x 4 fresh branches + the seeded one; replacements
+    // never add branches.
+    assert_eq!(c.with_depot(|d| d.cache().report_count()), 81);
+}

@@ -1,11 +1,33 @@
 #!/usr/bin/env bash
-# Regenerates the tracked depot-ingest/simulation bench baseline
-# (BENCH_depot.json at the repo root). Pass --smoke for the seconds-long
-# CI sanity variant, and --out PATH to write elsewhere (the smoke gate
-# in scripts/verify.sh does both so it never clobbers the committed
-# full-mode baseline). Any extra flags are forwarded to the binary.
+# Regenerates the tracked bench baselines at the repo root:
+#   BENCH_depot.json  — batched ingest + parallel simulation scaling
+#   BENCH_query.json  — indexed reads vs streaming scan + reader/writer
+#                       contention over the shared depot lock
+# Pass --smoke for the seconds-long CI sanity variant (writes
+# *.smoke.json names so it never clobbers the committed full-mode
+# baselines) and --out-dir DIR to write somewhere other than the repo
+# root (the smoke gate in scripts/verify.sh uses target/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -q -p inca-bench --bin depot_throughput
-exec target/release/depot_throughput "$@"
+smoke=""
+outdir="."
+suffix=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) smoke="--smoke"; suffix=".smoke" ;;
+    --out-dir)
+      outdir="${2:?--out-dir requires a directory}"
+      shift
+      ;;
+    *)
+      echo "usage: bench.sh [--smoke] [--out-dir DIR]" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+cargo build --release -q -p inca-bench --bin depot_throughput --bin query_throughput
+target/release/depot_throughput $smoke --out "$outdir/BENCH_depot$suffix.json"
+target/release/query_throughput $smoke --out "$outdir/BENCH_query$suffix.json"

@@ -27,14 +27,28 @@ cargo test -q -p inca-obs --test ring_concurrency
 cargo test -q --test health_lineage
 cargo test -q --test determinism
 
-# The bench baseline must stay runnable: a smoke pass writes its JSON
-# to target/ (never the tracked BENCH_depot.json) and we check the
-# fields consumers of the baseline rely on are present.
+# The indexed query engine: the proptest oracle (indexed reads
+# byte-identical to the streaming scan) and the shared-read-lock
+# contract (readers proceed concurrently, snapshots stay consistent
+# during ingest).
+echo "== query engine gate =="
+cargo test -q -p inca-server --test proptest_cache
+cargo test -q -p inca-server --test concurrent_readers
+
+# The bench baselines must stay runnable: a smoke pass writes its JSON
+# to target/ (never the tracked BENCH_*.json) and we check the fields
+# consumers of the baselines rely on are present.
 echo "== bench smoke gate =="
-scripts/bench.sh --smoke --out target/BENCH_depot.smoke.json
+scripts/bench.sh --smoke --out-dir target
 for key in '"speedup"' '"threads"' '"batched_seconds"' '"wall_seconds"'; do
   if ! grep -q "$key" target/BENCH_depot.smoke.json; then
-    echo "verify FAILED: bench smoke output missing $key" >&2
+    echo "verify FAILED: depot bench smoke output missing $key" >&2
+    exit 1
+  fi
+done
+for key in '"speedup"' '"indexed_seconds"' '"scan_seconds"' '"reads_per_sec"'; do
+  if ! grep -q "$key" target/BENCH_query.smoke.json; then
+    echo "verify FAILED: query bench smoke output missing $key" >&2
     exit 1
   fi
 done
