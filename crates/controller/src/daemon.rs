@@ -10,7 +10,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
-use inca_obs::metrics::Counter;
+use inca_obs::metrics::{Counter, Gauge};
 use inca_obs::{Obs, Severity, TraceContext};
 use inca_report::{Header, Report, Timestamp};
 use inca_reporters::catalog::CatalogEntry;
@@ -22,6 +22,7 @@ use crate::exec::{DurationModel, ExecRecord, ProcessTable};
 use crate::forwarder::Transport;
 use crate::scheduler::Scheduler;
 use crate::spec::Spec;
+use crate::spool::{Spool, SpoolConfig, SpoolEntry};
 
 /// Counters the daemon keeps over its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,7 +37,10 @@ pub struct RunStats {
     pub killed: u64,
     /// Runs skipped because a dependency's last run failed.
     pub skipped_dependency: u64,
-    /// Submissions the server rejected or that failed to transmit.
+    /// Submissions the server rejected *permanently*. Transient
+    /// transport failures are no longer counted here: the spool
+    /// retries them (see `inca_daemon_retries_total`) until the server
+    /// answers one way or the other.
     pub forward_errors: u64,
     /// Fires swallowed because the daemon's own host was down (only
     /// when offline-when-down modelling is enabled).
@@ -76,6 +80,26 @@ pub struct DistributedController {
     /// the paper's availability experiments measure the *reporters*
     /// detecting the outage, which requires the daemon to keep running.
     offline_when_down: bool,
+    /// The durable delivery queue: every fire's report is enqueued
+    /// (stamped `(daemon_id, seq)`) before any delivery attempt.
+    spool: Spool,
+    /// When set, `forward` only enqueues; an external driver (the
+    /// simulation's drain loop) pulls due entries and resolves them.
+    /// When clear, the daemon drains its own spool through its
+    /// transport after every fire.
+    deferred_delivery: bool,
+    /// Aggregate spool depth across daemons sharing the registry
+    /// (`inca_daemon_spool_depth`), maintained by per-daemon deltas.
+    spool_depth: Arc<Gauge>,
+    /// Delivery retry attempts (`inca_daemon_retries_total`).
+    retries: Arc<Counter>,
+    /// Spooled reports dropped at capacity
+    /// (`inca_daemon_spool_dropped_total`).
+    spool_drops: Arc<Counter>,
+    /// Last depth/drop readings pushed to the shared metrics, for the
+    /// delta sync after each spool mutation.
+    last_depth: usize,
+    last_dropped: u64,
 }
 
 impl DistributedController {
@@ -116,6 +140,19 @@ impl DistributedController {
             "inca_daemon_offline_skips_total",
             "Reporter fires swallowed because the daemon's host was down.",
         );
+        let spool_depth = metrics.gauge(
+            "inca_daemon_spool_depth",
+            "Reports queued in daemon spools awaiting server acknowledgement.",
+        );
+        let retries = metrics.counter(
+            "inca_daemon_retries_total",
+            "Report delivery retry attempts (second and later sends of one report).",
+        );
+        let spool_drops = metrics.counter(
+            "inca_daemon_spool_dropped_total",
+            "Spooled reports dropped oldest-first at spool capacity.",
+        );
+        let spool = Spool::new(spec.resource.clone(), SpoolConfig::default());
         DistributedController {
             spec,
             scheduler,
@@ -133,6 +170,13 @@ impl DistributedController {
             forward_errs,
             offline,
             offline_when_down: false,
+            spool,
+            deferred_delivery: false,
+            spool_depth,
+            retries,
+            spool_drops,
+            last_depth: 0,
+            last_dropped: 0,
         }
     }
 
@@ -312,6 +356,7 @@ impl DistributedController {
                     &report,
                 )
                 .with_trace(wire_ctx),
+                t,
             );
             return;
         }
@@ -354,14 +399,70 @@ impl DistributedController {
         self.forward(
             ClientMessage::report(self.spec.resource.clone(), entry.branch.clone(), &report)
                 .with_trace(wire_ctx),
+            t,
         );
     }
 
-    fn forward(&mut self, message: ClientMessage) {
-        match self.transport.send(&message) {
-            Ok(ServerResponse::Ack) => {}
-            Ok(ServerResponse::Rejected(_)) | Err(_) => self.note_forward_error(),
+    /// Queues `message` in the spool (stamping its `(daemon_id, seq)`
+    /// identity) and — unless delivery is deferred to an external
+    /// driver — immediately drains every due entry through the
+    /// transport.
+    fn forward(&mut self, message: ClientMessage, t: Timestamp) {
+        self.spool.enqueue(message);
+        self.sync_spool_metrics();
+        if !self.deferred_delivery {
+            self.deliver_pending(t);
         }
+    }
+
+    /// Drains the spool head-of-line at simulated/wall time `t`: sends
+    /// each due entry in seq order, acking on success, dropping (and
+    /// counting a forward error) on permanent rejection, and backing
+    /// off — which stops the drain, preserving per-branch order — on a
+    /// transport failure.
+    pub fn deliver_pending(&mut self, t: Timestamp) {
+        let now = t.as_secs();
+        loop {
+            let head = match self.spool.head_if_due(now) {
+                Some(entry) => entry,
+                None => break,
+            };
+            if head.attempts > 0 {
+                self.retries.inc();
+            }
+            match self.transport.send(&head.message) {
+                Ok(ServerResponse::Ack) => {
+                    self.spool.ack(head.seq);
+                }
+                Ok(ServerResponse::Rejected(_)) => {
+                    self.spool.reject(head.seq);
+                    self.note_forward_error();
+                }
+                Err(_) => {
+                    self.spool.nack(head.seq, now);
+                    break;
+                }
+            }
+        }
+        self.sync_spool_metrics();
+    }
+
+    /// Pushes the spool's depth/drop deltas into the shared metrics
+    /// (the gauge aggregates every daemon on the registry, so each
+    /// daemon applies only its own change).
+    fn sync_spool_metrics(&mut self) {
+        let depth = self.spool.depth();
+        if depth > self.last_depth {
+            self.spool_depth.add((depth - self.last_depth) as f64);
+        } else if depth < self.last_depth {
+            self.spool_depth.sub((self.last_depth - depth) as f64);
+        }
+        self.last_depth = depth;
+        let dropped = self.spool.dropped();
+        if dropped > self.last_dropped {
+            self.spool_drops.add(dropped - self.last_dropped);
+        }
+        self.last_dropped = dropped;
     }
 
     /// Records one rejected or lost forward after the fact. Batched
@@ -372,6 +473,93 @@ impl DistributedController {
     pub fn note_forward_error(&mut self) {
         self.stats.forward_errors += 1;
         self.forward_errs.inc();
+    }
+
+    /// Hands delivery to an external driver: `forward` only enqueues,
+    /// and the driver pulls due entries with
+    /// [`DistributedController::due_deliveries`] and resolves each via
+    /// the `delivery_*` methods. The simulation uses this so all
+    /// delivery (and fault-injection) decisions happen in its
+    /// sequential drain phase, keeping multi-threaded runs
+    /// deterministic.
+    pub fn set_deferred_delivery(&mut self, deferred: bool) {
+        self.deferred_delivery = deferred;
+    }
+
+    /// Read access to the delivery spool.
+    pub fn spool(&self) -> &Spool {
+        &self.spool
+    }
+
+    /// The longest deliverable prefix of the spool at `now` (the whole
+    /// queue when `ignore_backoff`), in seq order. Counts a retry for
+    /// every returned entry already attempted once. The caller must
+    /// resolve each entry through [`DistributedController::delivery_acked`],
+    /// [`delivery_rejected`](DistributedController::delivery_rejected),
+    /// [`delivery_lost`](DistributedController::delivery_lost) or
+    /// [`delivery_delayed`](DistributedController::delivery_delayed).
+    pub fn due_deliveries(&mut self, now: Timestamp, ignore_backoff: bool) -> Vec<SpoolEntry> {
+        let due = self.spool.due_prefix(now.as_secs(), ignore_backoff);
+        for entry in &due {
+            if entry.attempts > 0 {
+                self.retries.inc();
+            }
+        }
+        due
+    }
+
+    /// The server acked `seq`: it left the spool for good.
+    pub fn delivery_acked(&mut self, seq: u64) {
+        self.spool.ack(seq);
+        self.sync_spool_metrics();
+    }
+
+    /// The server permanently rejected `seq`: dropped from the spool
+    /// and counted as a forward error (retrying would only be rejected
+    /// again).
+    pub fn delivery_rejected(&mut self, seq: u64) {
+        self.spool.reject(seq);
+        self.note_forward_error();
+        self.sync_spool_metrics();
+    }
+
+    /// The send (or its reply) was lost at time `now`: `seq` stays
+    /// spooled with one more failed attempt and a backoff deadline.
+    pub fn delivery_lost(&mut self, seq: u64, now: Timestamp) {
+        self.spool.nack(seq, now.as_secs());
+        self.sync_spool_metrics();
+    }
+
+    /// The send is delayed in flight: `seq` stays spooled, without a
+    /// failed attempt, until `until`.
+    pub fn delivery_delayed(&mut self, seq: u64, until: Timestamp) {
+        self.spool.defer(seq, until.as_secs());
+        self.sync_spool_metrics();
+    }
+
+    /// Earliest second any spooled delivery is next due (`None` when
+    /// the spool is empty) — the event the driver's wake-up queue
+    /// must include.
+    pub fn next_delivery_due(&self) -> Option<Timestamp> {
+        self.spool.next_due_secs().map(Timestamp::from_secs)
+    }
+
+    /// Simulates a daemon restart mid-spool: the spool is dumped to
+    /// bytes and restored exactly as a freshly started daemon would,
+    /// proving the WAL round-trip preserves the sequence counter and
+    /// queued reports (backoff deadlines reset — a restarted daemon
+    /// retries immediately).
+    pub fn restart_spool(&mut self, t: Timestamp) {
+        let bytes = self.spool.dump();
+        self.spool = Spool::restore(&bytes, self.spool.config())
+            .expect("a dumped spool always restores");
+        self.obs
+            .event("daemon.restart")
+            .severity(Severity::Warn)
+            .field("resource", &self.spec.resource)
+            .field("at", t.as_secs())
+            .field("spool_depth", self.spool.depth() as u64)
+            .finish();
     }
 
     /// Drives the daemon over `[from, to)` of simulated time.
@@ -636,6 +824,122 @@ mod tests {
         daemon.run_until(&vo, start, start + 4 * 3_600);
         assert_eq!(daemon.processes().records().len(), 8);
         assert_eq!(daemon.stats().executed, 8);
+    }
+
+    #[test]
+    fn lost_sends_stay_spooled_and_retry_on_next_fire() {
+        use parking_lot::Mutex;
+        struct Flaky {
+            failures_left: Mutex<u32>,
+            sent: Mutex<Vec<(Option<(String, u64)>, bool)>>,
+        }
+        impl Transport for Arc<Flaky> {
+            fn send(&self, m: &ClientMessage) -> Result<ServerResponse, String> {
+                let mut left = self.failures_left.lock();
+                if *left > 0 {
+                    *left -= 1;
+                    self.sent.lock().push((m.origin.clone(), false));
+                    return Err("connection refused".into());
+                }
+                self.sent.lock().push((m.origin.clone(), true));
+                Ok(ServerResponse::Ack)
+            }
+        }
+        let flaky = Arc::new(Flaky { failures_left: Mutex::new(1), sent: Mutex::new(vec![]) });
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        )]);
+        let obs = inca_obs::Obs::new();
+        let mut daemon = DistributedController::with_obs(
+            spec,
+            Box::new(flaky.clone()),
+            7,
+            obs.clone(),
+        );
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 2 * 3_600);
+
+        // Fire 1's send failed → spooled; fire 2 (an hour later, past
+        // the backoff deadline) drains seq 1 then seq 2, in order.
+        let sent = flaky.sent.lock().clone();
+        let resource = "host.sdsc.edu".to_string();
+        assert_eq!(
+            sent,
+            vec![
+                (Some((resource.clone(), 1)), false),
+                (Some((resource.clone(), 1)), true),
+                (Some((resource, 2)), true),
+            ]
+        );
+        assert!(daemon.spool().is_empty());
+        // A transient transport failure is not a forward error...
+        assert_eq!(daemon.stats().forward_errors, 0);
+        // ...it is a retry.
+        assert_eq!(
+            obs.metrics().counter_value("inca_daemon_retries_total", &[]),
+            Some(1)
+        );
+        assert_eq!(obs.metrics().gauge_value("inca_daemon_spool_depth", &[]), Some(0.0));
+    }
+
+    #[test]
+    fn rejected_sends_drop_and_count_forward_errors() {
+        let transport = Arc::new(CollectingTransport {
+            respond_with: Some(ServerResponse::Rejected("allowlist".into())),
+            ..CollectingTransport::new()
+        });
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        )]);
+        let mut daemon =
+            DistributedController::new(spec, Box::new(SharedTransport(transport.clone())), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 3_600);
+        // A permanent rejection is not retried: the spool drains and
+        // the rejection is counted.
+        assert!(daemon.spool().is_empty());
+        assert_eq!(daemon.stats().forward_errors, 1);
+    }
+
+    #[test]
+    fn restart_mid_spool_preserves_queued_reports_and_seq() {
+        struct Dead;
+        impl Transport for Dead {
+            fn send(&self, _: &ClientMessage) -> Result<ServerResponse, String> {
+                Err("down".into())
+            }
+        }
+        let spec = spec_with(vec![SpecEntry::new(
+            "version.globus",
+            "20 * * * *".parse().unwrap(),
+            600,
+            branch_for("version.globus"),
+        )]);
+        let mut daemon = DistributedController::new(spec, Box::new(Dead), 7);
+        daemon.register_from_catalog(&teragrid_catalog());
+        let vo = test_vo();
+        let start = Timestamp::from_gmt(2004, 7, 7, 0, 0, 0);
+        daemon.run_until(&vo, start, start + 2 * 3_600);
+        assert_eq!(daemon.spool().depth(), 2, "both fires stay queued");
+        daemon.restart_spool(start + 2 * 3_600);
+        assert_eq!(daemon.spool().depth(), 2, "restart loses nothing");
+        let due = daemon.due_deliveries(start + 2 * 3_600, false);
+        assert_eq!(due.len(), 2, "restart clears backoff deadlines");
+        assert_eq!(due[0].seq, 1);
+        assert_eq!(due[1].seq, 2);
+        daemon.delivery_acked(1);
+        daemon.delivery_acked(2);
+        assert!(daemon.spool().is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use inca_wire::frame::{read_frame, write_frame, FrameError};
 use inca_wire::message::{ClientMessage, ServerResponse};
@@ -18,25 +19,50 @@ pub trait Transport: Send {
     fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String>;
 }
 
-/// TCP transport with lazy connect and one reconnect attempt.
+/// TCP transport with lazy connect, per-attempt socket timeouts, and
+/// one reconnect attempt.
 pub struct TcpTransport {
     addr: SocketAddr,
     stream: Mutex<Option<TcpStream>>,
+    /// Per-attempt socket deadlines. Without them a stalled server
+    /// wedges the daemon forever inside `read_frame`; with them a hung
+    /// attempt surfaces as a transport error, the spool backs off, and
+    /// the report is retried.
+    read_timeout: Duration,
+    write_timeout: Duration,
 }
+
+/// Default per-attempt socket deadline for [`TcpTransport`].
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 impl TcpTransport {
     /// A transport to the given server address (connects on first
-    /// send).
+    /// send) with the default 10 s read/write timeouts.
     pub fn new(addr: SocketAddr) -> TcpTransport {
-        TcpTransport { addr, stream: Mutex::new(None) }
+        TcpTransport::with_timeouts(addr, DEFAULT_IO_TIMEOUT, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// A transport with explicit per-attempt socket deadlines.
+    pub fn with_timeouts(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> TcpTransport {
+        TcpTransport { addr, stream: Mutex::new(None), read_timeout, write_timeout }
     }
 
     fn send_once(&self, payload: &[u8]) -> Result<ServerResponse, String> {
         let mut guard = self.stream.lock().expect("transport mutex");
         if guard.is_none() {
-            let stream = TcpStream::connect(self.addr)
+            let stream = TcpStream::connect_timeout(&self.addr, self.write_timeout)
                 .map_err(|e| format!("connect {}: {e}", self.addr))?;
             stream.set_nodelay(true).ok();
+            stream
+                .set_read_timeout(Some(self.read_timeout))
+                .map_err(|e| format!("set read timeout: {e}"))?;
+            stream
+                .set_write_timeout(Some(self.write_timeout))
+                .map_err(|e| format!("set write timeout: {e}"))?;
             *guard = Some(stream);
         }
         let stream = guard.as_mut().expect("just connected");
@@ -133,6 +159,37 @@ mod tests {
         // Port 1 on localhost is essentially never listening.
         let t = TcpTransport::new("127.0.0.1:1".parse().unwrap());
         assert!(t.send(&message()).is_err());
+    }
+
+    #[test]
+    fn tcp_transport_times_out_on_stalled_server() {
+        use std::net::TcpListener;
+        use std::time::Instant;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A server that accepts, reads, and then never replies — the
+        // stalled-peer shape that used to wedge a daemon forever.
+        let server = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            // Two connections: the initial send and the reconnect retry.
+            for _ in 0..2 {
+                if let Ok((mut stream, _)) = listener.accept() {
+                    let _ = read_frame(&mut stream);
+                    held.push(stream); // keep open, never reply
+                }
+            }
+        });
+        let timeout = Duration::from_millis(200);
+        let t = TcpTransport::with_timeouts(addr, timeout, timeout);
+        let started = Instant::now();
+        let result = t.send(&message());
+        assert!(result.is_err(), "a stalled server is a transport error, not a hang");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timed out promptly instead of blocking in read_frame"
+        );
+        drop(t);
+        server.join().unwrap();
     }
 
     #[test]

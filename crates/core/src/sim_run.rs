@@ -4,14 +4,25 @@
 //! the architecture: one distributed controller per resource executing
 //! reporters against the simulated VO (concurrently across
 //! [`SimOptions::sim_threads`] OS threads — the real clients run on
-//! separate hosts), per-daemon buffers standing in for the
+//! separate hosts), per-daemon spools standing in for the
 //! client→server TCP hop and draining into one deterministic batched
 //! submission per tick, the centralized controller checking the
-//! allowlist and enveloping reports, and the depot caching and
-//! archiving them. A verification consumer runs on a fixed cadence
-//! (the paper's status pages were recomputed every ten minutes) and
-//! records availability percentages into the depot archive — the data
-//! behind Figures 4 and 5.
+//! allowlist, deduplicating retransmissions by `(daemon, seq)`, and
+//! enveloping reports, and the depot caching and archiving them. A
+//! verification consumer runs on a fixed cadence (the paper's status
+//! pages were recomputed every ten minutes) and records availability
+//! percentages into the depot archive — the data behind Figures 4
+//! and 5.
+//!
+//! With [`SimOptions::forward_faults`] set, the drain loop rolls the
+//! fault dice per delivery attempt: dropped sends and partitions back
+//! entries off in the spool, dropped replies ingest server-side but
+//! retry client-side (the seq dedup absorbs the duplicate), delays
+//! hold entries in flight, and scheduled restarts dump/restore a
+//! daemon's spool mid-run. All delivery decisions happen in the
+//! sequential drain phase, so outcomes stay byte-identical across
+//! `sim_threads` — and, because every spool is flushed fault-free at
+//! the horizon, identical to the fault-free run's final cache.
 
 use std::sync::{mpsc, Arc};
 
@@ -24,7 +35,7 @@ use inca_report::{BranchId, Timestamp};
 use inca_server::{
     CentralizedController, ControllerConfig, Depot, QueryInterface,
 };
-use inca_sim::Vo;
+use inca_sim::{ForwardFault, ForwardFaultConfig, Vo};
 use inca_wire::envelope::EnvelopeMode;
 use inca_wire::message::{ClientMessage, ServerResponse};
 use inca_wire::HostAllowlist;
@@ -61,20 +72,17 @@ impl Transport for InProcTransport {
     }
 }
 
-/// Per-daemon transport used by [`SimRun`]: reports accumulate in a
-/// tick-local buffer instead of hitting the server one at a time, and
-/// the run loop drains every buffer into a single
-/// [`CentralizedController::submit_batch`] after all daemons due at
-/// `t` have fired. The send itself always acks — rejections are
-/// reconciled against the originating daemon once the batch returns.
-struct BufferTransport {
-    buffer: Arc<Mutex<Vec<ClientMessage>>>,
-}
+/// Transport handed to [`SimRun`]'s daemons, which run in deferred
+/// delivery: every fire's report lands in the daemon's spool and the
+/// run loop drains the spools into batched server submissions. The
+/// transport itself must never be called — erroring loudly here turns
+/// a mis-wired daemon into a visible forward failure instead of a
+/// silently lost report.
+struct DeferredTransport;
 
-impl Transport for BufferTransport {
-    fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
-        self.buffer.lock().push(message.clone());
-        Ok(ServerResponse::Ack)
+impl Transport for DeferredTransport {
+    fn send(&self, _: &ClientMessage) -> Result<ServerResponse, String> {
+        Err("deferred delivery: the simulation drain loop owns all sends".into())
     }
 }
 
@@ -186,6 +194,14 @@ pub struct SimOptions {
     /// one deterministic, branch-ordered batch regardless of how the
     /// daemons were scheduled. Default 1 (sequential).
     pub sim_threads: usize,
+    /// Forward-path fault injection (message/reply drops, delays,
+    /// partitions, daemon restarts), or `None` for a fault-free wire.
+    /// Fault decisions are deterministic per seed and applied in the
+    /// sequential drain phase, so any schedule preserves
+    /// thread-count determinism; the end-of-horizon flush delivers
+    /// every still-spooled report fault-free, so the final cache
+    /// matches the fault-free run byte for byte.
+    pub forward_faults: Option<ForwardFaultConfig>,
 }
 
 impl Default for SimOptions {
@@ -200,6 +216,7 @@ impl Default for SimOptions {
             health_every_secs: 600,
             offline_when_down: false,
             sim_threads: 1,
+            forward_faults: None,
         }
     }
 }
@@ -230,10 +247,9 @@ pub struct SimRun {
     /// `None` marks a daemon currently out on the worker pool; every
     /// slot is `Some` between ticks.
     daemons: Vec<Option<DistributedController>>,
-    /// One `(hostname, buffer)` per daemon, same order as `daemons`;
-    /// each daemon's [`BufferTransport`] fills its buffer during the
-    /// tick and the run loop drains them all into one batched submit.
-    buffers: Vec<(String, Arc<Mutex<Vec<ClientMessage>>>)>,
+    /// One hostname per daemon, same order as `daemons` — the
+    /// submission peer identity and the fault schedule's daemon key.
+    hostnames: Vec<String>,
     now: Arc<Mutex<Timestamp>>,
     tracker: AvailabilityTracker,
     monitor: Option<HealthMonitor>,
@@ -262,17 +278,16 @@ impl SimRun {
         });
         let now = Arc::new(Mutex::new(deployment.start));
         let mut daemons = Vec::with_capacity(deployment.assignments.len());
-        let mut buffers = Vec::with_capacity(deployment.assignments.len());
+        let mut hostnames = Vec::with_capacity(deployment.assignments.len());
         for assignment in &deployment.assignments {
-            let buffer = Arc::new(Mutex::new(Vec::new()));
-            let transport = BufferTransport { buffer: Arc::clone(&buffer) };
-            buffers.push((assignment.hostname.clone(), buffer));
+            hostnames.push(assignment.hostname.clone());
             let mut daemon = DistributedController::with_obs(
                 assignment.spec.clone(),
-                Box::new(transport),
+                Box::new(DeferredTransport),
                 deployment.seed ^ assignment.hostname.len() as u64,
                 obs.clone(),
             );
+            daemon.set_deferred_delivery(true);
             daemon.set_offline_when_down(options.offline_when_down);
             daemon.register_from_catalog(&deployment.catalog);
             daemons.push(Some(daemon));
@@ -288,7 +303,7 @@ impl SimRun {
             options,
             server,
             daemons,
-            buffers,
+            hostnames,
             now,
             tracker: AvailabilityTracker::figure5(),
             monitor,
@@ -377,35 +392,118 @@ impl SimRun {
         }
     }
 
-    /// Drains every daemon's tick buffer into one batched server
-    /// submission. The order is deterministic regardless of thread
-    /// count: buffers empty in daemon index order (each buffer's
-    /// content is fixed by that daemon's seed), then the combined
-    /// batch is stably sorted by branch. Rejections are reconciled
-    /// back onto the originating daemon's forward-error counters.
+    /// Drains every daemon's spool into one batched server submission,
+    /// rolling the fault dice per entry when a schedule is configured.
+    ///
+    /// The order is deterministic regardless of thread count: spools
+    /// are visited in daemon index order (each spool's content is
+    /// fixed by that daemon's seed), entries leave each spool in seq
+    /// order, then the combined batch is *stably* sorted by branch —
+    /// so within one branch, submissions keep seq order and the
+    /// cache's last-writer-wins semantics see reports in the order the
+    /// daemon produced them.
+    ///
+    /// Delivery is head-of-line per daemon: the first entry that drops
+    /// (or delays, or hits a partition) blocks the daemon's remaining
+    /// entries until its own retry succeeds, exactly as a real daemon
+    /// waiting on a per-attempt timeout would — and exactly what keeps
+    /// a retried old report from overtaking a newer one on the same
+    /// branch.
     fn drain_tick(&mut self, t: Timestamp) {
-        let mut batch: Vec<(usize, ClientMessage)> = Vec::new();
-        for (index, (_, buffer)) in self.buffers.iter().enumerate() {
-            for message in buffer.lock().drain(..) {
-                batch.push((index, message));
+        // (daemon index, seq, message, reply_dropped)
+        let mut batch: Vec<(usize, u64, ClientMessage, bool)> = Vec::new();
+        let faults = self.options.forward_faults.clone().filter(|f| !f.is_none());
+        for index in 0..self.daemons.len() {
+            let hostname = self.hostnames[index].clone();
+            let daemon =
+                self.daemons[index].as_mut().expect("daemon home between ticks");
+            for entry in daemon.due_deliveries(t, false) {
+                let fault = faults
+                    .as_ref()
+                    .map(|f| f.decide(&hostname, entry.seq, entry.attempts, t))
+                    .unwrap_or(ForwardFault::Deliver);
+                match fault {
+                    ForwardFault::Deliver => {
+                        batch.push((index, entry.seq, entry.message, false));
+                    }
+                    ForwardFault::DropReply => {
+                        // The send reaches the server; the ack doesn't
+                        // come back. Block the rest of this daemon's
+                        // queue behind the (apparently failed) entry.
+                        batch.push((index, entry.seq, entry.message, true));
+                        break;
+                    }
+                    ForwardFault::DropMessage => {
+                        daemon.delivery_lost(entry.seq, t);
+                        break;
+                    }
+                    ForwardFault::Delay(until) => {
+                        daemon.delivery_delayed(entry.seq, until);
+                        break;
+                    }
+                }
             }
         }
+        self.submit_and_resolve(batch, t);
+    }
+
+    /// Submits a drained batch and reconciles each entry's outcome
+    /// onto its daemon's spool: acked entries leave, rejected entries
+    /// leave with a forward error, reply-dropped entries stay queued
+    /// for a deduplicated retry.
+    fn submit_and_resolve(
+        &mut self,
+        mut batch: Vec<(usize, u64, ClientMessage, bool)>,
+        t: Timestamp,
+    ) {
         if batch.is_empty() {
             return;
         }
-        batch.sort_by_cached_key(|(_, m)| m.branch.to_string());
+        batch.sort_by_cached_key(|(_, _, m, _)| m.branch.to_string());
         let submissions: Vec<(String, Vec<u8>)> = batch
             .iter()
-            .map(|(index, m)| (self.buffers[*index].0.clone(), m.encode()))
+            .map(|(index, _, m, _)| (self.hostnames[*index].clone(), m.encode()))
             .collect();
         let results = self.server.submit_batch(&submissions, t);
-        for ((index, _), (response, _)) in batch.iter().zip(&results) {
-            if matches!(response, ServerResponse::Rejected(_)) {
-                self.daemons[*index]
-                    .as_mut()
-                    .expect("daemon home between ticks")
-                    .note_forward_error();
+        for ((index, seq, _, reply_dropped), (response, _)) in
+            batch.iter().zip(&results)
+        {
+            let daemon =
+                self.daemons[*index].as_mut().expect("daemon home between ticks");
+            if *reply_dropped {
+                // Whatever the server answered, the daemon never heard
+                // it: back off and retry. If the server ingested, the
+                // seq dedup absorbs the retry; if it rejected, the
+                // retry is re-rejected and resolved then.
+                daemon.delivery_lost(*seq, t);
+            } else if matches!(response, ServerResponse::Rejected(_)) {
+                daemon.delivery_rejected(*seq);
+            } else {
+                daemon.delivery_acked(*seq);
             }
+        }
+    }
+
+    /// Delivers everything still spooled, fault-free, at time `t` —
+    /// the end-of-horizon flush that guarantees zero lost reports and
+    /// a final cache byte-identical to a fault-free run. Loops until
+    /// every spool is empty (one pass resolves every entry, but a
+    /// depot rejection re-resolved on the second pass keeps this a
+    /// loop rather than an assumption).
+    fn flush_spools(&mut self, t: Timestamp) {
+        loop {
+            let mut batch: Vec<(usize, u64, ClientMessage, bool)> = Vec::new();
+            for index in 0..self.daemons.len() {
+                let daemon =
+                    self.daemons[index].as_mut().expect("daemon home between ticks");
+                for entry in daemon.due_deliveries(t, true) {
+                    batch.push((index, entry.seq, entry.message, false));
+                }
+            }
+            if batch.is_empty() {
+                return;
+            }
+            self.submit_and_resolve(batch, t);
         }
     }
 
@@ -421,7 +519,9 @@ impl SimRun {
         let mut next_verify = verify_every.map(|v| start + v);
         let health_every = self.options.health_every_secs.max(1);
         let mut next_health = self.monitor.is_some().then(|| start + health_every);
+        let faults = self.options.forward_faults.clone();
         let mut passes = 0u64;
+        let mut prev_t = start;
         loop {
             // The earliest pending event across all daemons.
             let next_fire = self
@@ -430,8 +530,21 @@ impl SimRun {
                 .flatten()
                 .filter_map(DistributedController::peek_next)
                 .min();
-            let next_event =
-                [next_fire, next_verify, next_health].into_iter().flatten().min();
+            // Spooled retries/delays wake the loop even between fires.
+            let next_delivery = self
+                .daemons
+                .iter()
+                .flatten()
+                .filter_map(DistributedController::next_delivery_due)
+                .min();
+            let next_restart = faults
+                .as_ref()
+                .and_then(|f| f.next_restart_after(prev_t.as_secs()))
+                .map(Timestamp::from_secs);
+            let next_event = [next_fire, next_verify, next_health, next_delivery, next_restart]
+                .into_iter()
+                .flatten()
+                .min();
             let Some(t) = next_event else { break };
             if t >= end {
                 break;
@@ -451,10 +564,30 @@ impl SimRun {
                 }
                 next_health = Some(t + health_every);
             }
+            // Scheduled daemon restarts in `(prev_t, t]` happen before
+            // this tick's fires and drain: the restored spool's
+            // entries are immediately due again.
+            if let Some(f) = &faults {
+                for name in f.restarts_in(prev_t.as_secs(), t.as_secs()) {
+                    if let Some(index) =
+                        self.hostnames.iter().position(|h| h == name)
+                    {
+                        self.daemons[index]
+                            .as_mut()
+                            .expect("daemon home between ticks")
+                            .restart_spool(t);
+                    }
+                }
+            }
             self.fire_due_daemons(t);
             self.drain_tick(t);
+            prev_t = t;
         }
         *self.now.lock() = end;
+        // Horizon flush: deliver everything still spooled with faults
+        // off. No report enqueued during the run is ever lost, and the
+        // final depot matches a fault-free run of the same deployment.
+        self.flush_spools(end);
         let final_page = self.server.with_depot(|depot| {
             let query = QueryInterface::new(depot);
             build_status_page(

@@ -17,7 +17,14 @@ use crate::expr::{CronError, CronExpr, Field};
 /// How often a reporter should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Frequency {
-    /// Every `n` minutes (1 ≤ n ≤ 59); the offset is drawn in `0..n`.
+    /// Every `n` minutes, where `n` must divide 60 (1, 2, 3, 4, 5, 6,
+    /// 10, 12, 15, 20 or 30); the offset is drawn in `0..n`. The
+    /// divisibility requirement is what makes the rendered
+    /// `offset-59/n` cron schedule truly periodic: for any other `n`
+    /// the step restarts at every hour boundary, stretching the last
+    /// gap of each hour to a full hour (e.g. `Minutes(35)` with offset
+    /// 50 would fire at :50 every hour — a 60-minute period, not 35 —
+    /// and silently break `runs_per_hour` accounting).
     Minutes(u8),
     /// Once per hour at a random minute.
     Hourly,
@@ -51,6 +58,13 @@ impl Frequency {
             Frequency::Minutes(n) => {
                 if n == 0 || n > 59 {
                     return Err(CronError(format!("minutes frequency {n} outside 1..=59")));
+                }
+                if 60 % n != 0 {
+                    return Err(CronError(format!(
+                        "minutes frequency {n} does not divide 60: the \
+                         offset-59/{n} schedule would restart at each hour \
+                         boundary and fire on a 60-minute period instead"
+                    )));
                 }
                 let offset = rng.gen_range(0..n);
                 // offset, offset+n, … — rendered via the step syntax.
@@ -131,7 +145,43 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(Frequency::Minutes(0).to_cron(&mut rng).is_err());
         assert!(Frequency::Minutes(60).to_cron(&mut rng).is_err());
-        assert!(Frequency::Minutes(59).to_cron(&mut rng).is_ok());
+        for n in [1u8, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30] {
+            assert!(Frequency::Minutes(n).to_cron(&mut rng).is_ok(), "divisor {n}");
+        }
+    }
+
+    #[test]
+    fn minutes_rejects_non_divisors_of_60() {
+        // Regression: Minutes(35) used to render e.g. `50-59/35 * * * *`,
+        // which fires at :50 of *every hour* — a 60-minute period, not
+        // 35 — because the cron step restarts at each hour boundary.
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [7u8, 13, 25, 35, 45, 59] {
+            let err = Frequency::Minutes(n).to_cron(&mut rng);
+            assert!(err.is_err(), "non-divisor {n} must be rejected");
+        }
+    }
+
+    #[test]
+    fn minutes_period_exact_across_hour_boundary() {
+        // For every legal n the gap between consecutive fires is
+        // exactly n minutes, including across the hour boundary (the
+        // case the non-divisor schedules got wrong).
+        for n in [1u8, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let e = Frequency::Minutes(n).to_cron(&mut rng).unwrap();
+            let mut t = e.next_after(Timestamp::from_gmt(2004, 7, 7, 0, 0, 0)).unwrap();
+            for _ in 0..(120 / n as u32 + 2) {
+                let next = e.next_after(t).unwrap();
+                assert_eq!(
+                    next - t,
+                    n as u64 * 60,
+                    "n={n}: gap {} at t={t:?}",
+                    next - t
+                );
+                t = next;
+            }
+        }
     }
 
     #[test]

@@ -73,16 +73,24 @@ proptest! {
     }
 
     #[test]
-    fn minutes_frequency_period_holds(seed in any::<u64>(), n in 1u8..59, t in ts_strategy()) {
+    fn minutes_frequency_period_holds(seed in any::<u64>(), pick in 0usize..11, t in ts_strategy()) {
+        // Only divisors of 60 are legal Minutes frequencies (anything
+        // else restarts at the hour boundary and isn't periodic).
+        let n = [1u8, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30][pick];
         let mut rng = StdRng::seed_from_u64(seed);
         let expr = Frequency::Minutes(n).to_cron(&mut rng).unwrap();
         let a = expr.next_after(t).unwrap();
         let b = expr.next_after(a).unwrap();
-        // Within an hour the gap is exactly n minutes except when the
-        // tail of the hour is shorter than a full step.
-        let gap = b - a;
-        prop_assert!(gap % 60 == 0);
-        prop_assert!(gap <= 3_600, "gap {gap} exceeds an hour for n={n}");
+        // The gap is exactly n minutes — everywhere, hour boundaries
+        // included.
+        prop_assert_eq!(b - a, n as u64 * 60, "n={} a={:?}", n, a);
+    }
+
+    #[test]
+    fn minutes_frequency_rejects_non_divisors(seed in any::<u64>(), n in 1u8..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = Frequency::Minutes(n).to_cron(&mut rng);
+        prop_assert_eq!(result.is_ok(), 60 % n == 0, "n={}", n);
     }
 
     #[test]

@@ -198,6 +198,19 @@ impl HealthMonitor {
                         );
                     }
                 }
+                SloKind::SpoolDepth { max_depth } => {
+                    let depth = self
+                        .obs
+                        .metrics()
+                        .gauge_value("inca_daemon_spool_depth", &[])
+                        .unwrap_or(0.0);
+                    if depth > *max_depth {
+                        violations.insert(
+                            (rule.name.clone(), "daemons".into()),
+                            format!("spool depth {depth} (max {max_depth})"),
+                        );
+                    }
+                }
                 SloKind::InsertLatency { quantile, max_seconds } => {
                     let observed = self
                         .obs
@@ -370,7 +383,8 @@ mod tests {
         let obs = Obs::new();
         let depot = Depot::with_obs(obs.clone());
         let rules = parse_rules(
-            "errs error_rate 0.10\nqueue queue_depth 4\nslow insert_latency 0.5 0.010",
+            "errs error_rate 0.10\nqueue queue_depth 4\n\
+             spool spool_depth 8\nslow insert_latency 0.5 0.010",
         )
         .unwrap();
         let mut monitor = HealthMonitor::with_obs(rules, obs.clone());
@@ -385,6 +399,7 @@ mod tests {
         accepted.add(15);
         rejected.add(5); // 5/20 = 0.25 > 0.10, at the sample floor
         m.gauge("inca_controller_queue_depth", "t").set(9.0);
+        m.gauge("inca_daemon_spool_depth", "t").set(20.0);
         let hist = m.histogram(
             "inca_depot_insert_seconds",
             "t",
@@ -396,20 +411,26 @@ mod tests {
 
         let fired = monitor.evaluate(&depot, now + 60);
         let subjects: Vec<&str> = fired.iter().map(|t| t.subject.as_str()).collect();
-        assert_eq!(fired.len(), 3);
+        assert_eq!(fired.len(), 4);
         assert!(subjects.contains(&"controller"));
         assert!(subjects.contains(&"depot"));
+        assert!(subjects.contains(&"daemons"));
         assert!(monitor.is_firing("errs"));
         assert!(monitor.is_firing("queue"));
+        assert!(monitor.is_firing("spool"));
         assert!(monitor.is_firing("slow"));
 
-        // Queue drains; the cumulative error ratio and latency
-        // quantile stay put, so only the gauge-backed alert resolves.
+        // Queue and spool drain; the cumulative error ratio and
+        // latency quantile stay put, so only the gauge-backed alerts
+        // resolve.
         m.gauge("inca_controller_queue_depth", "t").set(0.0);
+        m.gauge("inca_daemon_spool_depth", "t").set(3.0);
         let resolved = monitor.evaluate(&depot, now + 120);
-        assert_eq!(resolved.len(), 1);
-        assert_eq!(resolved[0].rule, "queue");
-        assert_eq!(resolved[0].state, AlertState::Resolved);
+        assert_eq!(resolved.len(), 2);
+        assert!(resolved.iter().all(|t| t.state == AlertState::Resolved));
+        let resolved_rules: Vec<&str> = resolved.iter().map(|t| t.rule.as_str()).collect();
+        assert!(resolved_rules.contains(&"queue"));
+        assert!(resolved_rules.contains(&"spool"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! <name> staleness      <scope-branch-id> <max-age-secs>
 //! <name> error_rate     <max-ratio>
 //! <name> queue_depth    <max-depth>
+//! <name> spool_depth    <max-depth>
 //! <name> insert_latency <quantile> <max-seconds>
 //! ```
 //!
@@ -48,6 +49,14 @@ pub enum SloKind {
         /// Maximum tolerated queue depth.
         max_depth: f64,
     },
+    /// The daemons' aggregate delivery-spool depth must stay at or
+    /// below `max_depth`. A growing spool means reports are being
+    /// produced faster than the server acknowledges them — the first
+    /// visible symptom of a partition or a wedged depot.
+    SpoolDepth {
+        /// Maximum tolerated spooled-report count.
+        max_depth: f64,
+    },
     /// The depot insert-latency histogram's `quantile` must stay at or
     /// below `max_seconds`.
     InsertLatency {
@@ -79,6 +88,9 @@ impl fmt::Display for SloRule {
             }
             SloKind::QueueDepth { max_depth } => {
                 write!(f, "{} queue_depth {}", self.name, max_depth)
+            }
+            SloKind::SpoolDepth { max_depth } => {
+                write!(f, "{} spool_depth {}", self.name, max_depth)
             }
             SloKind::InsertLatency { quantile, max_seconds } => {
                 write!(f, "{} insert_latency {} {}", self.name, quantile, max_seconds)
@@ -135,6 +147,10 @@ pub fn parse_rules(text: &str) -> Result<Vec<SloRule>, RuleError> {
                 let [depth] = args::<1>(&fields, lineno)?;
                 SloKind::QueueDepth { max_depth: parse_f64(&depth, lineno)? }
             }
+            "spool_depth" => {
+                let [depth] = args::<1>(&fields, lineno)?;
+                SloKind::SpoolDepth { max_depth: parse_f64(&depth, lineno)? }
+            }
             "insert_latency" => {
                 let [q, secs] = args::<2>(&fields, lineno)?;
                 let quantile = parse_f64(&q, lineno)?;
@@ -173,6 +189,7 @@ pub fn default_rules(vo: &str) -> Vec<SloRule> {
         "report-staleness staleness vo={vo} 7200\n\
          controller-error-rate error_rate 0.05\n\
          controller-queue-depth queue_depth 32\n\
+         daemon-spool-depth spool_depth 64\n\
          depot-insert-p99 insert_latency 0.99 1.0\n"
     ))
     .expect("default rules parse")
@@ -185,9 +202,10 @@ mod tests {
     #[test]
     fn parses_every_kind_and_roundtrips_through_display() {
         let text = "\n# freshness\nstale staleness resource=tg1,vo=tg 3600\n\
-                    errs error_rate 0.05\nqueue queue_depth 16\nslow insert_latency 0.99 0.5\n";
+                    errs error_rate 0.05\nqueue queue_depth 16\n\
+                    spool spool_depth 64\nslow insert_latency 0.99 0.5\n";
         let rules = parse_rules(text).unwrap();
-        assert_eq!(rules.len(), 4);
+        assert_eq!(rules.len(), 5);
         assert_eq!(
             rules[0].kind,
             SloKind::ReportStaleness {
@@ -211,7 +229,8 @@ mod tests {
     #[test]
     fn default_rules_cover_the_pipeline() {
         let rules = default_rules("teragrid");
-        assert_eq!(rules.len(), 4);
+        assert_eq!(rules.len(), 5);
+        assert!(rules.iter().any(|r| matches!(r.kind, SloKind::SpoolDepth { .. })));
         assert!(matches!(
             &rules[0].kind,
             SloKind::ReportStaleness { scope, max_age_secs: 7200 }

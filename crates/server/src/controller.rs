@@ -34,6 +34,7 @@ use inca_wire::frame::{read_frame, write_frame, FrameError};
 use inca_wire::message::{ClientMessage, ServerResponse};
 use inca_wire::HostAllowlist;
 
+use crate::dedup::DedupIndex;
 use crate::depot::depot::{Depot, DepotTiming};
 
 /// Configuration of the centralized controller.
@@ -78,6 +79,25 @@ pub struct CentralizedController {
     /// Submissions currently waiting on or holding the depot lock
     /// (`inca_controller_queue_depth`).
     queue_depth: Arc<Gauge>,
+    /// Per-daemon seq windows: retransmissions of already-ingested
+    /// reports are acked here without touching the depot, making
+    /// ingest idempotent (exactly-once on top of at-least-once
+    /// delivery).
+    dedup: Mutex<DedupIndex>,
+    /// Duplicate submissions absorbed
+    /// (`inca_depot_duplicates_total`).
+    duplicates: Arc<Counter>,
+}
+
+/// Outcome of admission: what to do with one framed payload.
+enum Admission {
+    /// Envelope bytes for the depot, the open accept span, and the
+    /// message's delivery identity (to un-record on depot failure).
+    Fresh(Vec<u8>, inca_obs::trace::Span, Option<(String, u64)>),
+    /// Already ingested: ack idempotently, skip the depot.
+    Duplicate,
+    /// Refused before the depot (allowlist, decode).
+    Rejected(ServerResponse),
 }
 
 impl CentralizedController {
@@ -105,6 +125,10 @@ impl CentralizedController {
             "inca_controller_queue_depth",
             "Submissions waiting on or holding the depot lock.",
         );
+        let duplicates = metrics.counter(
+            "inca_depot_duplicates_total",
+            "Duplicate submissions absorbed by per-daemon seq dedup.",
+        );
         CentralizedController {
             config,
             depot: RwLock::new(depot),
@@ -115,6 +139,8 @@ impl CentralizedController {
             rejected_decode,
             rejected_depot,
             queue_depth,
+            dedup: Mutex::new(DedupIndex::default()),
+            duplicates,
         }
     }
 
@@ -124,17 +150,15 @@ impl CentralizedController {
         &self.obs
     }
 
-    /// Admission for one framed payload — allowlist, decode, and
-    /// enveloping — shared by [`CentralizedController::submit`] and
-    /// [`CentralizedController::submit_batch`]. On success, returns
-    /// the encoded envelope plus the open `controller.accept` span
-    /// (already joined to the message's trace); the caller finishes
-    /// the span once the depot outcome is known.
-    fn admit(
-        &self,
-        peer_host: &str,
-        payload: &[u8],
-    ) -> Result<(Vec<u8>, inca_obs::trace::Span), ServerResponse> {
+    /// Admission for one framed payload — allowlist, decode,
+    /// seq-dedup, and enveloping — shared by
+    /// [`CentralizedController::submit`] and
+    /// [`CentralizedController::submit_batch`]. A fresh admission
+    /// carries the encoded envelope plus the open `controller.accept`
+    /// span (already joined to the message's trace); the caller
+    /// finishes the span once the depot outcome is known, and must
+    /// un-record the delivery identity if the depot fails.
+    fn admit(&self, peer_host: &str, payload: &[u8]) -> Admission {
         let span = self
             .obs
             .span("controller.accept")
@@ -143,7 +167,7 @@ impl CentralizedController {
         if !self.config.allowlist.allows(peer_host) {
             self.rejected_allowlist.inc();
             span.severity(Severity::Warn).field("rejected", "allowlist").finish();
-            return Err(ServerResponse::Rejected(format!(
+            return Admission::Rejected(ServerResponse::Rejected(format!(
                 "host {peer_host} not in allowlist"
             )));
         }
@@ -152,9 +176,20 @@ impl CentralizedController {
             Err(e) => {
                 self.rejected_decode.inc();
                 span.severity(Severity::Warn).field("rejected", "decode").finish();
-                return Err(ServerResponse::Rejected(e.to_string()));
+                return Admission::Rejected(ServerResponse::Rejected(e.to_string()));
             }
         };
+        // Seq dedup: a `(daemon, seq)` this controller has already
+        // ingested is a retransmission (its ack was lost); answer Ack
+        // without re-ingesting. Messages without an origin (legacy
+        // peers) keep at-most-once semantics.
+        if let Some((daemon, seq)) = &message.origin {
+            if !self.dedup.lock().observe(daemon, *seq) {
+                self.duplicates.inc();
+                span.field("duplicate_seq", *seq).finish();
+                return Admission::Duplicate;
+            }
+        }
         if message.is_error_report {
             *self.error_reports.lock() += 1;
         }
@@ -169,7 +204,15 @@ impl CentralizedController {
         if let Some(ctx) = depot_ctx {
             envelope = envelope.with_trace(ctx);
         }
-        Ok((envelope.encode(self.config.envelope_mode), span))
+        Admission::Fresh(envelope.encode(self.config.envelope_mode), span, message.origin)
+    }
+
+    /// Un-records a delivery identity whose depot ingest failed, so the
+    /// daemon's retry is not misclassified as a duplicate.
+    fn forget_origin(&self, origin: &Option<(String, u64)>) {
+        if let Some((daemon, seq)) = origin {
+            self.dedup.lock().forget(daemon, *seq);
+        }
     }
 
     /// Processes one framed client payload from `peer_host`.
@@ -182,9 +225,10 @@ impl CentralizedController {
         payload: &[u8],
         now: Timestamp,
     ) -> (ServerResponse, Option<DepotTiming>) {
-        let (bytes, span) = match self.admit(peer_host, payload) {
-            Ok(admitted) => admitted,
-            Err(response) => return (response, None),
+        let (bytes, span, origin) = match self.admit(peer_host, payload) {
+            Admission::Fresh(bytes, span, origin) => (bytes, span, origin),
+            Admission::Duplicate => return (ServerResponse::Ack, None),
+            Admission::Rejected(response) => return (response, None),
         };
         // Writes serialize through the depot's write lock, as in the
         // paper (reads share the lock); the gauge tracks how many
@@ -202,6 +246,7 @@ impl CentralizedController {
                 (ServerResponse::Ack, Some(timing))
             }
             Err(e) => {
+                self.forget_origin(&origin);
                 self.rejected_depot.inc();
                 span.severity(Severity::Warn).field("rejected", "depot").finish();
                 (ServerResponse::Rejected(e.to_string()), None)
@@ -226,15 +271,19 @@ impl CentralizedController {
     ) -> Vec<(ServerResponse, Option<DepotTiming>)> {
         let mut results: Vec<Option<(ServerResponse, Option<DepotTiming>)>> =
             (0..submissions.len()).map(|_| None).collect();
-        let mut admitted: Vec<(usize, inca_obs::trace::Span)> = Vec::new();
+        let mut admitted: Vec<(usize, inca_obs::trace::Span, Option<(String, u64)>)> =
+            Vec::new();
         let mut batch: Vec<Vec<u8>> = Vec::new();
         for (index, (peer_host, payload)) in submissions.iter().enumerate() {
             match self.admit(peer_host, payload) {
-                Ok((bytes, span)) => {
-                    admitted.push((index, span));
+                Admission::Fresh(bytes, span, origin) => {
+                    admitted.push((index, span, origin));
                     batch.push(bytes);
                 }
-                Err(response) => results[index] = Some((response, None)),
+                Admission::Duplicate => {
+                    results[index] = Some((ServerResponse::Ack, None));
+                }
+                Admission::Rejected(response) => results[index] = Some((response, None)),
             }
         }
         self.queue_depth.add(batch.len() as f64);
@@ -243,7 +292,7 @@ impl CentralizedController {
             depot.receive_batch(&batch, now)
         };
         self.queue_depth.sub(batch.len() as f64);
-        for ((index, span), outcome) in admitted.into_iter().zip(outcomes) {
+        for ((index, span, origin), outcome) in admitted.into_iter().zip(outcomes) {
             results[index] = Some(match outcome {
                 Ok(timing) => {
                     self.accepted.inc();
@@ -251,6 +300,7 @@ impl CentralizedController {
                     (ServerResponse::Ack, Some(timing))
                 }
                 Err(e) => {
+                    self.forget_origin(&origin);
                     self.rejected_depot.inc();
                     span.severity(Severity::Warn).field("rejected", "depot").finish();
                     (ServerResponse::Rejected(e.to_string()), None)
@@ -279,6 +329,12 @@ impl CentralizedController {
     /// Number of execution-error reports received.
     pub fn error_report_count(&self) -> u64 {
         *self.error_reports.lock()
+    }
+
+    /// Duplicate submissions absorbed by seq dedup (also exported as
+    /// `inca_depot_duplicates_total`).
+    pub fn duplicate_count(&self) -> u64 {
+        self.dedup.lock().duplicate_count()
     }
 
     /// Starts a thread-per-connection TCP accept loop. Submissions use
@@ -329,12 +385,22 @@ impl CentralizedController {
     }
 }
 
+/// How long a connection may sit idle (or mid-frame) before the server
+/// reclaims its thread. Without this a stalled or half-dead peer holds
+/// a worker in `read_frame` forever.
+pub const SERVER_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Per-reply write deadline for the accept loop.
+pub const SERVER_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
 fn handle_connection(
     controller: &CentralizedController,
     mut stream: TcpStream,
     peer: SocketAddr,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(SERVER_IDLE_TIMEOUT))?;
+    stream.set_write_timeout(Some(SERVER_WRITE_TIMEOUT))?;
     // Peer identity: in the 2004 deployment this was the reverse-DNS
     // hostname; here the client message's resource field is checked
     // against the allowlist and the socket peer is recorded only for
@@ -344,6 +410,17 @@ fn handle_connection(
         let payload = match read_frame(&mut stream) {
             Ok(p) => p,
             Err(FrameError::Closed) => return Ok(()),
+            // An idle-timeout expiry surfaces as WouldBlock (or
+            // TimedOut, platform-dependent): drop the connection; the
+            // daemon reconnects and its spool retries anything unacked.
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(());
+            }
             Err(FrameError::Io(e)) => return Err(e),
             Err(FrameError::TooLarge { .. }) => {
                 let resp = ServerResponse::Rejected("frame too large".into());
@@ -545,6 +622,99 @@ mod tests {
             "batched admission must build the same cache as sequential"
         );
         assert_eq!(batched.with_depot(|d| d.stats().report_count()), 3);
+    }
+
+    fn stamped(resource: &str, seq: u64) -> Vec<u8> {
+        let report = ReportBuilder::new("version.globus", "1.0")
+            .host(resource)
+            .gmt(Timestamp::from_secs(1_000))
+            .body_value("packageVersion", "2.4.3")
+            .success()
+            .unwrap();
+        let branch: BranchId =
+            format!("reporter=version.globus,resource={resource},vo=tg").parse().unwrap();
+        ClientMessage::report(resource, branch, &report)
+            .with_origin(resource, seq)
+            .encode()
+    }
+
+    #[test]
+    fn duplicate_seq_is_acked_but_ingested_once() {
+        // Fresh Obs: the duplicates-counter assertion must not see
+        // other tests' global-registry traffic.
+        let controller = CentralizedController::new(
+            ControllerConfig::default(),
+            Depot::with_obs(inca_obs::Obs::new()),
+        );
+        let payload = stamped("h", 1);
+        let now = Timestamp::from_secs(1_000);
+        let (first, timing) = controller.submit("h", &payload, now);
+        assert_eq!(first, ServerResponse::Ack);
+        assert!(timing.is_some());
+        // The retransmission (daemon never saw the ack) is acked again
+        // — idempotently, without depot work.
+        let (second, timing) = controller.submit("h", &payload, now);
+        assert_eq!(second, ServerResponse::Ack);
+        assert!(timing.is_none(), "no depot pass for a duplicate");
+        assert_eq!(controller.with_depot(|d| d.stats().report_count()), 1);
+        assert_eq!(controller.duplicate_count(), 1);
+        assert_eq!(
+            controller.obs().metrics().counter_value("inca_depot_duplicates_total", &[]),
+            Some(1)
+        );
+        // A later seq from the same daemon still lands.
+        let (third, _) = controller.submit("h", &stamped("h", 2), now);
+        assert_eq!(third, ServerResponse::Ack);
+        assert_eq!(controller.with_depot(|d| d.stats().report_count()), 2);
+    }
+
+    #[test]
+    fn batch_absorbs_duplicates_idempotently() {
+        let controller =
+            CentralizedController::new(ControllerConfig::default(), Depot::new());
+        let submissions = vec![
+            ("a".to_string(), stamped("a", 1)),
+            ("b".to_string(), stamped("b", 1)),
+            ("a".to_string(), stamped("a", 1)), // retransmit in-batch
+        ];
+        let results = controller.submit_batch(&submissions, Timestamp::from_secs(1_000));
+        assert!(results.iter().all(|(r, _)| *r == ServerResponse::Ack));
+        assert!(results[2].1.is_none(), "duplicate carries no timing");
+        assert_eq!(controller.with_depot(|d| d.stats().report_count()), 2);
+        assert_eq!(controller.duplicate_count(), 1);
+    }
+
+    #[test]
+    fn unstamped_messages_keep_legacy_semantics() {
+        let controller =
+            CentralizedController::new(ControllerConfig::default(), Depot::new());
+        let payload = message("h");
+        let now = Timestamp::from_secs(1_000);
+        controller.submit("h", &payload, now);
+        controller.submit("h", &payload, now);
+        // No origin → no dedup: both ingests count (at-most-once as
+        // before the spool existed).
+        assert_eq!(controller.with_depot(|d| d.stats().report_count()), 2);
+        assert_eq!(controller.duplicate_count(), 0);
+    }
+
+    #[test]
+    fn stalled_client_is_reaped_not_wedged() {
+        // A connection that opens and sends nothing must not hold a
+        // worker thread past the idle timeout. We can't wait the full
+        // 30 s in a unit test, so just prove the timeout is set and a
+        // live submission still works alongside a stalled peer.
+        let controller =
+            Arc::new(CentralizedController::new(ControllerConfig::default(), Depot::new()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = controller.serve_tcp(listener).unwrap();
+        let addr = handle.addr();
+        let _stalled = TcpStream::connect(addr).unwrap(); // never writes
+        let mut live = TcpStream::connect(addr).unwrap();
+        write_frame(&mut live, &stamped("h", 1)).unwrap();
+        let reply = read_frame(&mut live).unwrap();
+        assert_eq!(ServerResponse::decode(&reply).unwrap(), ServerResponse::Ack);
+        handle.stop();
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Per-daemon sequence deduplication — the server half of
+//! exactly-once delivery.
+//!
+//! Daemons deliver at-least-once: a report whose *reply* is lost is
+//! retransmitted even though the depot already ingested it. Each
+//! daemon therefore stamps its messages with a monotonically
+//! increasing `(daemon_id, seq)` (see the controller crate's spool),
+//! and the centralized controller consults this index before touching
+//! the depot: a seq it has already seen is acknowledged idempotently
+//! and dropped. At-least-once delivery plus idempotent ingest is
+//! exactly-once ingest.
+//!
+//! Each daemon gets a bounded sliding window: the set of seen seqs is
+//! trimmed to the last `window` values, below which everything is
+//! *assumed* seen (a seq that old can only be a pathologically late
+//! duplicate — daemons deliver head-of-line, so a genuinely fresh
+//! report is never more than one spool-capacity behind its newest).
+//! Memory is O(daemons × window) worst case, O(daemons) in the
+//! ordinary in-order case because contiguous prefixes collapse into
+//! the floor.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default sliding-window width, matching the daemon spool's default
+/// capacity: the server never forgets a seq the daemon could still
+/// legitimately retry.
+pub const DEFAULT_DEDUP_WINDOW: u64 = 4096;
+
+/// Seen-seq window for one daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SeqWindow {
+    /// Seqs strictly below this are treated as seen (window floor).
+    floor: u64,
+    /// Seen seqs at or above `floor`.
+    seen: BTreeSet<u64>,
+}
+
+impl SeqWindow {
+    fn new() -> SeqWindow {
+        SeqWindow { floor: 1, seen: BTreeSet::new() }
+    }
+
+    /// Records `seq`; returns true when it is fresh (first sighting).
+    fn observe(&mut self, seq: u64, window: u64) -> bool {
+        if seq < self.floor || !self.seen.insert(seq) {
+            return false;
+        }
+        let max = *self.seen.iter().next_back().expect("just inserted");
+        // Slide: keep the last `window` seqs explicitly, assume-seen
+        // below; collapse the contiguous prefix into the floor.
+        let slide_to = max.saturating_sub(window).saturating_add(1);
+        if slide_to > self.floor {
+            self.floor = slide_to;
+            self.seen = self.seen.split_off(&self.floor);
+        }
+        while self.seen.remove(&self.floor) {
+            self.floor += 1;
+        }
+        true
+    }
+
+    /// Un-records `seq` (the depot failed to ingest it after admission;
+    /// the daemon's retry must not be deduplicated). A seq already
+    /// collapsed into the floor reopens as a hole: the floor drops to
+    /// it and the seqs above it are re-tracked explicitly.
+    fn forget(&mut self, seq: u64) {
+        if seq >= self.floor {
+            self.seen.remove(&seq);
+        } else {
+            for s in (seq + 1)..self.floor {
+                self.seen.insert(s);
+            }
+            self.floor = seq;
+        }
+    }
+}
+
+/// Sliding-window duplicate detector over every submitting daemon.
+#[derive(Debug, Clone)]
+pub struct DedupIndex {
+    window: u64,
+    daemons: BTreeMap<String, SeqWindow>,
+    duplicates: u64,
+}
+
+impl Default for DedupIndex {
+    fn default() -> Self {
+        DedupIndex::new(DEFAULT_DEDUP_WINDOW)
+    }
+}
+
+impl DedupIndex {
+    /// An empty index keeping the last `window` seqs per daemon.
+    pub fn new(window: u64) -> DedupIndex {
+        DedupIndex { window: window.max(1), daemons: BTreeMap::new(), duplicates: 0 }
+    }
+
+    /// Records a sighting of `(daemon, seq)`. Returns true when fresh
+    /// — the submission should proceed to the depot — and false for a
+    /// duplicate, which must be acked without further work.
+    pub fn observe(&mut self, daemon: &str, seq: u64) -> bool {
+        let fresh = self
+            .daemons
+            .entry(daemon.to_string())
+            .or_insert_with(SeqWindow::new)
+            .observe(seq, self.window);
+        if !fresh {
+            self.duplicates += 1;
+        }
+        fresh
+    }
+
+    /// Un-records `(daemon, seq)` after a post-admission failure so the
+    /// daemon's retry is not misclassified as a duplicate.
+    pub fn forget(&mut self, daemon: &str, seq: u64) {
+        if let Some(w) = self.daemons.get_mut(daemon) {
+            w.forget(seq);
+        }
+    }
+
+    /// Duplicates detected over the index's lifetime.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Number of daemons tracked.
+    pub fn daemon_count(&self) -> usize {
+        self.daemons.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sighting_is_fresh_repeats_are_not() {
+        let mut idx = DedupIndex::new(16);
+        assert!(idx.observe("d", 1));
+        assert!(idx.observe("d", 2));
+        assert!(!idx.observe("d", 1), "retransmit of an ingested seq");
+        assert!(!idx.observe("d", 2));
+        assert_eq!(idx.duplicate_count(), 2);
+    }
+
+    #[test]
+    fn daemons_are_independent() {
+        let mut idx = DedupIndex::new(16);
+        assert!(idx.observe("a", 1));
+        assert!(idx.observe("b", 1), "same seq, different daemon");
+        assert_eq!(idx.daemon_count(), 2);
+    }
+
+    #[test]
+    fn out_of_order_within_window_is_fresh() {
+        let mut idx = DedupIndex::new(16);
+        assert!(idx.observe("d", 5));
+        assert!(idx.observe("d", 3), "a delayed earlier seq still lands");
+        assert!(!idx.observe("d", 3));
+        assert!(idx.observe("d", 4));
+    }
+
+    #[test]
+    fn window_slides_and_ancient_seqs_count_as_seen() {
+        let mut idx = DedupIndex::new(8);
+        assert!(idx.observe("d", 100));
+        // 100 - 8 + 1 = 93 is the oldest explicitly tracked seq.
+        assert!(idx.observe("d", 93));
+        assert!(!idx.observe("d", 92), "below the window: assumed seen");
+        assert_eq!(idx.duplicate_count(), 1);
+    }
+
+    #[test]
+    fn contiguous_prefix_collapses_into_floor() {
+        let mut idx = DedupIndex::new(1 << 32);
+        for seq in 1..=1000 {
+            assert!(idx.observe("d", seq));
+        }
+        let w = idx.daemons.get("d").unwrap();
+        assert_eq!(w.floor, 1001, "in-order traffic stores nothing");
+        assert!(w.seen.is_empty());
+        assert!(!idx.observe("d", 500));
+    }
+
+    #[test]
+    fn forget_reopens_a_seq_for_retry() {
+        let mut idx = DedupIndex::new(16);
+        assert!(idx.observe("d", 1));
+        assert!(idx.observe("d", 2));
+        // Depot failed on 2 after admission: the retry must be fresh.
+        idx.forget("d", 2);
+        assert!(idx.observe("d", 2));
+        assert!(!idx.observe("d", 2));
+        // Forgetting the newest collapsed seq reopens the floor too.
+        idx.forget("d", 2);
+        assert!(idx.observe("d", 2));
+    }
+
+    #[test]
+    fn forget_reopens_a_seq_collapsed_mid_prefix() {
+        // A batch admits 1..=3 (floor collapses to 4), then the depot
+        // fails on 2: the retry of 2 must be fresh, 1 and 3 must not.
+        let mut idx = DedupIndex::new(16);
+        for seq in 1..=3 {
+            assert!(idx.observe("d", seq));
+        }
+        idx.forget("d", 2);
+        assert!(!idx.observe("d", 1));
+        assert!(!idx.observe("d", 3));
+        assert!(idx.observe("d", 2));
+        assert!(!idx.observe("d", 2));
+    }
+}

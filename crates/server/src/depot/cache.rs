@@ -164,8 +164,10 @@ impl XmlCache {
     /// Inserts or replaces the report stored at `branch`.
     ///
     /// The splice point comes from the branch index (no stream walk):
-    /// an existing report's recorded byte range, or the close tag of
-    /// the deepest existing ancestor level. After the splice the index
+    /// an existing report's recorded byte range, or the canonical
+    /// position inside the deepest existing ancestor level (report
+    /// before child branches, branches sorted by `(name, id)` — see
+    /// `BranchIndex::insert_point`). After the splice the index
     /// shifts affected ranges by the byte delta and records any levels
     /// the fragment created. The report XML is spliced verbatim (it was
     /// validated upstream by the envelope decode), so the remaining
@@ -178,7 +180,7 @@ impl XmlCache {
         let splice = match self.index.reports.get(&hierarchy) {
             Some(&(start, end)) => Splice::Replace { start, end },
             None => {
-                let (at, missing_from) = self.index.deepest_close(&hierarchy);
+                let (at, missing_from) = self.index.insert_point(&hierarchy);
                 Splice::Insert { at, missing_from }
             }
         };
@@ -304,8 +306,8 @@ impl XmlCache {
                 patches.push((start, Patch::Replace { end, xml, path: h }));
                 continue;
             }
-            // Deepest existing level: insert just before its close tag.
-            let (at, depth) = self.index.deepest_close(&h);
+            // Canonical position inside the deepest existing level.
+            let (at, depth) = self.index.insert_point(&h);
             inserts
                 .entry(at)
                 .or_insert_with(|| (h[..depth].to_vec(), InsertNode::default()))
@@ -377,13 +379,29 @@ impl XmlCache {
             match token {
                 Token::StartTag { name: "branch", ref attrs, self_closing } => {
                     let pair = (attr(attrs, "name"), attr(attrs, "id"));
-                    let want = hierarchy.get(matched).copied();
-                    if !self_closing
-                        && want.map_or(false, |(n, v)| pair == (Some(n), Some(v)))
-                    {
-                        matched += 1;
-                    } else if !self_closing {
-                        skip_subtree(&mut tok, "branch")?;
+                    match hierarchy.get(matched).copied() {
+                        // Looking for a report at the current level: it
+                        // belongs *before* every child branch.
+                        None => return Ok(Splice::Insert { at: pre, missing_from: matched }),
+                        Some((n, v)) if !self_closing && pair == (Some(n), Some(v)) => {
+                            matched += 1;
+                        }
+                        Some((n, v)) => {
+                            // Siblings sit in canonical `(name, id)`
+                            // order; the first one sorting after the
+                            // target is the insertion point.
+                            if let (Some(cn), Some(cv)) = pair {
+                                if (cn, cv) > (n, v) {
+                                    return Ok(Splice::Insert {
+                                        at: pre,
+                                        missing_from: matched,
+                                    });
+                                }
+                            }
+                            if !self_closing {
+                                skip_subtree(&mut tok, "branch")?;
+                            }
+                        }
                     }
                 }
                 Token::StartTag { name: "incaReport", self_closing, .. } => {
@@ -606,8 +624,8 @@ enum Patch<'a> {
     /// Replace an existing `<incaReport>` (range end + new bytes + the
     /// branch path whose index entry the replacement re-points).
     Replace { end: usize, xml: &'a str, path: PathKey },
-    /// Insert a merged fragment of new levels and reports just before
-    /// the close tag of the branch at the carried parent path.
+    /// Insert a merged fragment of new levels and reports at the
+    /// canonical position inside the branch at the carried parent path.
     Insert(PathKey, InsertNode),
 }
 
@@ -695,20 +713,55 @@ impl BranchIndex {
         }
     }
 
-    /// The insertion point for a branch that holds no report yet: the
-    /// close tag of its deepest existing ancestor (the root when none
-    /// exists). Returns `(byte offset, matched depth)`.
-    fn deepest_close(&self, hierarchy: &[(String, String)]) -> (usize, usize) {
+    /// The canonical insertion point for `hierarchy`'s missing part:
+    /// inside the deepest existing ancestor, positioned so siblings
+    /// stay in canonical order — the level's direct report first, then
+    /// child branches sorted by `(name, id)`. Returns `(byte offset,
+    /// matched depth)`.
+    ///
+    /// Canonical placement is what makes the document a pure function
+    /// of cache *content*: two caches holding the same reports render
+    /// byte-identical documents no matter what order the reports
+    /// arrived in — the property the delivery-chaos tests pin down.
+    fn insert_point(&self, hierarchy: &[(String, String)]) -> (usize, usize) {
         let mut depth = hierarchy.len();
-        loop {
-            if depth == 0 {
-                return (self.root_close, 0);
-            }
-            if let Some(&(_, end)) = self.branches.get(&hierarchy[..depth]) {
-                return (end - BRANCH_CLOSE.len(), depth);
-            }
+        while depth > 0 && !self.branches.contains_key(&hierarchy[..depth]) {
             depth -= 1;
         }
+        let parent = &hierarchy[..depth];
+        let child = hierarchy.get(depth).map(|(n, v)| (n.as_str(), v.as_str()));
+        (self.child_insert_at(parent, child), depth)
+    }
+
+    /// Where a new direct child of the (existing) level at `parent`
+    /// goes: a direct report (`child` = `None`) before every child
+    /// branch; a child branch before the first existing sibling that
+    /// sorts after it; either just before the level's close tag when
+    /// nothing follows.
+    fn child_insert_at(&self, parent: &[(String, String)], child: Option<(&str, &str)>) -> usize {
+        let mut best: Option<usize> = None;
+        let children = self
+            .branches
+            .range(parent.to_vec()..)
+            .take_while(|(key, _)| key.starts_with(parent))
+            .filter(|(key, _)| key.len() == parent.len() + 1);
+        for (key, &(start, _)) in children {
+            let (name, id) = &key[parent.len()];
+            let follows = match child {
+                None => true,
+                Some((n, v)) => (name.as_str(), id.as_str()) > (n, v),
+            };
+            if follows {
+                best = Some(best.map_or(start, |b| b.min(start)));
+            }
+        }
+        best.unwrap_or_else(|| {
+            if parent.is_empty() {
+                self.root_close
+            } else {
+                self.branches[parent].1 - BRANCH_CLOSE.len()
+            }
+        })
     }
 
     /// Adjusts every entry for the replacement of old byte range
@@ -776,10 +829,11 @@ impl BranchIndex {
 }
 
 /// Merged fragment for every batch item inserting at one splice
-/// point. Entries keep arrival order, which is exactly the document
-/// order sequential updates would have produced: each later update
-/// lands just before the close tag, i.e. after everything inserted
-/// there earlier.
+/// point. Entries keep *canonical* order — a level's direct report
+/// first, then child branches sorted by `(name, id)` — the same order
+/// sequential updates produce now that every splice point is
+/// canonical, so batch and one-at-a-time ingestion render identical
+/// bytes.
 #[derive(Default)]
 struct InsertNode {
     entries: Vec<InsertEntry>,
@@ -793,7 +847,8 @@ enum InsertEntry {
 impl InsertNode {
     fn add(&mut self, rest: &[(String, String)], xml: &str) {
         match rest.split_first() {
-            None => self.entries.push(InsertEntry::Report(xml.to_string())),
+            // The level's direct report precedes every child branch.
+            None => self.entries.insert(0, InsertEntry::Report(xml.to_string())),
             Some(((n, v), tail)) => {
                 for entry in &mut self.entries {
                     if let InsertEntry::Branch(en, ev, child) = entry {
@@ -804,7 +859,17 @@ impl InsertNode {
                 }
                 let mut child = InsertNode::default();
                 child.add(tail, xml);
-                self.entries.push(InsertEntry::Branch(n.clone(), v.clone(), child));
+                let at = self
+                    .entries
+                    .iter()
+                    .position(|e| match e {
+                        InsertEntry::Report(_) => false,
+                        InsertEntry::Branch(en, ev, _) => {
+                            (en.as_str(), ev.as_str()) > (n.as_str(), v.as_str())
+                        }
+                    })
+                    .unwrap_or(self.entries.len());
+                self.entries.insert(at, InsertEntry::Branch(n.clone(), v.clone(), child));
             }
         }
     }

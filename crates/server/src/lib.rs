@@ -22,11 +22,13 @@
 //!   (Table 4) and received-size histograms (Figure 8).
 
 pub mod controller;
+pub mod dedup;
 pub mod depot;
 pub mod query;
 pub mod stats;
 
 pub use controller::{CentralizedController, ControllerConfig, TcpServerHandle};
+pub use dedup::{DedupIndex, DEFAULT_DEDUP_WINDOW};
 pub use depot::cache::{CacheError, XmlCache};
 pub use depot::archive::{ArchiveRule, ArchiveStore};
 pub use depot::depot::{Depot, DepotError, DepotTiming};

@@ -1,0 +1,241 @@
+//! Forward-path fault injection: what can go wrong between a daemon
+//! and the Inca server.
+//!
+//! The network model (`network.rs`) perturbs the *measurements*
+//! reporters take; this module perturbs the *delivery* of the finished
+//! reports — the leg §3.1.3 sends over TCP. Faults are decided by
+//! hashing `(seed, daemon, seq, attempt, t)` (the same deterministic
+//! idiom as [`NetworkModel`](crate::NetworkModel)), so a fault
+//! schedule replays identically from a seed regardless of host, thread
+//! count, or wall clock, and — because the attempt number is hashed in
+//! — a retried send rolls fresh dice and eventually gets through.
+//!
+//! Fault kinds (applied by the simulation's drain loop):
+//!
+//! * **message drop** — the send never reaches the server; the daemon
+//!   sees a transport error, backs off, retries;
+//! * **reply drop** — the server ingests the report but the ack is
+//!   lost; the daemon retries and the server's seq dedup absorbs the
+//!   duplicate (the exactly-once case worth building all this for);
+//! * **delay** — the send sits in flight; the daemon holds it without
+//!   counting a failed attempt;
+//! * **partition** — scheduled intervals during which every send from
+//!   a daemon fails (a switch outage between the resource and the
+//!   server);
+//! * **restart** — scheduled times at which a daemon dumps and
+//!   restores its spool, proving queued reports and the seq counter
+//!   survive a process restart.
+
+use inca_report::Timestamp;
+
+/// What happens to one delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardFault {
+    /// The send and its reply both arrive.
+    Deliver,
+    /// The send is lost before the server: nothing ingested, transport
+    /// error at the daemon.
+    DropMessage,
+    /// The server ingests and acks, but the ack is lost: the daemon
+    /// must retry, the server must dedup.
+    DropReply,
+    /// The send is stuck in flight until the contained time.
+    Delay(Timestamp),
+}
+
+/// Deterministic fault schedule for the forward (report-delivery)
+/// path. The default injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForwardFaultConfig {
+    /// Seed for per-attempt fault dice.
+    pub seed: u64,
+    /// Probability a send is lost before the server.
+    pub drop_prob: f64,
+    /// Probability the server's ack is lost after ingest.
+    pub reply_drop_prob: f64,
+    /// Probability a send is delayed instead of delivered.
+    pub delay_prob: f64,
+    /// How long a delayed send waits.
+    pub delay_secs: u64,
+    /// `(daemon, from, until)` intervals during which every send from
+    /// `daemon` fails (half-open: `from <= t < until`).
+    pub partitions: Vec<(String, u64, u64)>,
+    /// `(daemon, at)` times at which the daemon restarts mid-spool
+    /// (dump + restore of its delivery queue).
+    pub restarts: Vec<(String, u64)>,
+}
+
+impl ForwardFaultConfig {
+    /// A schedule that injects nothing (every attempt delivers).
+    pub fn none() -> ForwardFaultConfig {
+        ForwardFaultConfig::default()
+    }
+
+    /// An aggressive preset exercising every fault kind at once: 15%
+    /// message drop, 10% reply drop (duplicates for the server to
+    /// absorb), 5% delays of 90 s. Partitions and restarts stay
+    /// caller-supplied — they need deployment-specific daemon names.
+    pub fn chaos(seed: u64) -> ForwardFaultConfig {
+        ForwardFaultConfig {
+            seed,
+            drop_prob: 0.15,
+            reply_drop_prob: 0.10,
+            delay_prob: 0.05,
+            delay_secs: 90,
+            partitions: Vec::new(),
+            restarts: Vec::new(),
+        }
+    }
+
+    /// True when no fault can ever fire (the fast path may skip the
+    /// dice entirely).
+    pub fn is_none(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.reply_drop_prob <= 0.0
+            && self.delay_prob <= 0.0
+            && self.partitions.is_empty()
+            && self.restarts.is_empty()
+    }
+
+    /// The fate of attempt `attempt` at delivering `(daemon, seq)` at
+    /// time `t`. Pure: the same arguments always return the same
+    /// fault, and retries (higher `attempt`) re-roll.
+    pub fn decide(&self, daemon: &str, seq: u64, attempt: u32, t: Timestamp) -> ForwardFault {
+        if self.partitioned(daemon, t) {
+            return ForwardFault::DropMessage;
+        }
+        let u = hash_unit(self.seed, daemon, seq, attempt, t);
+        if u < self.drop_prob {
+            return ForwardFault::DropMessage;
+        }
+        if u < self.drop_prob + self.reply_drop_prob {
+            return ForwardFault::DropReply;
+        }
+        if u < self.drop_prob + self.reply_drop_prob + self.delay_prob {
+            return ForwardFault::Delay(t + self.delay_secs.max(1));
+        }
+        ForwardFault::Deliver
+    }
+
+    /// True while `daemon` is inside a scheduled partition interval.
+    pub fn partitioned(&self, daemon: &str, t: Timestamp) -> bool {
+        let secs = t.as_secs();
+        self.partitions
+            .iter()
+            .any(|(d, from, until)| d == daemon && *from <= secs && secs < *until)
+    }
+
+    /// Daemons scheduled to restart in the half-open window
+    /// `(after, upto]`, in schedule order.
+    pub fn restarts_in(&self, after: u64, upto: u64) -> Vec<&str> {
+        self.restarts
+            .iter()
+            .filter(|(_, at)| after < *at && *at <= upto)
+            .map(|(d, _)| d.as_str())
+            .collect()
+    }
+
+    /// The next scheduled restart strictly after `t`, if any — an
+    /// event the simulation's wake-up queue must include.
+    pub fn next_restart_after(&self, t: u64) -> Option<u64> {
+        self.restarts.iter().map(|(_, at)| *at).filter(|at| *at > t).min()
+    }
+}
+
+/// Deterministic unit-interval hash of one delivery attempt — the
+/// forward-path sibling of the network model's measurement hash.
+fn hash_unit(seed: u64, daemon: &str, seq: u64, attempt: u32, t: Timestamp) -> f64 {
+    let mut h = seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(seq);
+    for b in daemon.bytes() {
+        h = h.wrapping_mul(0x100_0000_01B3) ^ b as u64;
+    }
+    h ^= t.as_secs().wrapping_add((attempt as u64) << 48);
+    // SplitMix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn default_injects_nothing() {
+        let f = ForwardFaultConfig::none();
+        assert!(f.is_none());
+        for seq in 0..100 {
+            assert_eq!(f.decide("d", seq, 0, t(seq)), ForwardFault::Deliver);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_sensitive() {
+        let f = ForwardFaultConfig::chaos(42);
+        let first = f.decide("tg-login1.sdsc.teragrid.org", 7, 0, t(1000));
+        assert_eq!(first, f.decide("tg-login1.sdsc.teragrid.org", 7, 0, t(1000)));
+        // Across many attempts the dice must eventually deliver —
+        // otherwise a retried report could starve forever.
+        let delivered = (0..64).any(|attempt| {
+            f.decide("tg-login1.sdsc.teragrid.org", 7, attempt, t(1000))
+                == ForwardFault::Deliver
+        });
+        assert!(delivered);
+    }
+
+    #[test]
+    fn chaos_rates_are_roughly_as_configured() {
+        let f = ForwardFaultConfig::chaos(7);
+        let mut drops = 0;
+        let mut reply_drops = 0;
+        let mut delays = 0;
+        let n = 10_000;
+        for seq in 0..n {
+            match f.decide("d", seq, 0, t(0)) {
+                ForwardFault::DropMessage => drops += 1,
+                ForwardFault::DropReply => reply_drops += 1,
+                ForwardFault::Delay(until) => {
+                    assert_eq!(until, t(90));
+                    delays += 1;
+                }
+                ForwardFault::Deliver => {}
+            }
+        }
+        let frac = |c: i32| c as f64 / n as f64;
+        assert!((frac(drops) - 0.15).abs() < 0.02, "{drops} drops");
+        assert!((frac(reply_drops) - 0.10).abs() < 0.02, "{reply_drops} reply drops");
+        assert!((frac(delays) - 0.05).abs() < 0.02, "{delays} delays");
+    }
+
+    #[test]
+    fn partitions_fail_everything_in_interval() {
+        let f = ForwardFaultConfig {
+            partitions: vec![("a".into(), 100, 200)],
+            ..ForwardFaultConfig::none()
+        };
+        assert!(!f.is_none());
+        assert_eq!(f.decide("a", 1, 0, t(100)), ForwardFault::DropMessage);
+        assert_eq!(f.decide("a", 1, 0, t(199)), ForwardFault::DropMessage);
+        assert_eq!(f.decide("a", 1, 0, t(200)), ForwardFault::Deliver, "half-open");
+        assert_eq!(f.decide("b", 1, 0, t(150)), ForwardFault::Deliver, "other daemons fine");
+    }
+
+    #[test]
+    fn restart_schedule_windows() {
+        let f = ForwardFaultConfig {
+            restarts: vec![("a".into(), 100), ("b".into(), 250), ("a".into(), 300)],
+            ..ForwardFaultConfig::none()
+        };
+        assert_eq!(f.restarts_in(0, 100), vec!["a"]);
+        assert_eq!(f.restarts_in(100, 300), vec!["b", "a"]);
+        assert!(f.restarts_in(300, 1000).is_empty());
+        assert_eq!(f.next_restart_after(0), Some(100));
+        assert_eq!(f.next_restart_after(100), Some(250));
+        assert_eq!(f.next_restart_after(300), None);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod clock;
 pub mod environment;
 pub mod failure;
+pub mod faults;
 pub mod network;
 pub mod services;
 pub mod site;
@@ -50,6 +51,7 @@ pub mod workload;
 pub use clock::{Clock, SimClock, SystemClock};
 pub use environment::{SoftEnvDb, UserEnvironment};
 pub use failure::{FailureModel, MaintenanceWindow, OutageSchedule, PackageFault};
+pub use faults::{ForwardFault, ForwardFaultConfig};
 pub use network::NetworkModel;
 pub use services::ServiceKind;
 pub use site::{ResourceSpec, Site};

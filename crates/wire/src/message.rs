@@ -61,6 +61,14 @@ pub struct ClientMessage {
     /// stitch its spans into the same trace. Absent from messages sent
     /// by peers without tracing.
     pub trace: Option<TraceContext>,
+    /// Reliable-delivery identity `(daemon_id, seq)`, carried as
+    /// `daemon`/`seq` attributes. A daemon's spool stamps every report
+    /// with a monotonically increasing sequence number so the server
+    /// can ingest retried submissions idempotently (a lost reply makes
+    /// the daemon re-send; without the stamp the same report would be
+    /// counted twice). Absent from peers without a spool, which get
+    /// the old at-most-once semantics.
+    pub origin: Option<(String, u64)>,
 }
 
 impl ClientMessage {
@@ -72,6 +80,7 @@ impl ClientMessage {
             report_xml: report.to_xml(),
             is_error_report: false,
             trace: None,
+            origin: None,
         }
     }
 
@@ -83,12 +92,19 @@ impl ClientMessage {
             report_xml: report.to_xml(),
             is_error_report: true,
             trace: None,
+            origin: None,
         }
     }
 
     /// Attaches a trace context to carry across the wire.
     pub fn with_trace(mut self, ctx: TraceContext) -> Self {
         self.trace = Some(ctx);
+        self
+    }
+
+    /// Stamps the reliable-delivery identity `(daemon_id, seq)`.
+    pub fn with_origin(mut self, daemon: impl Into<String>, seq: u64) -> Self {
+        self.origin = Some((daemon.into(), seq));
         self
     }
 
@@ -99,9 +115,15 @@ impl ClientMessage {
             Some(ctx) => format!(" trace=\"{ctx}\""),
             None => String::new(),
         };
+        let origin_attr = match &self.origin {
+            Some((daemon, seq)) => {
+                format!(" daemon=\"{}\" seq=\"{seq}\"", escape_text(daemon))
+            }
+            None => String::new(),
+        };
         let mut xml = String::with_capacity(self.report_xml.len() + 256);
         xml.push_str(&format!(
-            "<incaMessage kind=\"{kind}\"{trace_attr}><resource>{}</resource><branch>{}</branch><payload>{}</payload></incaMessage>",
+            "<incaMessage kind=\"{kind}\"{trace_attr}{origin_attr}><resource>{}</resource><branch>{}</branch><payload>{}</payload></incaMessage>",
             escape_text(&self.resource),
             escape_text(&self.branch.to_string()),
             escape_text(&self.report_xml),
@@ -144,7 +166,16 @@ impl ClientMessage {
         // attribute must never cost us the report, so it degrades to
         // None instead of erroring.
         let trace = root.attribute("trace").and_then(|t| t.parse().ok());
-        Ok(ClientMessage { resource, branch, report_xml, is_error_report, trace })
+        // Same tolerance for the delivery identity: a peer that sends
+        // no (or a mangled) stamp falls back to undeduplicated
+        // at-most-once ingest rather than losing the report.
+        let origin = match (root.attribute("daemon"), root.attribute("seq")) {
+            (Some(daemon), Some(seq)) => {
+                seq.parse().ok().map(|seq| (daemon.to_string(), seq))
+            }
+            _ => None,
+        };
+        Ok(ClientMessage { resource, branch, report_xml, is_error_report, trace, origin })
     }
 }
 
@@ -233,6 +264,22 @@ mod tests {
             .replace(&ctx.to_string(), "garbage");
         let decoded = ClientMessage::decode(mangled.as_bytes()).unwrap();
         assert_eq!(decoded.trace, None);
+        assert_eq!(decoded.branch, msg.branch);
+    }
+
+    #[test]
+    fn origin_roundtrips_and_degrades_gracefully() {
+        let msg = ClientMessage::report("h", sample_branch(), &sample_report())
+            .with_origin("tg-login1.sdsc.teragrid.org", 41);
+        let decoded = ClientMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.origin, Some(("tg-login1.sdsc.teragrid.org".into(), 41)));
+        assert_eq!(decoded, msg);
+
+        // A mangled seq drops the stamp without losing the report.
+        let mangled =
+            String::from_utf8(msg.encode()).unwrap().replace("seq=\"41\"", "seq=\"x\"");
+        let decoded = ClientMessage::decode(mangled.as_bytes()).unwrap();
+        assert_eq!(decoded.origin, None);
         assert_eq!(decoded.branch, msg.branch);
     }
 

@@ -35,6 +35,15 @@ echo "== query engine gate =="
 cargo test -q -p inca-server --test proptest_cache
 cargo test -q -p inca-server --test concurrent_readers
 
+# Exactly-once delivery: the chaos suite (a faulted run must converge
+# to a depot byte-identical to the fault-free run, deterministically
+# across thread counts), the lost-reply regression over a real TCP
+# hop, and the proptest hunting arbitrary fault schedules.
+echo "== delivery chaos gate =="
+cargo test -q --test chaos
+cargo test -q --test reliable_delivery
+cargo test -q --test proptest_delivery
+
 # The bench baselines must stay runnable: a smoke pass writes its JSON
 # to target/ (never the tracked BENCH_*.json) and we check the fields
 # consumers of the baselines rely on are present.
