@@ -11,7 +11,7 @@
 
 use inca_agreement::{Category, ComplianceSummary};
 use inca_report::Timestamp;
-use inca_rrd::{ArchivePolicy, ConsolidationFn, GraphSeries};
+use inca_rrd::{ArchivePolicy, GraphSeries};
 use inca_server::{Depot, QueryInterface};
 
 /// Records and retrieves archived summary percentages.
@@ -73,7 +73,8 @@ impl AvailabilityTracker {
         }
     }
 
-    /// Retrieves the archived series for one resource and category.
+    /// Retrieves the archived series for one resource and category via
+    /// the temporal query layer (see `docs/QUERYING.md`).
     pub fn series(
         &self,
         query: &QueryInterface<'_>,
@@ -82,12 +83,7 @@ impl AvailabilityTracker {
         start: Timestamp,
         end: Timestamp,
     ) -> Option<GraphSeries> {
-        query.archived_series(
-            &Self::series_name(resource_label, category),
-            ConsolidationFn::Average,
-            start,
-            end,
-        )
+        query.temporal().availability_series(resource_label, category.as_str(), start, end)
     }
 }
 
@@ -95,6 +91,7 @@ impl AvailabilityTracker {
 mod tests {
     use super::*;
     use inca_agreement::{ResourceVerification, TestResult};
+    use inca_rrd::ConsolidationFn;
 
     fn summary(grid_pass: usize, grid_fail: usize) -> ComplianceSummary {
         let mut results = Vec::new();

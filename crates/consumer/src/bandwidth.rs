@@ -37,7 +37,7 @@ pub fn bandwidth_series(
     start: Timestamp,
     end: Timestamp,
 ) -> Option<GraphSeries> {
-    query.archived(BANDWIDTH_RULE, branch, ConsolidationFn::Average, start, end)
+    query.temporal().rule_series(BANDWIDTH_RULE, branch, ConsolidationFn::Average, start, end)
 }
 
 #[cfg(test)]

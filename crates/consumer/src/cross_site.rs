@@ -10,7 +10,6 @@
 use std::collections::BTreeMap;
 
 use inca_agreement::{grid_availability, ProbeObservation};
-use inca_report::BranchId;
 use inca_server::QueryInterface;
 
 /// Extracts probe observations for one service from the cache.
@@ -23,10 +22,9 @@ pub fn probe_observations(
     vo: &str,
     service: &str,
 ) -> Vec<ProbeObservation> {
-    let suffix: BranchId = format!("vo={vo}").parse().expect("vo ids are branch-safe");
     let reporter_prefix = format!("grid.services.{service}.probe");
     let mut out = Vec::new();
-    for (branch, report) in query.reports(Some(&suffix)).unwrap_or_default() {
+    for (branch, report) in query.temporal().vo_reports(vo) {
         let Some(reporter) = branch.get("reporter") else { continue };
         if !reporter.starts_with(&reporter_prefix) {
             continue;
@@ -56,7 +54,7 @@ pub fn grid_service_availability(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inca_report::{ReportBuilder, Timestamp};
+    use inca_report::{BranchId, ReportBuilder, Timestamp};
     use inca_server::Depot;
     use inca_wire::envelope::{Envelope, EnvelopeMode};
 

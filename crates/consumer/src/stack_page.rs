@@ -9,7 +9,6 @@
 use std::collections::BTreeMap;
 
 use inca_agreement::{verify_resource, Agreement};
-use inca_report::BranchId;
 use inca_server::QueryInterface;
 
 use crate::render::render_table;
@@ -70,10 +69,7 @@ pub fn build_stack_page(
         packages.insert(pkg.name.clone(), Vec::with_capacity(resources.len()));
     }
     for (site, resource) in resources {
-        let suffix: BranchId = format!("resource={resource},site={site},vo={}", agreement.vo)
-            .parse()
-            .expect("labels are branch-safe");
-        let reports = query.reports(Some(&suffix)).unwrap_or_default();
+        let reports = query.temporal().resource_reports(&agreement.vo, site, resource);
         let verification = verify_resource(agreement, &reports, resource);
         for pkg in &agreement.packages {
             // The package is green iff its version test and all its
@@ -128,7 +124,7 @@ pub fn render_stack_page(page: &StackPage) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inca_report::{ReportBuilder, Timestamp};
+    use inca_report::{BranchId, ReportBuilder, Timestamp};
     use inca_server::Depot;
     use inca_wire::envelope::{Envelope, EnvelopeMode};
 

@@ -9,9 +9,8 @@
 //! the archived series.
 
 use inca_agreement::Category;
-use inca_consumer::AvailabilityTracker;
 use inca_report::Timestamp;
-use inca_rrd::{ConsolidationFn, GraphSeries};
+use inca_rrd::GraphSeries;
 use inca_server::QueryInterface;
 use inca_wire::envelope::EnvelopeMode;
 
@@ -46,9 +45,9 @@ pub fn run(seed: u64, days: u64) -> GraphSeries {
     outcome
         .server
         .with_depot(|depot| {
-            QueryInterface::new(depot).archived_series(
-                &AvailabilityTracker::series_name(&label, Category::Grid),
-                ConsolidationFn::Average,
+            QueryInterface::new(depot).temporal().availability_series(
+                &label,
+                Category::Grid.as_str(),
                 start,
                 end + 600,
             )

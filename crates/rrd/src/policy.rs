@@ -80,6 +80,44 @@ impl ArchivePolicy {
         let sources = vec![DataSource::gauge("value", period * 2)];
         Rrd::new(start, period, sources, archives)
     }
+
+    /// Like [`ArchivePolicy::build`], but additionally carries one
+    /// coarser AVERAGE archive per `(factor, history_secs)` tier: each
+    /// tier consolidates `factor` base archive points into one CDP and
+    /// keeps `history_secs` of history at that resolution.
+    ///
+    /// This is the multi-resolution layout
+    /// [`Rrd::fetch_resolution`](crate::Rrd::fetch_resolution) selects
+    /// over — a fine ring for recent windows, coarse rings for long
+    /// horizons — while total storage stays bounded.
+    pub fn build_tiered(
+        &self,
+        start: Timestamp,
+        measurement_period: u64,
+        tiers: &[(u32, u64)],
+    ) -> Result<Rrd, RrdError> {
+        let period = measurement_period.max(1);
+        let base_steps = self.granularity.max(1);
+        let mut archives = vec![ArchiveDef {
+            cf: ConsolidationFn::Average,
+            xff: 0.5,
+            steps: base_steps,
+            rows: self.rows(period),
+        }];
+        for &(factor, history_secs) in tiers {
+            let steps = base_steps * factor.max(2);
+            let span = period * steps as u64;
+            let rows = ((history_secs + span - 1) / span).max(1) as usize;
+            archives.push(ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps, rows });
+        }
+        if self.keep_extremes {
+            for cf in [ConsolidationFn::Min, ConsolidationFn::Max] {
+                archives.push(ArchiveDef { cf, xff: 0.5, steps: base_steps, rows: self.rows(period) });
+            }
+        }
+        let sources = vec![DataSource::gauge("value", period * 2)];
+        Rrd::new(start, period, sources, archives)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +185,53 @@ mod tests {
         assert_eq!(f.points.len(), 2);
         assert_eq!(f.points[0].1, 3.0); // mean of 1..=5
         assert_eq!(f.points[1].1, 8.0); // mean of 6..=10
+    }
+
+    #[test]
+    fn tiered_build_adds_coarse_averages() {
+        // Ten-minute base points for a day, hourly for a week,
+        // six-hourly for a month.
+        let p = ArchivePolicy::every("multi", 86_400);
+        let mut rrd =
+            p.build_tiered(Timestamp::EPOCH, 600, &[(6, 7 * 86_400), (36, 30 * 86_400)]).unwrap();
+        for i in 1..=72u64 {
+            rrd.update_single(Timestamp::from_secs(i * 600), (i % 5) as f64).unwrap();
+        }
+        let day = rrd
+            .fetch_resolution(ConsolidationFn::Average, Timestamp::EPOCH, rrd.last_update() + 1, 600)
+            .unwrap();
+        assert_eq!(day.step, 600);
+        let week = rrd
+            .fetch_resolution(
+                ConsolidationFn::Average,
+                Timestamp::EPOCH,
+                rrd.last_update() + 1,
+                3_600,
+            )
+            .unwrap();
+        assert_eq!(week.step, 3_600);
+        assert_eq!(week.known_points().count(), 12);
+        let month = rrd
+            .fetch_resolution(
+                ConsolidationFn::Average,
+                Timestamp::EPOCH,
+                rrd.last_update() + 1,
+                6 * 3_600,
+            )
+            .unwrap();
+        assert_eq!(month.step, 6 * 3_600);
+        assert_eq!(month.known_points().count(), 2);
+    }
+
+    #[test]
+    fn tiered_build_keeps_extremes_on_base_resolution() {
+        let p = ArchivePolicy::every("multi", 3_600).with_extremes();
+        let mut rrd = p.build_tiered(Timestamp::EPOCH, 600, &[(6, 86_400)]).unwrap();
+        for i in 1..=12u64 {
+            rrd.update_single(Timestamp::from_secs(i * 600), i as f64).unwrap();
+        }
+        assert!(rrd.fetch(ConsolidationFn::Min, Timestamp::EPOCH, rrd.last_update() + 1).is_ok());
+        assert!(rrd.fetch(ConsolidationFn::Max, Timestamp::EPOCH, rrd.last_update() + 1).is_ok());
     }
 
     #[test]

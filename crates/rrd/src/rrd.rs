@@ -333,6 +333,76 @@ impl Rrd {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<FetchResult, RrdError> {
+        let candidates = self.cf_candidates(cf, source)?;
+        let finest_covering = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.archive_covers(i, source, start))
+            .min_by_key(|&i| self.archives[i].0.steps);
+        let chosen = finest_covering
+            .unwrap_or_else(|| self.longest_retention(&candidates, source));
+        Ok(self.emit_points(chosen, source, start, end))
+    }
+
+    /// Consolidation-aware multi-resolution fetch over `(start, end]`:
+    /// picks the archive whose resolution best matches `target_step`
+    /// seconds per point.
+    ///
+    /// Selection rules (also documented in `docs/QUERYING.md`):
+    ///
+    /// 1. Only archives with the requested consolidation function are
+    ///    considered ([`RrdError::NoArchive`] otherwise).
+    /// 2. Among archives whose retention covers `start`, those at least
+    ///    as fine as the target (CDP span ≤ `target_step`) are
+    ///    preferred; of those, the one whose span is closest to
+    ///    `target_step` wins (ties go to the finer archive) — the
+    ///    fewest points that still meet the requested resolution.
+    /// 3. When no covering archive is fine enough, the covering archive
+    ///    with the span closest to the target wins anyway: a full
+    ///    window at reduced resolution beats a truncated fine series.
+    /// 4. When nothing covers `start`, the candidate with the longest
+    ///    retention wins, exactly like [`Rrd::fetch`].
+    pub fn fetch_resolution(
+        &self,
+        cf: ConsolidationFn,
+        start: Timestamp,
+        end: Timestamp,
+        target_step: u64,
+    ) -> Result<FetchResult, RrdError> {
+        self.fetch_source_resolution(cf, 0, start, end, target_step)
+    }
+
+    /// Like [`Rrd::fetch_resolution`] but selects a data source by
+    /// index.
+    pub fn fetch_source_resolution(
+        &self,
+        cf: ConsolidationFn,
+        source: usize,
+        start: Timestamp,
+        end: Timestamp,
+        target_step: u64,
+    ) -> Result<FetchResult, RrdError> {
+        let candidates = self.cf_candidates(cf, source)?;
+        let span = |i: usize| self.step * self.archives[i].0.steps as u64;
+        let covering: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.archive_covers(i, source, start))
+            .collect();
+        let fine_covering: Vec<usize> =
+            covering.iter().copied().filter(|&i| span(i) <= target_step).collect();
+        let pool = if fine_covering.is_empty() { covering } else { fine_covering };
+        let chosen = pool
+            .iter()
+            .copied()
+            .min_by_key(|&i| (span(i).abs_diff(target_step), span(i)))
+            .unwrap_or_else(|| self.longest_retention(&candidates, source));
+        Ok(self.emit_points(chosen, source, start, end))
+    }
+
+    /// Indices of archives with the requested consolidation function,
+    /// after validating the data-source index.
+    fn cf_candidates(&self, cf: ConsolidationFn, source: usize) -> Result<Vec<usize>, RrdError> {
         if source >= self.sources.len() {
             return Err(RrdError::NoSuchSource { name: format!("#{source}") });
         }
@@ -346,27 +416,38 @@ impl Rrd {
         if candidates.is_empty() {
             return Err(RrdError::NoArchive { cf });
         }
-        let covers = |idx: usize| -> bool {
-            let (def, rings) = &self.archives[idx];
-            let span = self.step * def.steps as u64;
-            let ring_len = rings[source].len() as u64;
-            let archive_start = self.archive_end(idx) - ring_len * span;
-            archive_start <= start
-        };
-        let finest_covering = candidates
+        Ok(candidates)
+    }
+
+    /// Whether archive `idx`'s retention reaches back to `start`.
+    fn archive_covers(&self, idx: usize, source: usize, start: Timestamp) -> bool {
+        let (def, rings) = &self.archives[idx];
+        let span = self.step * def.steps as u64;
+        let ring_len = rings[source].len() as u64;
+        let archive_start = self.archive_end(idx) - ring_len * span;
+        archive_start <= start
+    }
+
+    /// The candidate with the longest retention (the [`Rrd::fetch`]
+    /// fallback when nothing covers the window start).
+    fn longest_retention(&self, candidates: &[usize], source: usize) -> usize {
+        *candidates
             .iter()
-            .copied()
-            .filter(|&i| covers(i))
-            .min_by_key(|&i| self.archives[i].0.steps);
-        let chosen = finest_covering.unwrap_or_else(|| {
-            *candidates
-                .iter()
-                .max_by_key(|&&i| {
-                    let (def, rings) = &self.archives[i];
-                    rings[source].len() as u64 * self.step * def.steps as u64
-                })
-                .expect("candidates nonempty")
-        });
+            .max_by_key(|&&i| {
+                let (def, rings) = &self.archives[i];
+                rings[source].len() as u64 * self.step * def.steps as u64
+            })
+            .expect("candidates nonempty")
+    }
+
+    /// Emits archive `chosen`'s points inside `(start, end]`.
+    fn emit_points(
+        &self,
+        chosen: usize,
+        source: usize,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> FetchResult {
         let (def, rings) = &self.archives[chosen];
         let span = self.step * def.steps as u64;
         let arch_end = self.archive_end(chosen);
@@ -378,7 +459,7 @@ impl Rrd {
                 points.push((point_end, *v));
             }
         }
-        Ok(FetchResult { step: span, points })
+        FetchResult { step: span, points }
     }
 
     /// Most recent known value from any archive with `cf`.
@@ -713,6 +794,82 @@ mod tests {
         assert_eq!(fetched.points.len(), 6);
         // A recent query uses the fine archive.
         let recent = rrd.fetch(ConsolidationFn::Average, ts(3400), ts(3601)).unwrap();
+        assert_eq!(recent.step, 60);
+    }
+
+    #[test]
+    fn fetch_resolution_picks_span_closest_to_target() {
+        let mut rrd = Rrd::new(
+            ts(0),
+            60,
+            vec![DataSource::gauge("v", 120)],
+            vec![
+                ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps: 1, rows: 120 },
+                ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps: 5, rows: 120 },
+                ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps: 15, rows: 120 },
+            ],
+        )
+        .unwrap();
+        for i in 1..=90 {
+            rrd.update_single(ts(i * 60), (i % 4) as f64).unwrap();
+        }
+        // A coarse target picks the 15-minute archive even though the
+        // fine archive also covers the window.
+        let coarse = rrd.fetch_resolution(ConsolidationFn::Average, ts(0), ts(5_401), 900).unwrap();
+        assert_eq!(coarse.step, 900);
+        // An intermediate target lands on the 5-minute archive.
+        let mid = rrd.fetch_resolution(ConsolidationFn::Average, ts(0), ts(5_401), 300).unwrap();
+        assert_eq!(mid.step, 300);
+        // A finer-than-available target keeps the finest archive.
+        let fine = rrd.fetch_resolution(ConsolidationFn::Average, ts(0), ts(5_401), 60).unwrap();
+        assert_eq!(fine.step, 60);
+        // A target between archive spans rounds to the closest span
+        // at or below it (rule 3): 600 s → the 5-minute archive.
+        let between =
+            rrd.fetch_resolution(ConsolidationFn::Average, ts(0), ts(5_401), 600).unwrap();
+        assert_eq!(between.step, 300);
+    }
+
+    #[test]
+    fn fetch_resolution_falls_back_when_all_archives_coarser() {
+        let mut rrd = Rrd::new(
+            ts(0),
+            60,
+            vec![DataSource::gauge("v", 120)],
+            vec![ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps: 10, rows: 50 }],
+        )
+        .unwrap();
+        for i in 1..=30 {
+            rrd.update_single(ts(i * 60), 1.0).unwrap();
+        }
+        // Requesting finer data than exists returns the finest (only)
+        // archive rather than erroring (rule 2).
+        let f = rrd.fetch_resolution(ConsolidationFn::Average, ts(0), ts(1_801), 60).unwrap();
+        assert_eq!(f.step, 600);
+    }
+
+    #[test]
+    fn fetch_resolution_uses_retention_fallback_like_fetch() {
+        let mut rrd = Rrd::new(
+            ts(0),
+            60,
+            vec![DataSource::gauge("v", 120)],
+            vec![
+                ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps: 1, rows: 5 },
+                ArchiveDef { cf: ConsolidationFn::Average, xff: 0.5, steps: 10, rows: 50 },
+            ],
+        )
+        .unwrap();
+        for i in 1..=60 {
+            rrd.update_single(ts(i * 60), 1.0).unwrap();
+        }
+        // The fine archive only holds 5 minutes; a fine-target query
+        // from t=0 must fall back to the coarse archive (rule 4).
+        let f = rrd.fetch_resolution(ConsolidationFn::Average, ts(0), ts(3_601), 60).unwrap();
+        assert_eq!(f.step, 600);
+        // The same query over a recent window stays fine.
+        let recent =
+            rrd.fetch_resolution(ConsolidationFn::Average, ts(3_400), ts(3_601), 60).unwrap();
         assert_eq!(recent.step, 60);
     }
 

@@ -1,0 +1,157 @@
+//! Property tests for multi-resolution consistency: a coarse archive's
+//! CDPs must be exactly the xff-gated consolidation of the fine
+//! archive's CDPs over the same interval, and `fetch_resolution` must
+//! pick the archive its documented selection rules name.
+
+use proptest::prelude::*;
+
+use inca_report::Timestamp;
+use inca_rrd::{ArchiveDef, ConsolidationFn, DataSource, Rrd};
+
+const STEP: u64 = 60;
+const XFF: f64 = 0.5;
+
+/// A two-archive RRD: every-step AVERAGE plus a `k`-step AVERAGE,
+/// both with rings large enough that nothing wraps during a test.
+fn two_resolution_rrd(k: u32) -> Rrd {
+    Rrd::new(
+        Timestamp::from_secs(0),
+        STEP,
+        vec![DataSource::gauge("v", STEP * 2)],
+        vec![
+            ArchiveDef { cf: ConsolidationFn::Average, xff: XFF, steps: 1, rows: 1_000 },
+            ArchiveDef { cf: ConsolidationFn::Average, xff: XFF, steps: k, rows: 1_000 },
+        ],
+    )
+    .expect("static definition is valid")
+}
+
+/// Feeds one update per step boundary; `None` feeds NaN, making that
+/// step's PDP unknown (a monitoring gap).
+fn feed(rrd: &mut Rrd, updates: &[Option<f64>]) {
+    for (i, u) in updates.iter().enumerate() {
+        let v = u.unwrap_or(f64::NAN);
+        rrd.update_single(Timestamp::from_secs((i as u64 + 1) * STEP), v).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coarse CDP = consolidation of the fine CDPs inside its window:
+    /// the mean of the known fine points when the unknown fraction
+    /// stays within xff, NaN once it exceeds it.
+    #[test]
+    fn coarse_cdp_consolidates_fine_cdps(
+        updates in proptest::collection::vec(
+            proptest::option::of(0.0f64..100.0),
+            8..240,
+        ),
+        k in 2u32..8,
+    ) {
+        let mut rrd = two_resolution_rrd(k);
+        feed(&mut rrd, &updates);
+        let horizon = rrd.last_update() + 1;
+        let fine = rrd
+            .fetch_resolution(ConsolidationFn::Average, Timestamp::from_secs(0), horizon, STEP)
+            .unwrap();
+        prop_assert_eq!(fine.step, STEP);
+        let coarse = rrd
+            .fetch_resolution(
+                ConsolidationFn::Average,
+                Timestamp::from_secs(0),
+                horizon,
+                STEP * k as u64,
+            )
+            .unwrap();
+        prop_assert_eq!(coarse.step, STEP * k as u64);
+
+        for (end, cdp) in &coarse.points {
+            let window_start = *end - STEP * k as u64;
+            let members: Vec<f64> = fine
+                .points
+                .iter()
+                .filter(|(t, _)| *t > window_start && *t <= *end)
+                .map(|(_, v)| *v)
+                .collect();
+            prop_assert_eq!(members.len(), k as usize, "coarse CDP spans exactly k fine CDPs");
+            let known: Vec<f64> = members.iter().copied().filter(|v| !v.is_nan()).collect();
+            let unknown_fraction = 1.0 - known.len() as f64 / k as f64;
+            if known.is_empty() || unknown_fraction > XFF {
+                prop_assert!(cdp.is_nan(), "CDP at {end} must be unknown, got {cdp}");
+            } else {
+                let mean = known.iter().sum::<f64>() / known.len() as f64;
+                prop_assert!(
+                    (cdp - mean).abs() < 1e-9,
+                    "CDP at {end}: {cdp} != mean of fine points {mean}"
+                );
+            }
+        }
+    }
+
+    /// The selection rules are deterministic: when both archives cover
+    /// the window start, a target below the coarse span stays on the
+    /// fine archive and a target at or past it lands on the coarse one.
+    #[test]
+    fn resolution_selection_matches_rules(
+        n in 10u64..200,
+        k in 2u32..8,
+        target in 1u64..2_000,
+    ) {
+        let mut rrd = two_resolution_rrd(k);
+        let updates: Vec<Option<f64>> = (0..n).map(|i| Some((i % 9) as f64)).collect();
+        feed(&mut rrd, &updates);
+        let horizon = rrd.last_update() + 1;
+        let fetched = rrd
+            .fetch_resolution(ConsolidationFn::Average, Timestamp::from_secs(0), horizon, target)
+            .unwrap();
+        let coarse_span = STEP * k as u64;
+        let expected = if target >= coarse_span { coarse_span } else { STEP };
+        prop_assert_eq!(fetched.step, expected, "target {} k {}", target, k);
+    }
+
+    /// Over a random sub-horizon the two resolutions describe the same
+    /// data: every known coarse point lies within the min/max envelope
+    /// of the known fine points in its window.
+    #[test]
+    fn coarse_points_bounded_by_fine_envelope(
+        updates in proptest::collection::vec(
+            proptest::option::of(10.0f64..90.0),
+            20..200,
+        ),
+        k in 2u32..6,
+        window in 0.1f64..1.0,
+    ) {
+        let mut rrd = two_resolution_rrd(k);
+        feed(&mut rrd, &updates);
+        let last = rrd.last_update();
+        let start = Timestamp::from_secs(
+            ((last.as_secs() as f64) * (1.0 - window)) as u64
+        );
+        let fine = rrd
+            .fetch_resolution(ConsolidationFn::Average, start, last + 1, STEP)
+            .unwrap();
+        let coarse = rrd
+            .fetch_resolution(ConsolidationFn::Average, start, last + 1, STEP * k as u64)
+            .unwrap();
+        for (end, cdp) in coarse.points.iter().filter(|(_, v)| !v.is_nan()) {
+            let window_start = *end - STEP * k as u64;
+            let members: Vec<f64> = fine
+                .points
+                .iter()
+                .filter(|(t, v)| *t > window_start && *t <= *end && !v.is_nan())
+                .map(|(_, v)| *v)
+                .collect();
+            // The queried window may clip the fine points that fed
+            // this CDP; only assert when the full window is visible.
+            if members.len() == k as usize {
+                let lo = members.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = members.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(
+                    *cdp >= lo - 1e-9 && *cdp <= hi + 1e-9,
+                    "CDP {cdp} outside fine envelope [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+}

@@ -11,9 +11,11 @@
 //!
 //! [`CentralizedController::submit`] is the transport-independent core
 //! (used directly by the simulation harness); [`serve_tcp`] wraps it in
-//! a thread-per-connection TCP accept loop for live deployments, with
-//! every submission serialized through the depot mutex exactly as the
-//! 2004 system serialized through its single daemon.
+//! a thread-per-connection TCP accept loop for live deployments. The
+//! depot sits behind a reader-writer lock: submissions take the write
+//! side, while any number of query readers proceed concurrently — an
+//! improvement over the 2004 system, which serialized everything
+//! through its single Perl daemon.
 //!
 //! [`serve_tcp`]: CentralizedController::serve_tcp
 

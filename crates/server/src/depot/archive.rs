@@ -144,6 +144,23 @@ impl ArchiveStore {
         rrd.fetch(cf, start, end).ok()
     }
 
+    /// Fetches a consumer-recorded series from the archive whose
+    /// resolution best matches `target_step` (see
+    /// [`Rrd::fetch_resolution`] for the selection rules). With the
+    /// single-archive policies [`ArchivePolicy::build`] produces this
+    /// degrades to [`ArchiveStore::fetch_series`]; tiered policies
+    /// ([`ArchivePolicy::build_tiered`]) give it real choices.
+    pub fn fetch_series_resolution(
+        &self,
+        series: &str,
+        cf: ConsolidationFn,
+        start: Timestamp,
+        end: Timestamp,
+        target_step: u64,
+    ) -> Option<FetchResult> {
+        self.manual_series.get(series)?.fetch_resolution(cf, start, end, target_step).ok()
+    }
+
     /// Fetches a consumer-recorded series.
     pub fn fetch_series(
         &self,

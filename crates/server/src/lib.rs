@@ -18,6 +18,9 @@
 //! * [`query`] — the querying interface: current data by branch
 //!   identifier (whole cache, subtree, or single report) and archived
 //!   data as labelled series.
+//! * [`temporal`] — time-travel queries over the archive: windowed
+//!   availability aggregates, multi-resolution fetch, and incident
+//!   reconstruction joining archive windows with trace lineage.
 //! * [`stats`] — response-time statistics per report-size bucket
 //!   (Table 4) and received-size histograms (Figure 8).
 
@@ -26,6 +29,7 @@ pub mod dedup;
 pub mod depot;
 pub mod query;
 pub mod stats;
+pub mod temporal;
 
 pub use controller::{CentralizedController, ControllerConfig, TcpServerHandle};
 pub use dedup::{DedupIndex, DEFAULT_DEDUP_WINDOW};
@@ -36,3 +40,4 @@ pub use depot::memo::{MemoValue, QueryMemo};
 pub use depot::sharded::ShardedCache;
 pub use query::QueryInterface;
 pub use stats::{BucketStats, ResponseStats, SIZE_BUCKETS};
+pub use temporal::{Incident, IncidentCause, TemporalQuery, WindowAggregate};

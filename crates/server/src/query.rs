@@ -15,6 +15,7 @@ use inca_rrd::{ConsolidationFn, GraphSeries};
 
 use crate::depot::cache::CacheError;
 use crate::depot::depot::Depot;
+use crate::temporal::TemporalQuery;
 
 /// Read-side facade over a depot.
 #[derive(Debug)]
@@ -57,6 +58,13 @@ impl<'a> QueryInterface<'a> {
         } else {
             self.query_miss_hist.observe_duration(elapsed);
         }
+    }
+
+    /// The temporal (time-travel) query layer over the same depot:
+    /// windowed aggregates, multi-resolution series, incident
+    /// reconstruction. See [`TemporalQuery`].
+    pub fn temporal(&self) -> TemporalQuery<'a> {
+        TemporalQuery::new(self.depot)
     }
 
     /// Renders every metric of the depot's registry — controller,

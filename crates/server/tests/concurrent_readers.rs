@@ -147,3 +147,107 @@ fn readers_see_consistent_snapshots_during_ingest() {
     // never add branches.
     assert_eq!(c.with_depot(|d| d.cache().report_count()), 81);
 }
+
+/// Temporal queries return consistent snapshots while a writer
+/// ingests: a window entirely in the past must answer *identically*
+/// on every read (the writer only appends later points), incidents
+/// keep their exact bounds, and report-backed queries always parse.
+#[test]
+fn temporal_queries_see_consistent_windows_during_ingest() {
+    let c = controller();
+    let policy = inca_rrd::ArchivePolicy::every("availability", 86_400);
+    let t0 = Timestamp::from_secs(600_000);
+    // Seed a day-old availability window with a dip, plus one report.
+    c.with_depot_mut(|depot| {
+        for i in 1..=24u64 {
+            let pct = if (10..=13).contains(&i) { 50.0 } else { 100.0 };
+            depot.archive_mut().record("availability:Grid:sdsc-tg1", &policy, 600, t0 + i * 600, pct);
+        }
+    });
+    let (resp, _) = c.submit("h", &message("version.globus", "tg1", "2.4.3"), t0 + 24 * 600);
+    assert_eq!(resp, ServerResponse::Ack);
+
+    // End just past the last seeded point: the writer's appended
+    // points all fall outside this window.
+    let window_end = t0 + 24 * 600 + 1;
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(4));
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                let mut reads = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    c.with_depot(|depot| {
+                        let temporal = QueryInterface::new(depot).temporal();
+                        // The closed window is immutable: the answer
+                        // never changes while the writer appends.
+                        let agg = temporal
+                            .window_aggregate("availability:Grid:sdsc-tg1", t0, window_end)
+                            .expect("seeded series never disappears");
+                        assert_eq!(agg.min, 50.0);
+                        assert_eq!(agg.max, 100.0);
+                        assert_eq!(agg.known, 24);
+                        let incidents = temporal.incidents(
+                            "availability:Grid:sdsc-tg1",
+                            99.0,
+                            t0,
+                            window_end,
+                        );
+                        assert_eq!(incidents.len(), 1, "the dip is exactly one incident");
+                        assert_eq!(incidents[0].start, t0 + 9 * 600);
+                        assert_eq!(incidents[0].end, t0 + 13 * 600);
+                        // Report-backed temporal queries parse under
+                        // concurrent cache writes.
+                        let reports = temporal.resource_reports("tg", "sdsc", "tg1");
+                        assert!(!reports.is_empty(), "seeded report never disappears");
+                        // The live series may grow but never shrinks.
+                        let live = temporal
+                            .availability_series("sdsc-tg1", "Grid", t0, t0 + 200 * 600)
+                            .expect("series exists");
+                        assert!(live.known().count() >= 24);
+                    });
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    let writer = {
+        let c = Arc::clone(&c);
+        let start = Arc::clone(&start);
+        thread::spawn(move || {
+            start.wait();
+            for i in 0..60u64 {
+                let t = t0 + (25 + i) * 600;
+                // Append fresh availability points past the window and
+                // churn the cache with report replacements.
+                c.with_depot_mut(|depot| {
+                    depot.archive_mut().record(
+                        "availability:Grid:sdsc-tg1",
+                        &inca_rrd::ArchivePolicy::every("availability", 86_400),
+                        600,
+                        t,
+                        100.0,
+                    );
+                });
+                let (resp, _) =
+                    c.submit("h", &message("version.globus", "tg1", &format!("2.4.{i}")), t);
+                assert_eq!(resp, ServerResponse::Ack);
+            }
+        })
+    };
+
+    writer.join().expect("writer thread panicked");
+    done.store(true, Ordering::Relaxed);
+    let mut total_reads = 0;
+    for r in readers {
+        total_reads += r.join().expect("reader thread panicked");
+    }
+    assert!(total_reads > 0, "readers made progress during ingest");
+}

@@ -5,7 +5,12 @@
 #   2. a link check over every tracked *.md file: local link targets
 #      must exist, and markdown source-file links stay honest;
 #   3. every inca_* metric name registered in code must appear in
-#      docs/OBSERVABILITY.md, so the metric reference cannot rot.
+#      docs/OBSERVABILITY.md, so the metric reference cannot rot;
+#   4. the temporal query layer stays documented: every public
+#      TemporalQuery method must appear in docs/QUERYING.md, every
+#      kind label of its latency histogram in docs/OBSERVABILITY.md,
+#      and every bench binary the cookbook tells the reader to run
+#      must actually exist.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -40,6 +45,35 @@ fail=0
 for name in $(grep -rhoE '"inca_[a-z0-9_]+"' crates src tests --include='*.rs' | tr -d '"' | sort -u); do
   if ! grep -q "$name" docs/OBSERVABILITY.md; then
     echo "UNDOCUMENTED METRIC: $name (add it to docs/OBSERVABILITY.md)"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== temporal query layer documented =="
+# The cookbook (docs/QUERYING.md) is the contract for the temporal
+# query surface: a public method someone can call but can't look up
+# is a doc regression, as is a metric label missing from the
+# observability reference or a cookbook command that names a bench
+# binary that doesn't exist.
+fail=0
+for method in $(grep -E '^    pub fn [a-z0-9_]+' crates/server/src/temporal.rs \
+    | sed 's/^    pub fn //; s/(.*//' | sort -u); do
+  if ! grep -q "$method" docs/QUERYING.md; then
+    echo "UNDOCUMENTED QUERY: TemporalQuery::$method (add it to docs/QUERYING.md)"
+    fail=1
+  fi
+done
+for kind in $(grep -oE 'hist\("[a-z]+"\)' crates/server/src/temporal.rs \
+    | sed 's/hist("//; s/")//' | sort -u); do
+  if ! grep -q "kind=\"$kind\"" docs/OBSERVABILITY.md; then
+    echo "UNDOCUMENTED KIND: inca_depot_temporal_query_seconds{kind=\"$kind\"} (add it to docs/OBSERVABILITY.md)"
+    fail=1
+  fi
+done
+for bin in $(grep -oE '\-\-bin [a-z0-9_]+' docs/QUERYING.md | awk '{print $2}' | sort -u); do
+  if [ ! -f "crates/bench/src/bin/$bin.rs" ]; then
+    echo "MISSING BIN: docs/QUERYING.md runs --bin $bin but crates/bench/src/bin/$bin.rs does not exist"
     fail=1
   fi
 done

@@ -35,6 +35,17 @@ echo "== query engine gate =="
 cargo test -q -p inca-server --test proptest_cache
 cargo test -q -p inca-server --test concurrent_readers
 
+# The temporal query layer: multi-resolution RRA selection obeys its
+# documented rules under arbitrary workloads (proptest against the
+# fine archive as oracle), and the Figure-5-equivalent query over a
+# simulated horizon is non-empty, finds the Monday maintenance dip as
+# an incident, and answers byte-identically across same-seed runs.
+# (Temporal consistency under live ingest runs with concurrent_readers
+# in the query engine gate above.)
+echo "== temporal query gate =="
+cargo test -q -p inca-rrd --test proptest_multires
+cargo test -q --test temporal_query
+
 # Exactly-once delivery: the chaos suite (a faulted run must converge
 # to a depot byte-identical to the fault-free run, deterministically
 # across thread counts), the lost-reply regression over a real TCP
@@ -55,7 +66,7 @@ for key in '"speedup"' '"threads"' '"batched_seconds"' '"wall_seconds"'; do
     exit 1
   fi
 done
-for key in '"speedup"' '"indexed_seconds"' '"scan_seconds"' '"reads_per_sec"'; do
+for key in '"speedup"' '"indexed_seconds"' '"scan_seconds"' '"reads_per_sec"' '"temporal"' '"points_per_series"'; do
   if ! grep -q "$key" target/BENCH_query.smoke.json; then
     echo "verify FAILED: query bench smoke output missing $key" >&2
     exit 1
