@@ -1,0 +1,246 @@
+//! The tracked bench baseline for the durable trace store
+//! (`BENCH_obs.json` at the repo root).
+//!
+//! Two measurement families, each at several store sizes so the
+//! tracked numbers form curves rather than single points:
+//!
+//! 1. **Ingest**: N spans emitted through a [`TraceStore`] sink
+//!    (per-event flush, size-based segment rotation enabled). The
+//!    tracked number is events/second sustained by the append path.
+//! 2. **Query latency**: against the store just built — `by_trace`
+//!    lookups over a sample of known trace ids, `slowest(100)`, and a
+//!    one-hour `by_name_window` scan. Each is reported as mean
+//!    microseconds per call, so the curve over store sizes shows the
+//!    index keeping lookups flat while the store grows.
+//!
+//! Flags: `--smoke` shrinks the run to a seconds-long sanity pass (CI
+//! gate); `--out PATH` overrides the default output path
+//! `BENCH_obs.json` in the current directory. Full mode gates on a
+//! conservative ingest floor (20k events/s) and on `by_trace` staying
+//! under a millisecond at the largest size.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use inca_obs::trace::TraceContext;
+use inca_obs::{Obs, TraceStore, TraceStoreConfig};
+
+struct Config {
+    smoke: bool,
+    out: String,
+    /// Store sizes (event counts) to measure, ascending.
+    sizes: Vec<u64>,
+    /// `by_trace` lookups sampled per size.
+    trace_lookups: u64,
+    /// Repetitions of each whole-store query (`slowest`, window scan).
+    reps: u32,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out = "BENCH_obs.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: trace_query [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        Config { smoke, out, sizes: vec![2_000], trace_lookups: 100, reps: 1 }
+    } else {
+        Config {
+            smoke,
+            out,
+            sizes: vec![10_000, 50_000, 200_000],
+            trace_lookups: 500,
+            reps: 5,
+        }
+    }
+}
+
+struct SizePoint {
+    events: u64,
+    ingest_seconds: f64,
+    events_per_sec: f64,
+    segments: usize,
+    by_trace_us: f64,
+    slowest_us: f64,
+    window_us: f64,
+}
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: u64) -> ScratchDir {
+        let dir = std::env::temp_dir()
+            .join(format!("inca-trace-bench-{}-{tag}", std::process::id()));
+        // A leftover from a killed previous run would skew segment
+        // counts; start clean.
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Span start times step one minute apart from the TeraGrid epoch the
+/// other benches use, so window queries have a meaningful time axis.
+const T0: u64 = 1_089_158_400;
+
+fn bench_size(cfg: &Config, events: u64) -> SizePoint {
+    let scratch = ScratchDir::new(events);
+    // Small segments so rotation is part of what's measured even in
+    // smoke mode.
+    let store = std::sync::Arc::new(
+        TraceStore::open(
+            &scratch.0,
+            TraceStoreConfig { segment_max_bytes: 1 << 20, max_segments: 1 << 20 },
+        )
+        .expect("scratch store opens"),
+    );
+    let obs = Obs::new();
+    obs.tracer().add_sink(store.clone());
+
+    // Ingest: one daemon.run span per synthetic report, deterministic
+    // trace ids, durations spread so `slowest` has real work to rank.
+    let started = Instant::now();
+    for i in 0..events {
+        let ctx = TraceContext { trace_id: i + 1, parent_span_id: 0 };
+        obs.span("daemon.run")
+            .trace_ctx(ctx)
+            .field("fired_at", T0 + i * 60)
+            .field("resource", "bench-host")
+            .finish();
+    }
+    let ingest_seconds = started.elapsed().as_secs_f64();
+
+    // Query against the live store (readers snapshot the index under
+    // the lock, then read segment files directly).
+    let step = (events / cfg.trace_lookups.max(1)).max(1);
+    let started = Instant::now();
+    let mut hits = 0u64;
+    for id in (1..=events).step_by(step as usize) {
+        hits += store.by_trace(id).len() as u64;
+    }
+    let lookups = events.div_ceil(step);
+    let by_trace_us = started.elapsed().as_secs_f64() * 1e6 / lookups.max(1) as f64;
+    assert_eq!(hits, lookups, "every sampled trace id resolves to its span");
+
+    let started = Instant::now();
+    for _ in 0..cfg.reps.max(1) {
+        let slow = store.slowest(100);
+        assert!(!slow.is_empty());
+    }
+    let slowest_us = started.elapsed().as_secs_f64() * 1e6 / cfg.reps.max(1) as f64;
+
+    // One hour of spans at one per minute.
+    let w0 = T0 + (events / 2) * 60;
+    let started = Instant::now();
+    for _ in 0..cfg.reps.max(1) {
+        let hour = store.by_name_window("daemon.run", w0, w0 + 3_600);
+        assert!(!hour.is_empty());
+    }
+    let window_us = started.elapsed().as_secs_f64() * 1e6 / cfg.reps.max(1) as f64;
+
+    SizePoint {
+        events,
+        ingest_seconds,
+        events_per_sec: events as f64 / ingest_seconds.max(1e-9),
+        segments: store.segment_count(),
+        by_trace_us,
+        slowest_us,
+        window_us,
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    eprintln!("trace_query: store sizes {:?}, {} lookups/size", cfg.sizes, cfg.trace_lookups);
+
+    let points: Vec<SizePoint> = cfg.sizes.iter().map(|&n| bench_size(&cfg, n)).collect();
+    for p in &points {
+        eprintln!(
+            "  {} events: ingest {:.0}/s over {} segment(s); \
+             by_trace {:.1}us, slowest(100) {:.1}us, 1h window {:.1}us",
+            p.events, p.events_per_sec, p.segments, p.by_trace_us, p.slowest_us, p.window_us
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"trace_query\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"ingest\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"events\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"segments\": {}}}{}\n",
+            p.events,
+            p.ingest_seconds,
+            p.events_per_sec,
+            p.segments,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"queries\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"events\": {}, \"by_trace_us\": {:.2}, \"slowest_us\": {:.2}, \
+             \"window_us\": {:.2}}}{}\n",
+            p.events,
+            p.by_trace_us,
+            p.slowest_us,
+            p.window_us,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write(&cfg.out, &json).expect("write bench output");
+    eprintln!("wrote {}", cfg.out);
+
+    if !cfg.smoke {
+        let mut failed = false;
+        for p in &points {
+            if p.events_per_sec < 20_000.0 {
+                eprintln!(
+                    "FAIL: ingest {:.0} events/s at {} events below the 20k floor",
+                    p.events_per_sec, p.events
+                );
+                failed = true;
+            }
+        }
+        let largest = points.last().expect("at least one size");
+        if largest.by_trace_us > 1_000.0 {
+            eprintln!(
+                "FAIL: by_trace {:.1}us at {} events above the 1ms ceiling",
+                largest.by_trace_us, largest.events
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -30,10 +30,10 @@ use inca_agreement::{verify_resource, ComplianceSummary};
 use inca_consumer::{build_status_page, AvailabilityTracker, StatusPage};
 use inca_controller::{DistributedController, Transport};
 use inca_health::{render_health_page, HealthMonitor, SloRule};
-use inca_obs::Obs;
+use inca_obs::{Obs, TraceStore, TraceStoreConfig};
 use inca_report::{BranchId, Timestamp};
 use inca_server::{
-    CentralizedController, ControllerConfig, Depot, QueryInterface,
+    CentralizedController, ControllerConfig, Depot, MetricsScraper, QueryInterface,
 };
 use inca_sim::{ForwardFault, ForwardFaultConfig, Vo};
 use inca_wire::envelope::EnvelopeMode;
@@ -202,6 +202,21 @@ pub struct SimOptions {
     /// every still-spooled report fault-free, so the final cache
     /// matches the fault-free run byte for byte.
     pub forward_faults: Option<ForwardFaultConfig>,
+    /// Directory for a durable [`TraceStore`] installed as a sink on
+    /// the run's tracer, so every span the run emits (daemon fires,
+    /// inserts, health alerts) is persisted, queryable forensic
+    /// evidence — chaos runs leave their trace lineage on disk even
+    /// after this process exits. `None` (default) installs nothing.
+    /// Note that with the global `Obs` handle the sink stays installed
+    /// after the run; pass a fresh [`SimOptions::obs`] for isolation.
+    pub trace_store: Option<std::path::PathBuf>,
+    /// Self-scrape cadence in simulated seconds: every interval a
+    /// [`MetricsScraper`] samples the run's metrics registry into
+    /// `self:`-prefixed archive series in the depot (spool depth,
+    /// insert latency quantiles, alert gauges…), queryable through
+    /// `TemporalQuery` like any availability series. `None` (default)
+    /// disables self-scraping.
+    pub scrape_every_secs: Option<u64>,
 }
 
 impl Default for SimOptions {
@@ -217,6 +232,8 @@ impl Default for SimOptions {
             offline_when_down: false,
             sim_threads: 1,
             forward_faults: None,
+            trace_store: None,
+            scrape_every_secs: None,
         }
     }
 }
@@ -237,6 +254,12 @@ pub struct SimOutcome {
     /// The rendered self-monitoring page at the end of the horizon,
     /// when health monitoring was enabled.
     pub health_page: Option<String>,
+    /// The durable trace store the run wrote, when
+    /// [`SimOptions::trace_store`] was set. Dropping the last handle
+    /// (the run's tracer holds one until its sinks are cleared) seals
+    /// the final segment; the directory can be reopened with
+    /// [`TraceStore::open`] at any time, by any process.
+    pub trace_store: Option<Arc<TraceStore>>,
 }
 
 /// A wired, runnable simulation.
@@ -256,6 +279,11 @@ pub struct SimRun {
     /// Persistent tick workers when `sim_threads > 1` (spawned once,
     /// reused every tick, joined when the run ends).
     pool: Option<WorkerPool>,
+    /// Durable trace sink, when [`SimOptions::trace_store`] is set.
+    trace_store: Option<Arc<TraceStore>>,
+    /// Self-scrape pipeline, when [`SimOptions::scrape_every_secs`]
+    /// is set.
+    scraper: Option<MetricsScraper>,
 }
 
 impl SimRun {
@@ -298,6 +326,16 @@ impl SimRun {
             .map(|rules| HealthMonitor::with_obs(rules, obs.clone()));
         let pool = (options.sim_threads > 1)
             .then(|| WorkerPool::new(options.sim_threads, Arc::new(deployment.vo.clone())));
+        let trace_store = options.trace_store.as_ref().map(|dir| {
+            let store = Arc::new(
+                TraceStore::open(dir, TraceStoreConfig::default())
+                    .expect("trace store directory is creatable"),
+            );
+            obs.tracer().add_sink(store.clone());
+            store
+        });
+        let scraper =
+            options.scrape_every_secs.map(|period| MetricsScraper::new(&obs, period));
         SimRun {
             deployment,
             options,
@@ -308,6 +346,8 @@ impl SimRun {
             tracker: AvailabilityTracker::figure5(),
             monitor,
             pool,
+            trace_store,
+            scraper,
         }
     }
 
@@ -519,6 +559,8 @@ impl SimRun {
         let mut next_verify = verify_every.map(|v| start + v);
         let health_every = self.options.health_every_secs.max(1);
         let mut next_health = self.monitor.is_some().then(|| start + health_every);
+        let scrape_every = self.options.scrape_every_secs.unwrap_or(600).max(1);
+        let mut next_scrape = self.scraper.is_some().then(|| start + scrape_every);
         let faults = self.options.forward_faults.clone();
         let mut passes = 0u64;
         let mut prev_t = start;
@@ -541,10 +583,11 @@ impl SimRun {
                 .as_ref()
                 .and_then(|f| f.next_restart_after(prev_t.as_secs()))
                 .map(Timestamp::from_secs);
-            let next_event = [next_fire, next_verify, next_health, next_delivery, next_restart]
-                .into_iter()
-                .flatten()
-                .min();
+            let next_event =
+                [next_fire, next_verify, next_health, next_scrape, next_delivery, next_restart]
+                    .into_iter()
+                    .flatten()
+                    .min();
             let Some(t) = next_event else { break };
             if t >= end {
                 break;
@@ -563,6 +606,17 @@ impl SimRun {
                     });
                 }
                 next_health = Some(t + health_every);
+            }
+            // Self-scrape after health evaluation at the same tick, so
+            // freshly updated alert gauges land in this sample.
+            if Some(t) == next_scrape {
+                let server = Arc::clone(&self.server);
+                if let Some(scraper) = self.scraper.as_mut() {
+                    server.with_depot_mut(|depot| {
+                        scraper.scrape(depot.archive_mut(), t);
+                    });
+                }
+                next_scrape = Some(t + scrape_every);
             }
             // Scheduled daemon restarts in `(prev_t, t]` happen before
             // this tick's fires and drain: the restored spool's
@@ -609,6 +663,17 @@ impl SimRun {
                 })
             })
         };
+        // One closing scrape at the horizon (after the closing health
+        // pass), so the self-series cover the full run including final
+        // alert state and the flushed spools' depth.
+        {
+            let server = Arc::clone(&self.server);
+            if let Some(scraper) = self.scraper.as_mut() {
+                server.with_depot_mut(|depot| {
+                    scraper.scrape(depot.archive_mut(), end);
+                });
+            }
+        }
         SimOutcome {
             final_page,
             daemons: self
@@ -620,6 +685,7 @@ impl SimRun {
             verification_passes: passes,
             health: self.monitor,
             health_page,
+            trace_store: self.trace_store,
         }
     }
 }

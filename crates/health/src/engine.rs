@@ -229,6 +229,19 @@ impl HealthMonitor {
                         }
                     }
                 }
+                SloKind::RingDropped { max_dropped } => {
+                    let dropped = self
+                        .obs
+                        .metrics()
+                        .counter_value("inca_obs_ring_dropped_total", &[])
+                        .unwrap_or(0);
+                    if dropped > *max_dropped {
+                        violations.insert(
+                            (rule.name.clone(), "obs".into()),
+                            format!("{dropped} trace events dropped (max {max_dropped})"),
+                        );
+                    }
+                }
             }
         }
 
@@ -431,6 +444,30 @@ mod tests {
         let resolved_rules: Vec<&str> = resolved.iter().map(|t| t.rule.as_str()).collect();
         assert!(resolved_rules.contains(&"queue"));
         assert!(resolved_rules.contains(&"spool"));
+    }
+
+    #[test]
+    fn ring_dropped_fires_when_the_trace_buffer_overflows() {
+        let obs = Obs::new();
+        let depot = Depot::with_obs(obs.clone());
+        let mut monitor =
+            HealthMonitor::with_obs(parse_rules("drops ring_dropped 0").unwrap(), obs.clone());
+        let now = Timestamp::from_secs(1_000);
+
+        // An observed ring with headroom: quiet.
+        let ring = std::sync::Arc::new(RingSink::observed(2, &obs.metrics()));
+        obs.tracer().add_sink(ring.clone());
+        obs.event("a").finish();
+        assert!(monitor.evaluate(&depot, now).is_empty());
+
+        // Overflow the ring; the exported drop counter trips the rule.
+        obs.event("b").finish();
+        obs.event("c").finish();
+        let fired = monitor.evaluate(&depot, now + 60);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].subject, "obs");
+        assert_eq!(fired[0].state, AlertState::Firing);
+        assert!(fired[0].detail.contains("dropped"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! <name> queue_depth    <max-depth>
 //! <name> spool_depth    <max-depth>
 //! <name> insert_latency <quantile> <max-seconds>
+//! <name> ring_dropped   <max-dropped>
 //! ```
 //!
 //! Blank lines and `#` comments are skipped.
@@ -65,6 +66,15 @@ pub enum SloKind {
         /// Maximum tolerated latency at that quantile, in seconds.
         max_seconds: f64,
     },
+    /// The cumulative count of trace events discarded by full
+    /// `RingSink`s (`inca_obs_ring_dropped_total`) must stay at or
+    /// below `max_dropped`. A non-zero value means the in-memory trace
+    /// buffer is undersized for the deployment — forensics are being
+    /// thrown away before anyone can query them.
+    RingDropped {
+        /// Maximum tolerated cumulative dropped-event count.
+        max_dropped: u64,
+    },
 }
 
 /// A named SLO rule.
@@ -94,6 +104,9 @@ impl fmt::Display for SloRule {
             }
             SloKind::InsertLatency { quantile, max_seconds } => {
                 write!(f, "{} insert_latency {} {}", self.name, quantile, max_seconds)
+            }
+            SloKind::RingDropped { max_dropped } => {
+                write!(f, "{} ring_dropped {}", self.name, max_dropped)
             }
         }
     }
@@ -159,6 +172,14 @@ pub fn parse_rules(text: &str) -> Result<Vec<SloRule>, RuleError> {
                 }
                 SloKind::InsertLatency { quantile, max_seconds: parse_f64(&secs, lineno)? }
             }
+            "ring_dropped" => {
+                let [max] = args::<1>(&fields, lineno)?;
+                SloKind::RingDropped {
+                    max_dropped: max
+                        .parse()
+                        .map_err(|_| err(format!("bad max-dropped {max:?}")))?,
+                }
+            }
             other => return Err(err(format!("unknown rule kind {other:?}"))),
         };
         rules.push(SloRule { name, kind });
@@ -190,7 +211,8 @@ pub fn default_rules(vo: &str) -> Vec<SloRule> {
          controller-error-rate error_rate 0.05\n\
          controller-queue-depth queue_depth 32\n\
          daemon-spool-depth spool_depth 64\n\
-         depot-insert-p99 insert_latency 0.99 1.0\n"
+         depot-insert-p99 insert_latency 0.99 1.0\n\
+         obs-ring-dropped ring_dropped 0\n"
     ))
     .expect("default rules parse")
 }
@@ -203,9 +225,11 @@ mod tests {
     fn parses_every_kind_and_roundtrips_through_display() {
         let text = "\n# freshness\nstale staleness resource=tg1,vo=tg 3600\n\
                     errs error_rate 0.05\nqueue queue_depth 16\n\
-                    spool spool_depth 64\nslow insert_latency 0.99 0.5\n";
+                    spool spool_depth 64\nslow insert_latency 0.99 0.5\n\
+                    drops ring_dropped 0\n";
         let rules = parse_rules(text).unwrap();
-        assert_eq!(rules.len(), 5);
+        assert_eq!(rules.len(), 6);
+        assert_eq!(rules[5].kind, SloKind::RingDropped { max_dropped: 0 });
         assert_eq!(
             rules[0].kind,
             SloKind::ReportStaleness {
@@ -229,8 +253,9 @@ mod tests {
     #[test]
     fn default_rules_cover_the_pipeline() {
         let rules = default_rules("teragrid");
-        assert_eq!(rules.len(), 5);
+        assert_eq!(rules.len(), 6);
         assert!(rules.iter().any(|r| matches!(r.kind, SloKind::SpoolDepth { .. })));
+        assert!(rules.iter().any(|r| matches!(r.kind, SloKind::RingDropped { max_dropped: 0 })));
         assert!(matches!(
             &rules[0].kind,
             SloKind::ReportStaleness { scope, max_age_secs: 7200 }

@@ -23,6 +23,11 @@
 //!   sample-retaining [`SampleHistogram`] used where exact
 //!   mean/std-dev/median summaries are needed (the paper's Table 4
 //!   response statistics are built on it).
+//! - **Durable trace store** ([`store`]): a segmented, size-rotated
+//!   JSONL [`TraceStore`] sink with an in-memory index rebuilt from
+//!   segment footers on open, so trace forensics (`by_trace`,
+//!   time-window, slowest-span, critical-path queries) survive the
+//!   writing process.
 //!
 //! # The `Obs` handle
 //!
@@ -63,6 +68,7 @@
 //! [`Gauge`]: metrics::Gauge
 //! [`Histogram`]: metrics::Histogram
 //! [`SampleHistogram`]: hist::SampleHistogram
+//! [`TraceStore`]: store::TraceStore
 
 #![deny(missing_docs)]
 
@@ -70,6 +76,7 @@ pub mod hist;
 pub mod lint;
 pub mod metrics;
 pub mod sinks;
+pub mod store;
 pub mod trace;
 
 use std::fmt;
@@ -78,6 +85,7 @@ use std::sync::{Arc, OnceLock};
 use metrics::MetricsRegistry;
 use trace::{Span, Tracer};
 
+pub use store::{StoredEvent, TraceStore, TraceStoreConfig};
 pub use trace::{Severity, TraceContext};
 
 /// A shared observability handle: one tracer plus one metrics

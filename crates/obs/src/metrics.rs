@@ -298,6 +298,39 @@ struct Family {
     series: BTreeMap<Vec<(String, String)>, Instrument>,
 }
 
+/// One scraped value in a [`MetricsRegistry::sample`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A counter's cumulative count.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram summarized for time-series storage: observation
+    /// count, value sum, and interpolated quantiles (`None` while the
+    /// histogram is empty).
+    Histogram {
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: f64,
+        /// Median ([`Histogram::quantile`] at 0.5).
+        p50: Option<f64>,
+        /// 99th percentile ([`Histogram::quantile`] at 0.99).
+        p99: Option<f64>,
+    },
+}
+
+/// One series in a [`MetricsRegistry::sample`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSample {
+    /// Metric family name, e.g. `"inca_daemon_spool_depth"`.
+    pub name: String,
+    /// Sorted label pairs; empty for the unlabelled series.
+    pub labels: Vec<(String, String)>,
+    /// The value at sample time.
+    pub value: SampleValue,
+}
+
 /// Registers instruments and renders them in the Prometheus text
 /// exposition format.
 ///
@@ -529,6 +562,31 @@ impl MetricsRegistry {
                         let _ = writeln!(out, "{name}_count{} {}", label_str(labels, None), h.count());
                     }
                 }
+            }
+        }
+        out
+    }
+
+    /// Snapshots every registered series as plain values — the
+    /// self-scrape entry point. Deterministic order (family name, then
+    /// label set), one [`SeriesSample`] per series; histograms are
+    /// summarized as count/sum/p50/p99 rather than full bucket vectors.
+    pub fn sample(&self) -> Vec<SeriesSample> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, instrument) in &family.series {
+                let value = match instrument {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.quantile(0.5),
+                        p99: h.quantile(0.99),
+                    },
+                };
+                out.push(SeriesSample { name: name.clone(), labels: labels.clone(), value });
             }
         }
         out

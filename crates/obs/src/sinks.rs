@@ -6,8 +6,10 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use crate::metrics::{Counter, MetricsRegistry};
 use crate::trace::{Event, TraceSink};
 
 /// Renders `event` as a single human-readable line:
@@ -66,13 +68,43 @@ pub struct RingSink {
     capacity: usize,
     /// Total events ever emitted, including ones the ring has dropped.
     events: Mutex<(u64, VecDeque<Event>)>,
+    /// Events discarded because the ring was full (or capacity was 0).
+    dropped: AtomicU64,
+    /// Mirror of `dropped` in a metrics registry, when constructed via
+    /// [`RingSink::observed`].
+    dropped_total: Option<Arc<Counter>>,
 }
 
 impl RingSink {
     /// Creates a ring holding at most `capacity` events (oldest are
     /// dropped first). A capacity of 0 counts events but retains none.
     pub fn new(capacity: usize) -> RingSink {
-        RingSink { capacity, events: Mutex::new((0, VecDeque::new())) }
+        RingSink {
+            capacity,
+            events: Mutex::new((0, VecDeque::new())),
+            dropped: AtomicU64::new(0),
+            dropped_total: None,
+        }
+    }
+
+    /// Like [`RingSink::new`], but also registers
+    /// `inca_obs_ring_dropped_total` in `metrics` and increments it on
+    /// every discarded event, so a ring sized too small for its
+    /// workload shows up on the exposition page (and in SLO rules)
+    /// instead of silently forgetting evidence.
+    pub fn observed(capacity: usize, metrics: &MetricsRegistry) -> RingSink {
+        let mut sink = RingSink::new(capacity);
+        sink.dropped_total = Some(metrics.counter(
+            "inca_obs_ring_dropped_total",
+            "Trace events discarded by a full RingSink.",
+        ));
+        sink
+    }
+
+    /// Events discarded so far because the ring was full: evicted
+    /// oldest events, plus everything emitted at capacity 0.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Removes and returns the buffered events, oldest first.
@@ -98,11 +130,19 @@ impl TraceSink for RingSink {
     fn emit(&self, event: &Event) {
         let mut guard = self.events.lock().unwrap_or_else(|e| e.into_inner());
         guard.0 += 1;
+        let note_drop = || {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(counter) = &self.dropped_total {
+                counter.inc();
+            }
+        };
         if self.capacity == 0 {
+            note_drop();
             return;
         }
         if guard.1.len() == self.capacity {
             guard.1.pop_front();
+            note_drop();
         }
         guard.1.push_back(event.clone());
     }
@@ -115,7 +155,8 @@ impl TraceSink for RingSink {
 /// ```
 ///
 /// Output is buffered; it is flushed after every event so a crashed
-/// run still leaves a readable trace.
+/// run still leaves a readable trace, and flushed + fsynced on drop so
+/// a clean exit leaves the complete one.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
@@ -187,6 +228,17 @@ impl TraceSink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // Flush any buffered tail and fsync so an exiting process
+        // (panic unwind included) leaves the complete trace on disk,
+        // not just in the page cache.
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writer.flush();
+        let _ = writer.get_ref().sync_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +297,27 @@ mod tests {
         assert_eq!(ring.drain().len(), 2);
         assert!(ring.drain().is_empty(), "drain empties the ring");
         assert_eq!(ring.total_emitted(), 3, "drain does not reset the lifetime count");
+        assert_eq!(ring.dropped(), 1, "one eviction is one drop");
+    }
+
+    #[test]
+    fn observed_ring_exports_drop_count() {
+        use crate::metrics::MetricsRegistry;
+        let metrics = MetricsRegistry::new();
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::observed(1, &metrics));
+        tracer.add_sink(ring.clone());
+        tracer.span("a").finish();
+        assert_eq!(metrics.counter_value("inca_obs_ring_dropped_total", &[]), Some(0));
+        tracer.span("b").finish();
+        tracer.span("c").finish();
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(metrics.counter_value("inca_obs_ring_dropped_total", &[]), Some(2));
+
+        let zero = RingSink::new(0);
+        zero.emit(&sample_event());
+        assert_eq!(zero.dropped(), 1, "capacity 0 drops every event");
+        assert_eq!(zero.total_emitted(), 1);
     }
 
     #[test]

@@ -1,0 +1,1058 @@
+//! The durable trace store: segmented JSONL on disk, indexed in
+//! memory, queryable after the writing process is gone.
+//!
+//! [`RingSink`](crate::sinks::RingSink) evidence evaporates at capacity
+//! or process exit; a [`JsonlSink`](crate::sinks::JsonlSink) file
+//! survives but is a flat stream nobody can query. [`TraceStore`] is
+//! both halves: a [`TraceSink`] that appends one
+//! [`format_json`] line per event to
+//! size-rotated segment files (`seg-000001.jsonl`, …) under one
+//! directory, seals each rotated segment with a one-line footer
+//! carrying a compact per-event index, retains at most
+//! [`TraceStoreConfig::max_segments`] segments, and keeps an in-memory
+//! index (trace id → segment+offset postings, span-name and
+//! time-window postings, a duration table) that
+//! [`TraceStore::open`] rebuilds from the footers without re-parsing
+//! event bodies. The unsealed final segment — the normal state after a
+//! crash — is recovered by a line scan; a torn trailing write is
+//! quarantined to a `.quarantine` file and truncated away, so every
+//! earlier event stays queryable.
+//!
+//! One store directory has one writer at a time; any number of
+//! read-only opens may coexist with it (segments are append-only, and
+//! readers open their own file handles).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::sinks::format_json;
+use crate::trace::{Event, Severity, TraceSink};
+
+/// Rotation and retention knobs for a [`TraceStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStoreConfig {
+    /// A segment is sealed (footer written, next segment opened) once
+    /// its event bytes exceed this. Default 4 MiB.
+    pub segment_max_bytes: u64,
+    /// At most this many segments are kept; sealing past the limit
+    /// deletes the oldest segment files and drops their index entries.
+    /// Default 64.
+    pub max_segments: usize,
+}
+
+impl Default for TraceStoreConfig {
+    fn default() -> TraceStoreConfig {
+        TraceStoreConfig { segment_max_bytes: 4 * 1024 * 1024, max_segments: 64 }
+    }
+}
+
+/// An owned event read back from a [`TraceStore`] (or converted from a
+/// live [`Event`]): the same shape as [`Event`] with owned strings,
+/// since the original `&'static str` names do not survive a round trip
+/// through disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEvent {
+    /// Dotted event name, e.g. `"daemon.run"`.
+    pub name: String,
+    /// Severity the emitter assigned.
+    pub severity: Severity,
+    /// Offset in seconds from the writing tracer's epoch.
+    pub elapsed_s: f64,
+    /// How long the span ran in seconds; `None` for point events.
+    pub duration_s: Option<f64>,
+    /// Process-unique id of the span that produced the event.
+    pub span_id: u64,
+    /// Trace id the emitter attached, if any.
+    pub trace_id: Option<u64>,
+    /// Span id of the emitting parent (0 at a trace root or when no
+    /// context was attached).
+    pub parent_span_id: u64,
+    /// Key/value fields, in attachment order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl StoredEvent {
+    /// Returns the value of field `key`, if attached.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The event's position on the deployment clock, in seconds: the
+    /// `fired_at` field when stamped (daemon spans), else the `at`
+    /// field (health alerts), else the wall-clock `elapsed_s` floor.
+    /// This is the time the window postings index.
+    pub fn time_secs(&self) -> u64 {
+        self.field("fired_at")
+            .or_else(|| self.field("at"))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.elapsed_s.max(0.0) as u64)
+    }
+
+    /// Converts a live [`Event`] (e.g. a ring drain) into the owned
+    /// form, so in-memory and persisted lineage share one query path.
+    pub fn from_event(event: &Event) -> StoredEvent {
+        StoredEvent {
+            name: event.name.to_string(),
+            severity: event.severity,
+            elapsed_s: event.elapsed.as_secs_f64(),
+            duration_s: event.duration.map(|d| d.as_secs_f64()),
+            span_id: event.span_id,
+            trace_id: event.trace.map(|t| t.trace_id),
+            parent_span_id: event.trace.map(|t| t.parent_span_id).unwrap_or(0),
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Parses one [`format_json`] line back
+    /// into an event. Returns `None` for anything that is not a
+    /// complete, well-formed event object (including segment footers).
+    pub fn parse_line(line: &str) -> Option<StoredEvent> {
+        let v = json::parse(line)?;
+        let name = v.get("name")?.as_str()?.to_string();
+        let severity = match v.get("severity")?.as_str()? {
+            "DEBUG" => Severity::Debug,
+            "INFO" => Severity::Info,
+            "WARN" => Severity::Warn,
+            "ERROR" => Severity::Error,
+            _ => return None,
+        };
+        let elapsed_s = v.get("elapsed_s")?.as_f64()?;
+        let duration_s = v.get("duration_s").and_then(json::Value::as_f64);
+        let hex = |key: &str| {
+            v.get(key).and_then(json::Value::as_str).and_then(|s| u64::from_str_radix(s, 16).ok())
+        };
+        let mut fields = Vec::new();
+        if let Some(json::Value::Obj(pairs)) = v.get("fields") {
+            for (k, val) in pairs {
+                fields.push((k.clone(), val.as_str()?.to_string()));
+            }
+        }
+        Some(StoredEvent {
+            name,
+            severity,
+            elapsed_s,
+            duration_s,
+            span_id: hex("span_id").unwrap_or(0),
+            trace_id: hex("trace_id"),
+            parent_span_id: hex("parent_span_id").unwrap_or(0),
+            fields,
+        })
+    }
+}
+
+/// One event's index entry: where it lives and what the queries need
+/// to know without reading it.
+#[derive(Debug, Clone)]
+struct EventRef {
+    segment: u64,
+    offset: u64,
+    trace_id: u64,
+    name: String,
+    time_secs: u64,
+    duration_s: f64,
+}
+
+struct ActiveSegment {
+    id: u64,
+    writer: BufWriter<File>,
+    bytes: u64,
+    /// Index entries for this segment, replayed into the footer at
+    /// seal time.
+    refs: Vec<EventRef>,
+}
+
+struct Inner {
+    dir: PathBuf,
+    config: TraceStoreConfig,
+    active: Option<ActiveSegment>,
+    /// Sealed segment ids (footer on disk).
+    sealed: Vec<u64>,
+    next_segment: u64,
+    /// trace id → (segment, offset) postings, append order.
+    traces: HashMap<u64, Vec<(u64, u64)>>,
+    /// span name → (time, segment, offset) postings, append order.
+    names: BTreeMap<String, Vec<(u64, u64, u64)>>,
+    /// (duration seconds, segment, offset) for every timed span.
+    durations: Vec<(f64, u64, u64)>,
+    events: u64,
+    quarantined: u64,
+}
+
+impl Inner {
+    fn segment_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("seg-{id:06}.jsonl"))
+    }
+
+    fn index_ref(&mut self, r: EventRef) {
+        if r.trace_id != 0 {
+            self.traces.entry(r.trace_id).or_default().push((r.segment, r.offset));
+        }
+        self.names
+            .entry(r.name.clone())
+            .or_default()
+            .push((r.time_secs, r.segment, r.offset));
+        if r.duration_s >= 0.0 {
+            self.durations.push((r.duration_s, r.segment, r.offset));
+        }
+        self.events += 1;
+    }
+
+    /// Writes the footer line on the active segment, fsyncs it, and
+    /// moves it to the sealed list. No-op when nothing is active.
+    fn seal_active(&mut self) -> io::Result<()> {
+        let Some(mut active) = self.active.take() else { return Ok(()) };
+        let mut footer = String::from("{\"footer\":\"inca-trace-segment\",\"events\":[");
+        for (i, r) in active.refs.iter().enumerate() {
+            if i > 0 {
+                footer.push(',');
+            }
+            footer.push_str(&format!(
+                "[{},\"{:016x}\",\"{}\",{},{}]",
+                r.offset, r.trace_id, r.name, r.time_secs, r.duration_s
+            ));
+        }
+        footer.push_str("]}");
+        writeln!(active.writer, "{footer}")?;
+        active.writer.flush()?;
+        active.writer.get_ref().sync_all()?;
+        self.sealed.push(active.id);
+        Ok(())
+    }
+
+    /// Opens the next segment for writing, applying retention.
+    fn roll_segment(&mut self) -> io::Result<()> {
+        self.seal_active()?;
+        // Retention: the about-to-open segment counts against the cap.
+        while self.sealed.len() + 1 > self.config.max_segments.max(1) {
+            let oldest = self.sealed.remove(0);
+            let _ = std::fs::remove_file(self.segment_path(oldest));
+            self.drop_segment_from_index(oldest);
+        }
+        let id = self.next_segment;
+        self.next_segment += 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.segment_path(id))?;
+        self.active = Some(ActiveSegment {
+            id,
+            writer: BufWriter::new(file),
+            bytes: 0,
+            refs: Vec::new(),
+        });
+        Ok(())
+    }
+
+    fn drop_segment_from_index(&mut self, id: u64) {
+        let mut removed = 0u64;
+        for postings in self.traces.values_mut() {
+            postings.retain(|(seg, _)| *seg != id);
+        }
+        self.traces.retain(|_, v| !v.is_empty());
+        for postings in self.names.values_mut() {
+            removed += postings.iter().filter(|(_, seg, _)| *seg == id).count() as u64;
+            postings.retain(|(_, seg, _)| *seg != id);
+        }
+        self.names.retain(|_, v| !v.is_empty());
+        self.durations.retain(|(_, seg, _)| *seg != id);
+        self.events = self.events.saturating_sub(removed);
+    }
+}
+
+/// A segmented, durable trace store. See the [module docs](self) for
+/// the on-disk layout; implements [`TraceSink`], so installing it on a
+/// tracer persists every finished span.
+pub struct TraceStore {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("TraceStore")
+            .field("dir", &inner.dir)
+            .field("events", &inner.events)
+            .field("segments", &(inner.sealed.len() + inner.active.is_some() as usize))
+            .finish()
+    }
+}
+
+impl TraceStore {
+    /// Opens (creating the directory if needed) a trace store. Existing
+    /// segments are indexed: sealed segments from their footer line
+    /// alone, the unsealed final segment by a line scan. A torn partial
+    /// line at the end of the final segment — the signature of a
+    /// mid-write crash — is moved to a `seg-NNNNNN.jsonl.quarantine`
+    /// file and truncated off, leaving every complete line queryable.
+    /// New events append to the recovered final segment.
+    pub fn open(dir: impl AsRef<Path>, config: TraceStoreConfig) -> io::Result<TraceStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut inner = Inner {
+            dir: dir.clone(),
+            config,
+            active: None,
+            sealed: Vec::new(),
+            next_segment: 1,
+            traces: HashMap::new(),
+            names: BTreeMap::new(),
+            durations: Vec::new(),
+            events: 0,
+            quarantined: 0,
+        };
+
+        let mut segment_ids: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                let id = name.strip_prefix("seg-")?.strip_suffix(".jsonl")?;
+                id.parse().ok()
+            })
+            .collect();
+        segment_ids.sort_unstable();
+
+        for (pos, &id) in segment_ids.iter().enumerate() {
+            let last = pos + 1 == segment_ids.len();
+            let path = inner.segment_path(id);
+            match read_footer(&path)? {
+                Some(refs) => {
+                    for r in refs {
+                        inner.index_ref(EventRef { segment: id, ..r });
+                    }
+                    inner.sealed.push(id);
+                }
+                None => {
+                    // Unsealed: scan, quarantining a torn tail. Only
+                    // the last segment keeps accepting writes; an
+                    // unsealed segment in the middle (a crash during
+                    // rotation) is indexed and left as-is.
+                    let (refs, good_bytes, torn) = scan_segment(&path, id)?;
+                    for r in refs {
+                        inner.index_ref(r);
+                    }
+                    if !torn.is_empty() {
+                        let mut q = OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(path.with_extension("jsonl.quarantine"))?;
+                        q.write_all(&torn)?;
+                        q.sync_all()?;
+                        inner.quarantined += torn.len() as u64;
+                        let f = OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(good_bytes)?;
+                        f.sync_all()?;
+                    }
+                    if last {
+                        let file = OpenOptions::new().append(true).open(&path)?;
+                        let refs = {
+                            // Re-scan is avoided: rebuild this
+                            // segment's footer refs from the index we
+                            // just populated.
+                            let mut refs: Vec<EventRef> = Vec::new();
+                            for (name, postings) in &inner.names {
+                                for &(time, seg, off) in postings {
+                                    if seg == id {
+                                        refs.push(EventRef {
+                                            segment: id,
+                                            offset: off,
+                                            trace_id: 0,
+                                            name: name.clone(),
+                                            time_secs: time,
+                                            duration_s: -1.0,
+                                        });
+                                    }
+                                }
+                            }
+                            for (&trace, postings) in &inner.traces {
+                                for &(seg, off) in postings {
+                                    if seg == id {
+                                        if let Some(r) =
+                                            refs.iter_mut().find(|r| r.offset == off)
+                                        {
+                                            r.trace_id = trace;
+                                        }
+                                    }
+                                }
+                            }
+                            for &(dur, seg, off) in &inner.durations {
+                                if seg == id {
+                                    if let Some(r) = refs.iter_mut().find(|r| r.offset == off) {
+                                        r.duration_s = dur;
+                                    }
+                                }
+                            }
+                            refs.sort_by_key(|r| r.offset);
+                            refs
+                        };
+                        inner.active = Some(ActiveSegment {
+                            id,
+                            writer: BufWriter::new(file),
+                            bytes: good_bytes,
+                            refs,
+                        });
+                    } else {
+                        inner.sealed.push(id);
+                    }
+                }
+            }
+        }
+        inner.next_segment = segment_ids.iter().max().map_or(1, |m| m + 1);
+        Ok(TraceStore { inner: Mutex::new(inner) })
+    }
+
+    /// Seals the active segment now: footer written, file fsynced.
+    /// Subsequent writes open a fresh segment. Called automatically on
+    /// drop; call it explicitly before handing the directory to
+    /// another process (or another [`TraceStore::open`]) for a
+    /// footer-indexed fast open.
+    pub fn seal(&self) -> io::Result<()> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).seal_active()
+    }
+
+    /// Every stored event of one trace, in write order — the full
+    /// persisted lifecycle of one report.
+    pub fn by_trace(&self, trace_id: u64) -> Vec<StoredEvent> {
+        let refs = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.traces.get(&trace_id).cloned().unwrap_or_default()
+        };
+        self.read_refs(&refs)
+    }
+
+    /// Every stored event named `name` whose
+    /// [`time_secs`](StoredEvent::time_secs) falls in
+    /// `[start_secs, end_secs)`, ordered by time.
+    pub fn by_name_window(&self, name: &str, start_secs: u64, end_secs: u64) -> Vec<StoredEvent> {
+        let mut refs: Vec<(u64, u64, u64)> = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner
+                .names
+                .get(name)
+                .map(|postings| {
+                    postings
+                        .iter()
+                        .filter(|(t, _, _)| *t >= start_secs && *t < end_secs)
+                        .copied()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        refs.sort_unstable();
+        self.read_refs(&refs.iter().map(|&(_, seg, off)| (seg, off)).collect::<Vec<_>>())
+    }
+
+    /// The `n` longest-running stored spans, slowest first — "what was
+    /// slow last week" without any process that was alive last week.
+    pub fn slowest(&self, n: usize) -> Vec<StoredEvent> {
+        let refs: Vec<(u64, u64)> = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let mut durations = inner.durations.clone();
+            durations
+                .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            durations.truncate(n);
+            durations.into_iter().map(|(_, seg, off)| (seg, off)).collect()
+        };
+        self.read_refs(&refs)
+    }
+
+    /// Reconstructs one trace's critical path: from the root span
+    /// (the one whose parent is outside the trace) down the
+    /// longest-duration child at every hop. For the linear report
+    /// lifecycle this is the full chain `daemon.run →
+    /// controller.accept → depot.insert → depot.archive.write`.
+    pub fn critical_path(&self, trace_id: u64) -> Vec<StoredEvent> {
+        let events = self.by_trace(trace_id);
+        critical_path_of(events)
+    }
+
+    /// Number of events currently indexed (excludes events whose
+    /// segments retention has deleted).
+    pub fn event_count(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).events
+    }
+
+    /// Number of live segment files (sealed plus active).
+    pub fn segment_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.sealed.len() + inner.active.is_some() as usize
+    }
+
+    /// Bytes of torn trailing data moved to `.quarantine` files by
+    /// [`TraceStore::open`]'s crash recovery.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).quarantined
+    }
+
+    /// The directory the store writes to.
+    pub fn dir(&self) -> PathBuf {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dir.clone()
+    }
+
+    /// Reads the events behind `refs`, grouping by segment so each
+    /// file is opened once.
+    fn read_refs(&self, refs: &[(u64, u64)]) -> Vec<StoredEvent> {
+        // Flush the active writer so offsets we are about to read are
+        // on disk.
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(active) = inner.active.as_mut() {
+                let _ = active.writer.flush();
+            }
+        }
+        let dir = self.dir();
+        let mut by_segment: BTreeMap<u64, Vec<(usize, u64)>> = BTreeMap::new();
+        for (i, &(seg, off)) in refs.iter().enumerate() {
+            by_segment.entry(seg).or_default().push((i, off));
+        }
+        let mut out: Vec<Option<StoredEvent>> = vec![None; refs.len()];
+        for (seg, mut offsets) in by_segment {
+            offsets.sort_by_key(|&(_, off)| off);
+            let path = dir.join(format!("seg-{seg:06}.jsonl"));
+            let Ok(file) = File::open(&path) else { continue };
+            let mut reader = BufReader::new(file);
+            for (slot, off) in offsets {
+                if reader.seek(SeekFrom::Start(off)).is_err() {
+                    continue;
+                }
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    out[slot] = StoredEvent::parse_line(line.trim_end());
+                }
+            }
+        }
+        out.into_iter().flatten().collect()
+    }
+}
+
+impl TraceSink for TraceStore {
+    fn emit(&self, event: &Event) {
+        let line = format_json(event);
+        let stored = StoredEvent::from_event(event);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.active.is_none() && inner.roll_segment().is_err() {
+            return;
+        }
+        let active = inner.active.as_mut().expect("roll_segment opened a segment");
+        let offset = active.bytes;
+        if writeln!(active.writer, "{line}").is_err() {
+            return;
+        }
+        // Flush per event (fsync only at seal): a killed writer loses
+        // at most the line being written, never a buffered tail.
+        let _ = active.writer.flush();
+        active.bytes += line.len() as u64 + 1;
+        let r = EventRef {
+            segment: active.id,
+            offset,
+            trace_id: stored.trace_id.unwrap_or(0),
+            name: stored.name.clone(),
+            time_secs: stored.time_secs(),
+            duration_s: stored.duration_s.unwrap_or(-1.0),
+        };
+        active.refs.push(r.clone());
+        let over = active.bytes > inner.config.segment_max_bytes;
+        inner.index_ref(r);
+        if over {
+            let _ = inner.roll_segment();
+        }
+    }
+}
+
+impl Drop for TraceStore {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = inner.seal_active();
+    }
+}
+
+/// Orders `events` along the critical path: root first, then the
+/// longest child at each hop.
+fn critical_path_of(events: Vec<StoredEvent>) -> Vec<StoredEvent> {
+    if events.is_empty() {
+        return events;
+    }
+    let span_ids: std::collections::HashSet<u64> =
+        events.iter().map(|e| e.span_id).collect();
+    let root = events
+        .iter()
+        .position(|e| e.parent_span_id == 0 || !span_ids.contains(&e.parent_span_id))
+        .unwrap_or(0);
+    let mut path = vec![events[root].clone()];
+    let mut current = events[root].span_id;
+    loop {
+        let next = events
+            .iter()
+            .filter(|e| e.parent_span_id == current && e.span_id != current)
+            .max_by(|a, b| {
+                let da = a.duration_s.unwrap_or(0.0);
+                let db = b.duration_s.unwrap_or(0.0);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        match next {
+            Some(e) if e.span_id != 0 => {
+                path.push(e.clone());
+                current = e.span_id;
+            }
+            _ => break,
+        }
+    }
+    path
+}
+
+/// Reads the footer refs of a sealed segment, or `None` when the
+/// segment is unsealed (no footer line at the end).
+fn read_footer(path: &Path) -> io::Result<Option<Vec<EventRef>>> {
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len();
+    // Footers are small relative to segments; read the tail and find
+    // the last line.
+    let tail_len = len.min(1 << 20);
+    file.seek(SeekFrom::Start(len - tail_len))?;
+    let mut tail = Vec::with_capacity(tail_len as usize);
+    file.read_to_end(&mut tail)?;
+    if tail.last() != Some(&b'\n') {
+        return Ok(None);
+    }
+    tail.pop();
+    let last_line_start = tail.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    let line = String::from_utf8_lossy(&tail[last_line_start..]);
+    if !line.starts_with("{\"footer\"") {
+        return Ok(None);
+    }
+    let Some(v) = json::parse(&line) else { return Ok(None) };
+    if v.get("footer").and_then(json::Value::as_str) != Some("inca-trace-segment") {
+        return Ok(None);
+    }
+    let Some(json::Value::Arr(entries)) = v.get("events") else { return Ok(None) };
+    let mut refs = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let json::Value::Arr(parts) = entry else { return Ok(None) };
+        let [off, trace, name, time, dur] = parts.as_slice() else { return Ok(None) };
+        let (Some(off), Some(trace), Some(name), Some(time), Some(dur)) = (
+            off.as_f64(),
+            trace.as_str(),
+            name.as_str(),
+            time.as_f64(),
+            dur.as_f64(),
+        ) else {
+            return Ok(None);
+        };
+        refs.push(EventRef {
+            segment: 0, // patched by the caller
+            offset: off as u64,
+            trace_id: u64::from_str_radix(trace, 16).unwrap_or(0),
+            name: name.to_string(),
+            time_secs: time as u64,
+            duration_s: dur,
+        });
+    }
+    Ok(Some(refs))
+}
+
+/// Scans an unsealed segment line by line. Returns the indexable refs,
+/// the byte length of the last complete good line (the truncation
+/// point), and any torn trailing bytes.
+fn scan_segment(path: &Path, segment: u64) -> io::Result<(Vec<EventRef>, u64, Vec<u8>)> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut refs = Vec::new();
+    let mut good_bytes = 0u64;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else { break };
+        let line_bytes = &bytes[pos..pos + nl];
+        let line = String::from_utf8_lossy(line_bytes);
+        if let Some(event) = StoredEvent::parse_line(&line) {
+            refs.push(EventRef {
+                segment,
+                offset: pos as u64,
+                trace_id: event.trace_id.unwrap_or(0),
+                name: event.name.clone(),
+                time_secs: event.time_secs(),
+                duration_s: event.duration_s.unwrap_or(-1.0),
+            });
+            good_bytes = (pos + nl + 1) as u64;
+            pos += nl + 1;
+        } else {
+            // A complete but unparseable line: everything from here on
+            // is suspect (an interleaved torn write); quarantine it.
+            break;
+        }
+    }
+    let torn = bytes[good_bytes as usize..].to_vec();
+    Ok((refs, good_bytes, torn))
+}
+
+/// A minimal JSON parser for the store's own line format (events and
+/// footers): objects, arrays, strings with escapes, numbers, bools,
+/// null. Not a general-purpose validator — just strict enough that a
+/// torn or interleaved line never parses.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (stored as `f64`).
+        Num(f64),
+        /// A string, unescaped.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object member lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The number, if this is one.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses `s` as one complete JSON value (trailing content fails).
+    pub fn parse(s: &str) -> Option<Value> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        (p.i == p.b.len()).then_some(v)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r')
+            {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Option<()> {
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn value(&mut self) -> Option<Value> {
+            self.skip_ws();
+            match *self.b.get(self.i)? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => self.string().map(Value::Str),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Option<Value> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Some(v)
+            } else {
+                None
+            }
+        }
+
+        fn number(&mut self) -> Option<Value> {
+            let start = self.i;
+            while self
+                .b
+                .get(self.i)
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()?
+                .parse()
+                .ok()
+                .map(Value::Num)
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match *self.b.get(self.i)? {
+                    b'"' => {
+                        self.i += 1;
+                        return Some(out);
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        match *self.b.get(self.i)? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self.b.get(self.i + 1..self.i + 5)?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).ok()?,
+                                    16,
+                                )
+                                .ok()?;
+                                out.push(char::from_u32(code)?);
+                                self.i += 4;
+                            }
+                            _ => return None,
+                        }
+                        self.i += 1;
+                    }
+                    _ => {
+                        // Consume one UTF-8 code point.
+                        let rest = std::str::from_utf8(&self.b[self.i..]).ok()?;
+                        let c = rest.chars().next()?;
+                        out.push(c);
+                        self.i += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Option<Value> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Some(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match *self.b.get(self.i)? {
+                    b',' => self.i += 1,
+                    b']' => {
+                        self.i += 1;
+                        return Some(Value::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+
+        fn object(&mut self) -> Option<Value> {
+            self.eat(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Some(Value::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.eat(b':')?;
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match *self.b.get(self.i)? {
+                    b',' => self.i += 1,
+                    b'}' => {
+                        self.i += 1;
+                        return Some(Value::Obj(pairs));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceContext, Tracer};
+    use std::sync::Arc;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("inca-obs-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store(dir: &Path, max_bytes: u64) -> Arc<TraceStore> {
+        Arc::new(
+            TraceStore::open(
+                dir,
+                TraceStoreConfig { segment_max_bytes: max_bytes, max_segments: 64 },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn round_trips_events_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let store = store(&dir, 1 << 20);
+        let tracer = Tracer::new();
+        tracer.add_sink(store.clone());
+        let ctx = TraceContext::root();
+        let span = tracer
+            .span("daemon.run")
+            .trace_ctx(ctx)
+            .field("fired_at", 1_000)
+            .field("outcome", "failed");
+        let child = span.child_ctx().unwrap();
+        tracer.span("depot.insert").trace_ctx(child).finish();
+        span.finish();
+
+        let events = store.by_trace(ctx.trace_id);
+        assert_eq!(events.len(), 2);
+        let run = events.iter().find(|e| e.name == "daemon.run").unwrap();
+        assert_eq!(run.field("outcome"), Some("failed"));
+        assert_eq!(run.time_secs(), 1_000);
+        assert_eq!(run.parent_span_id, 0);
+        let insert = events.iter().find(|e| e.name == "depot.insert").unwrap();
+        assert_eq!(insert.trace_id, Some(ctx.trace_id));
+        assert_ne!(insert.parent_span_id, 0);
+
+        let path = store.critical_path(ctx.trace_id);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].name, "daemon.run");
+        assert_eq!(path[1].name, "depot.insert");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn window_and_slowest_queries() {
+        let dir = temp_dir("window");
+        let store = store(&dir, 1 << 20);
+        let tracer = Tracer::new();
+        tracer.add_sink(store.clone());
+        for t in [100u64, 200, 300, 400] {
+            tracer.span("daemon.run").field("fired_at", t).finish();
+        }
+        tracer.event("health.alert").field("at", 250).finish();
+
+        let window = store.by_name_window("daemon.run", 150, 350);
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].time_secs(), 200);
+        assert_eq!(window[1].time_secs(), 300);
+        assert_eq!(store.by_name_window("health.alert", 0, 1_000).len(), 1);
+
+        let slowest = store.slowest(3);
+        assert_eq!(slowest.len(), 3, "point events have no duration and are excluded");
+        assert!(slowest
+            .windows(2)
+            .all(|w| w[0].duration_s.unwrap() >= w[1].duration_s.unwrap()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_reopen_uses_footers() {
+        let dir = temp_dir("rotate");
+        let ids: Vec<u64>;
+        {
+            let store = store(&dir, 256);
+            let tracer = Tracer::new();
+            tracer.add_sink(store.clone());
+            ids = (0..50)
+                .map(|i| {
+                    let ctx = TraceContext::root();
+                    tracer
+                        .span("daemon.run")
+                        .trace_ctx(ctx)
+                        .field("fired_at", i * 10)
+                        .finish();
+                    ctx.trace_id
+                })
+                .collect();
+            assert!(store.segment_count() > 1, "256-byte segments must rotate");
+            tracer.clear_sinks();
+        } // drop seals the active segment
+        let reopened = store(&dir, 256);
+        assert_eq!(reopened.event_count(), 50);
+        for id in &ids {
+            assert_eq!(reopened.by_trace(*id).len(), 1, "trace {id:x} lost on reopen");
+        }
+        assert_eq!(reopened.by_name_window("daemon.run", 0, 10_000).len(), 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_deletes_oldest_segments() {
+        let dir = temp_dir("retention");
+        let store = Arc::new(
+            TraceStore::open(
+                &dir,
+                TraceStoreConfig { segment_max_bytes: 256, max_segments: 3 },
+            )
+            .unwrap(),
+        );
+        let tracer = Tracer::new();
+        tracer.add_sink(store.clone());
+        for i in 0..200u64 {
+            tracer.span("daemon.run").field("fired_at", i).finish();
+        }
+        assert!(store.segment_count() <= 3);
+        assert!(store.event_count() < 200, "retention must drop old events");
+        assert!(store.event_count() > 0);
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert!(files <= 3, "old segment files must be deleted, found {files}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_line_rejects_garbage_and_footers() {
+        assert!(StoredEvent::parse_line("").is_none());
+        assert!(StoredEvent::parse_line("{\"elapsed_s\":0.1").is_none());
+        assert!(StoredEvent::parse_line("not json at all").is_none());
+        assert!(StoredEvent::parse_line(
+            "{\"footer\":\"inca-trace-segment\",\"events\":[]}"
+        )
+        .is_none());
+        let line = "{\"elapsed_s\":0.000100,\"severity\":\"WARN\",\"name\":\"x.y\",\
+                    \"duration_s\":0.000000500,\"trace_id\":\"00000000000000ff\",\
+                    \"span_id\":\"0000000000000001\",\"parent_span_id\":\"0000000000000000\",\
+                    \"fields\":{\"k\":\"a \\\"q\\\" b\"}}";
+        let e = StoredEvent::parse_line(line).unwrap();
+        assert_eq!(e.severity, Severity::Warn);
+        assert_eq!(e.trace_id, Some(0xff));
+        assert_eq!(e.field("k"), Some("a \"q\" b"));
+        assert!((e.duration_s.unwrap() - 5e-7).abs() < 1e-12);
+    }
+}

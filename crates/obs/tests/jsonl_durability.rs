@@ -1,0 +1,77 @@
+//! Regression: a JSONL trace left by a writer killed mid-stream (no
+//! Drop, no final flush) must consist solely of complete, parseable
+//! lines — the per-event flush means at most the event being written
+//! at kill time can be torn, and a torn line is never
+//! newline-terminated.
+
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use inca_obs::sinks::JsonlSink;
+use inca_obs::trace::Tracer;
+use inca_obs::StoredEvent;
+
+/// Not a test of its own: the writer half of
+/// `killed_writer_leaves_only_parseable_complete_lines`, selected in a
+/// child process via `INCA_JSONL_CHILD_PATH`. Without the env var it
+/// is an immediate no-op.
+#[test]
+fn jsonl_child_writer() {
+    let Ok(path) = std::env::var("INCA_JSONL_CHILD_PATH") else { return };
+    let tracer = Tracer::new();
+    tracer.add_sink(Arc::new(JsonlSink::create(&path).unwrap()));
+    for i in 0u64.. {
+        tracer
+            .span("child.write")
+            .field("i", i)
+            .field("payload", "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+            .finish();
+    }
+}
+
+#[test]
+fn killed_writer_leaves_only_parseable_complete_lines() {
+    let path = std::env::temp_dir()
+        .join(format!("inca-jsonl-kill-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut child = Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "jsonl_child_writer", "--nocapture"])
+        .env("INCA_JSONL_CHILD_PATH", &path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Let the child stream a healthy amount, then kill it (SIGKILL —
+    // no Drop, no unwind) mid-write.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if len > 64 * 1024 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "child writer produced no output");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    let text = String::from_utf8_lossy(&bytes);
+    let mut complete = 0u64;
+    for line in text.split_inclusive('\n') {
+        if let Some(line) = line.strip_suffix('\n') {
+            let event = StoredEvent::parse_line(line)
+                .unwrap_or_else(|| panic!("completed line fails to parse: {line:?}"));
+            assert_eq!(event.name, "child.write");
+            assert!(event.field("i").is_some());
+            complete += 1;
+        }
+        // An unterminated final fragment is the expected signature of
+        // the kill; it carries no completed line to assert on.
+    }
+    assert!(complete > 100, "expected a substantial stream, got {complete} lines");
+    std::fs::remove_file(&path).ok();
+}

@@ -130,6 +130,32 @@ impl ArchiveStore {
         }
     }
 
+    /// Like [`ArchiveStore::record`], but a series created by this call
+    /// gets a tiered multi-resolution layout
+    /// ([`ArchivePolicy::build_tiered`] with the given
+    /// `(consolidation factor, history seconds)` tiers) instead of the
+    /// policy's single base archive — the layout the self-scrape
+    /// pipeline uses so month/quarter windows over Inca's own telemetry
+    /// downsample instead of replaying base resolution.
+    pub fn record_tiered(
+        &mut self,
+        series: &str,
+        policy: &ArchivePolicy,
+        period_secs: u64,
+        tiers: &[(u32, u64)],
+        t: Timestamp,
+        value: f64,
+    ) {
+        let rrd = self.manual_series.entry(series.to_string()).or_insert_with(|| {
+            policy
+                .build_tiered(t - period_secs, period_secs, tiers)
+                .expect("tiered policy compiles to a valid RRD")
+        });
+        if rrd.update_single(t, value).is_ok() {
+            self.writes.inc();
+        }
+    }
+
     /// Fetches a rule-fed series for one branch.
     pub fn fetch_rule_series(
         &self,

@@ -21,6 +21,10 @@
 //! * [`temporal`] — time-travel queries over the archive: windowed
 //!   availability aggregates, multi-resolution fetch, and incident
 //!   reconstruction joining archive windows with trace lineage.
+//! * [`scrape`] — the self-scrape pipeline: a [`MetricsScraper`]
+//!   periodically records the framework's own metrics registry
+//!   (gauges, counter rates, histogram quantiles) into archive series
+//!   queryable through [`temporal`] — Inca monitoring Inca.
 //! * [`stats`] — response-time statistics per report-size bucket
 //!   (Table 4) and received-size histograms (Figure 8).
 
@@ -28,6 +32,7 @@ pub mod controller;
 pub mod dedup;
 pub mod depot;
 pub mod query;
+pub mod scrape;
 pub mod stats;
 pub mod temporal;
 
@@ -39,5 +44,6 @@ pub use depot::depot::{Depot, DepotError, DepotTiming};
 pub use depot::memo::{MemoValue, QueryMemo};
 pub use depot::sharded::ShardedCache;
 pub use query::QueryInterface;
+pub use scrape::{MetricsScraper, SELF_SCRAPE_TIERS, SELF_SERIES_PREFIX};
 pub use stats::{BucketStats, ResponseStats, SIZE_BUCKETS};
 pub use temporal::{Incident, IncidentCause, TemporalQuery, WindowAggregate};

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use inca_obs::metrics::{Histogram, DEFAULT_LATENCY_BOUNDS};
 use inca_obs::trace::Event;
+use inca_obs::{StoredEvent, TraceStore};
 use inca_report::{BranchId, Report, Timestamp};
 use inca_rrd::{ConsolidationFn, GraphSeries};
 
@@ -98,6 +99,8 @@ pub struct TemporalQuery<'a> {
     reports_hist: Arc<Histogram>,
     /// `inca_depot_temporal_query_seconds{kind="incident"}`.
     incident_hist: Arc<Histogram>,
+    /// `inca_depot_temporal_query_seconds{kind="trace"}`.
+    trace_hist: Arc<Histogram>,
 }
 
 impl<'a> TemporalQuery<'a> {
@@ -123,6 +126,7 @@ impl<'a> TemporalQuery<'a> {
             rule_hist: hist("rule"),
             reports_hist: hist("reports"),
             incident_hist: hist("incident"),
+            trace_hist: hist("trace"),
         }
     }
 
@@ -346,28 +350,71 @@ impl<'a> TemporalQuery<'a> {
         events: &[Event],
     ) -> Vec<IncidentCause> {
         self.timed(&self.incident_hist, || {
-            let mut causes: Vec<IncidentCause> = events
-                .iter()
-                .filter(|e| e.name == "daemon.run")
-                .filter(|e| e.field("resource") == Some(resource))
-                .filter_map(|e| {
-                    let fired_secs: u64 = e.field("fired_at")?.parse().ok()?;
-                    let fired_at = Timestamp::from_secs(fired_secs);
-                    if fired_at < incident.start || fired_at >= incident.end {
-                        return None;
-                    }
-                    Some(IncidentCause {
-                        trace_id: e.trace.as_ref().map(|t| t.trace_id),
-                        reporter: e.field("reporter").unwrap_or_default().to_string(),
-                        fired_at,
-                        outcome: e.field("outcome").unwrap_or("unknown").to_string(),
-                    })
-                })
-                .collect();
-            causes.sort_by_key(|c| c.fired_at);
-            causes
+            causes_from(incident, resource, events.iter().map(StoredEvent::from_event))
         })
     }
+
+    /// [`incident_causes`](TemporalQuery::incident_causes) against a
+    /// persisted [`TraceStore`] instead of an in-memory event capture:
+    /// the store's `daemon.run` time-window posting answers the
+    /// incident window directly, so a dip found weeks later — long
+    /// after the process that observed it exited — still resolves to
+    /// the exact reporter runs (with trace ids) that caused it.
+    pub fn incident_causes_stored(
+        &self,
+        incident: &Incident,
+        resource: &str,
+        store: &TraceStore,
+    ) -> Vec<IncidentCause> {
+        self.timed(&self.incident_hist, || {
+            let events = store.by_name_window(
+                "daemon.run",
+                incident.start.as_secs(),
+                incident.end.as_secs(),
+            );
+            causes_from(incident, resource, events.into_iter())
+        })
+    }
+
+    /// The `trace(trace_id)` query kind: one report's full persisted
+    /// lifecycle from a [`TraceStore`], ordered along its critical
+    /// path ([`TraceStore::critical_path`] — for the report pipeline
+    /// that is `daemon.run → controller.accept → depot.insert →
+    /// depot.archive.write`). The follow-up query after
+    /// [`incident_causes_stored`](TemporalQuery::incident_causes_stored)
+    /// hands back a trace id.
+    pub fn trace(&self, store: &TraceStore, trace_id: u64) -> Vec<StoredEvent> {
+        self.timed(&self.trace_hist, || store.critical_path(trace_id))
+    }
+}
+
+/// The incident/lineage join shared by the in-memory and persisted
+/// entry points: `daemon.run` events on `resource` whose `fired_at`
+/// falls inside the incident window, sorted by firing time.
+fn causes_from(
+    incident: &Incident,
+    resource: &str,
+    events: impl Iterator<Item = StoredEvent>,
+) -> Vec<IncidentCause> {
+    let mut causes: Vec<IncidentCause> = events
+        .filter(|e| e.name == "daemon.run")
+        .filter(|e| e.field("resource") == Some(resource))
+        .filter_map(|e| {
+            let fired_secs: u64 = e.field("fired_at")?.parse().ok()?;
+            let fired_at = Timestamp::from_secs(fired_secs);
+            if fired_at < incident.start || fired_at >= incident.end {
+                return None;
+            }
+            Some(IncidentCause {
+                trace_id: e.trace_id,
+                reporter: e.field("reporter").unwrap_or_default().to_string(),
+                fired_at,
+                outcome: e.field("outcome").unwrap_or("unknown").to_string(),
+            })
+        })
+        .collect();
+    causes.sort_by_key(|c| c.fired_at);
+    causes
 }
 
 #[cfg(test)]
@@ -516,6 +563,70 @@ mod tests {
         assert_eq!(causes[0].reporter, "grid.services.gram.probe");
         assert_eq!(causes[0].fired_at, t0 + 10 * 600);
         assert!(causes[0].trace_id.is_some(), "spans carry trace ids for lineage walks");
+    }
+
+    #[test]
+    fn incident_causes_stored_answer_from_reopened_store() {
+        use inca_obs::{TraceStore, TraceStoreConfig};
+        let dir = std::env::temp_dir()
+            .join(format!("inca-temporal-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let depot = depot_with_availability();
+        let q = QueryInterface::new(&depot);
+        let t0 = Timestamp::from_secs(600_000);
+        let incident = Incident {
+            series: "availability:Grid:sdsc-tg-login1".into(),
+            start: t0 + 9 * 600,
+            end: t0 + 13 * 600,
+            trough: 50.0,
+            points: 4,
+        };
+
+        let failed_trace;
+        {
+            let store = std::sync::Arc::new(
+                TraceStore::open(&dir, TraceStoreConfig::default()).unwrap(),
+            );
+            let obs = inca_obs::Obs::new();
+            obs.tracer().add_sink(store.clone());
+            let mk = |fired: Timestamp, resource: &str, outcome: &str| {
+                let ctx = inca_obs::TraceContext::root();
+                let span = obs
+                    .span("daemon.run")
+                    .trace_ctx(ctx)
+                    .field("reporter", "grid.services.gram.probe")
+                    .field("resource", resource)
+                    .field("fired_at", fired.as_secs())
+                    .field("outcome", outcome);
+                let child = span.child_ctx().unwrap();
+                obs.span("depot.insert").trace_ctx(child).finish();
+                span.finish();
+                ctx.trace_id
+            };
+            failed_trace = mk(t0 + 10 * 600, "sdsc-tg-login1", "failed");
+            mk(t0 + 20 * 600, "sdsc-tg-login1", "succeeded");
+            mk(t0 + 10 * 600, "ncsa-tg-login2", "succeeded");
+            obs.tracer().clear_sinks();
+        } // the writing store is gone; only the files remain
+
+        let store = TraceStore::open(&dir, TraceStoreConfig::default()).unwrap();
+        let causes = q.temporal().incident_causes_stored(&incident, "sdsc-tg-login1", &store);
+        assert_eq!(causes.len(), 1);
+        assert_eq!(causes[0].outcome, "failed");
+        assert_eq!(causes[0].trace_id, Some(failed_trace));
+
+        let lifecycle = q.temporal().trace(&store, failed_trace);
+        let names: Vec<&str> = lifecycle.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["daemon.run", "depot.insert"], "critical path order");
+
+        let hist = depot
+            .obs()
+            .metrics()
+            .histogram_of("inca_depot_temporal_query_seconds", &[("kind", "trace")])
+            .expect("trace kind registered");
+        assert_eq!(hist.count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

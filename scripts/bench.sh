@@ -3,6 +3,8 @@
 #   BENCH_depot.json  — batched ingest + parallel simulation scaling
 #   BENCH_query.json  — indexed reads vs streaming scan + reader/writer
 #                       contention over the shared depot lock
+#   BENCH_obs.json    — trace-store ingest throughput and forensic
+#                       query latency curves over store size
 # Pass --smoke for the seconds-long CI sanity variant (writes
 # *.smoke.json names so it never clobbers the committed full-mode
 # baselines) and --out-dir DIR to write somewhere other than the repo
@@ -28,6 +30,7 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-cargo build --release -q -p inca-bench --bin depot_throughput --bin query_throughput
+cargo build --release -q -p inca-bench --bin depot_throughput --bin query_throughput --bin trace_query
 target/release/depot_throughput $smoke --out "$outdir/BENCH_depot$suffix.json"
 target/release/query_throughput $smoke --out "$outdir/BENCH_query$suffix.json"
+target/release/trace_query $smoke --out "$outdir/BENCH_obs$suffix.json"

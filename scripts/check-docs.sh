@@ -10,7 +10,10 @@
 #      TemporalQuery method must appear in docs/QUERYING.md, every
 #      kind label of its latency histogram in docs/OBSERVABILITY.md,
 #      and every bench binary the cookbook tells the reader to run
-#      must actually exist.
+#      must actually exist;
+#   5. the trace store's reader surface stays documented: every public
+#      method of the durable TraceStore must appear in
+#      docs/OBSERVABILITY.md.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -74,6 +77,20 @@ done
 for bin in $(grep -oE '\-\-bin [a-z0-9_]+' docs/QUERYING.md | awk '{print $2}' | sort -u); do
   if [ ! -f "crates/bench/src/bin/$bin.rs" ]; then
     echo "MISSING BIN: docs/QUERYING.md runs --bin $bin but crates/bench/src/bin/$bin.rs does not exist"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== trace store documented =="
+# The durable trace store is the forensic query surface; every public
+# method someone could call (readers, lifecycle, stats) must appear in
+# docs/OBSERVABILITY.md.
+fail=0
+for method in $(grep -E '^    pub fn [a-z0-9_]+' crates/obs/src/store.rs \
+    | sed 's/^    pub fn //; s/(.*//' | sort -u); do
+  if ! grep -q "$method" docs/OBSERVABILITY.md; then
+    echo "UNDOCUMENTED STORE METHOD: TraceStore::$method (add it to docs/OBSERVABILITY.md)"
     fail=1
   fi
 done

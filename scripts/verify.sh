@@ -27,6 +27,16 @@ cargo test -q -p inca-obs --test ring_concurrency
 cargo test -q --test health_lineage
 cargo test -q --test determinism
 
+# Trace forensics: the durable store's rotation/crash suite (concurrent
+# writers across segment rolls, torn-tail quarantine on reopen), the
+# killed-writer JSONL durability regression, and the end-to-end
+# incident reconstruction from a reopened store plus self-scraped
+# series after the writer process is gone.
+echo "== trace forensics gate =="
+cargo test -q -p inca-obs --test trace_store
+cargo test -q -p inca-obs --test jsonl_durability
+cargo test -q --test trace_forensics
+
 # The indexed query engine: the proptest oracle (indexed reads
 # byte-identical to the streaming scan) and the shared-read-lock
 # contract (readers proceed concurrently, snapshots stay consistent
@@ -69,6 +79,12 @@ done
 for key in '"speedup"' '"indexed_seconds"' '"scan_seconds"' '"reads_per_sec"' '"temporal"' '"points_per_series"'; do
   if ! grep -q "$key" target/BENCH_query.smoke.json; then
     echo "verify FAILED: query bench smoke output missing $key" >&2
+    exit 1
+  fi
+done
+for key in '"ingest"' '"events_per_sec"' '"segments"' '"by_trace_us"' '"slowest_us"' '"window_us"'; do
+  if ! grep -q "$key" target/BENCH_obs.smoke.json; then
+    echo "verify FAILED: obs bench smoke output missing $key" >&2
     exit 1
   fi
 done

@@ -1,0 +1,151 @@
+//! End-to-end trace forensics acceptance test.
+//!
+//! The durable-store version of the incident workflow: a faulted
+//! simulated weekend runs with a [`TraceStore`] sink and the
+//! self-scrape pipeline enabled, then every in-memory trace sink is
+//! torn down — as if the writer process were gone — and the incident
+//! is reconstructed *entirely from disk*:
+//!
+//! 1. The Monday maintenance dip is found in the availability archive
+//!    (`TemporalQuery::incidents`).
+//! 2. Its causes resolve from a freshly reopened [`TraceStore`]
+//!    (`incident_causes_stored`), each carrying a trace id.
+//! 3. A cause's trace id expands to its critical path
+//!    (`TemporalQuery::trace`), rooted at the daemon run.
+//! 4. The framework's own vitals were archived as ordinary series: a
+//!    windowed aggregate over self-scraped
+//!    `self:inca_daemon_spool_depth` answers with known points.
+
+use std::sync::Arc;
+
+use inca::harness::experiments::fig5::{TRACKED_HOST, TRACKED_SITE};
+use inca::obs::{TraceStore, TraceStoreConfig};
+use inca::prelude::*;
+use inca::server::SELF_SERIES_PREFIX;
+
+#[test]
+fn incident_reconstructs_from_reopened_store_after_writer_is_gone() {
+    let dir = std::env::temp_dir().join(format!("inca-trace-forensics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Sunday + maintenance Monday, the same horizon the temporal-query
+    // suite uses: the smallest run containing a real availability dip.
+    let start = Timestamp::from_gmt(2004, 7, 4, 0, 0, 0);
+    let end = start + 2 * 86_400;
+    let mut deployment = teragrid_deployment(42, start, end);
+    deployment.retain_resources(&[TRACKED_HOST]);
+    let obs = Obs::new();
+    let outcome = SimRun::new(
+        deployment,
+        SimOptions {
+            obs: Some(obs.clone()),
+            verify_every_secs: Some(600),
+            verify_resources: vec![(TRACKED_SITE.into(), TRACKED_HOST.into())],
+            track_availability: true,
+            trace_store: Some(dir.clone()),
+            scrape_every_secs: Some(600),
+            ..Default::default()
+        },
+    )
+    .run();
+
+    // The writer goes away: every in-memory sink is dropped, along
+    // with the run's handle on the store (sealing the tail segment).
+    obs.tracer().clear_sinks();
+    let mut outcome = outcome;
+    let live = outcome.trace_store.take().expect("store was enabled");
+    assert!(live.event_count() > 0, "the run streamed spans to disk");
+    drop(live);
+
+    // Forensics start from nothing but the directory.
+    let store = TraceStore::open(&dir, TraceStoreConfig::default())
+        .expect("persisted store reopens");
+    assert!(store.event_count() > 0, "reopened store indexed the run's events");
+
+    let series_name = format!("availability:Grid:{TRACKED_SITE}-{TRACKED_HOST}");
+    outcome.server.with_depot(|depot| {
+        let temporal = QueryInterface::new(depot).temporal();
+
+        // 1. The dip is in the archive.
+        let incidents = temporal.incidents(&series_name, 90.0, start, end + 600);
+        assert!(!incidents.is_empty(), "maintenance Monday registers as an incident");
+        let monday_morning = Timestamp::from_gmt(2004, 7, 5, 8, 0, 0);
+        let monday_evening = Timestamp::from_gmt(2004, 7, 5, 14, 0, 0) + 3_600;
+        let incident = incidents
+            .iter()
+            .find(|i| i.end > monday_morning && i.start < monday_evening)
+            .expect("an incident overlaps the maintenance window");
+
+        // 2. Causes resolve from the reopened store.
+        let causes = temporal.incident_causes_stored(incident, TRACKED_HOST, &store);
+        assert!(
+            !causes.is_empty(),
+            "daemon runs inside {}..{} answer from disk",
+            incident.start,
+            incident.end
+        );
+        assert!(
+            causes.windows(2).all(|w| w[0].fired_at <= w[1].fired_at),
+            "causes are ordered by firing time"
+        );
+        let traced = causes
+            .iter()
+            .find(|c| c.trace_id.is_some())
+            .expect("at least one cause carries a trace id");
+
+        // 3. The trace id expands to the run's critical path.
+        let path = temporal.trace(&store, traced.trace_id.expect("selected for it"));
+        assert!(!path.is_empty(), "the trace id resolves to spans");
+        assert_eq!(path[0].name, "daemon.run", "the lineage roots at the daemon");
+
+        // 4. Self-scraped vitals are ordinary archive series.
+        let spool = format!("{SELF_SERIES_PREFIX}inca_daemon_spool_depth");
+        let agg = temporal
+            .window_aggregate(&spool, start, end + 600)
+            .expect("the spool-depth gauge was scraped into the archive");
+        assert!(agg.known > 0, "scraped series has known points: {agg:?}");
+    });
+
+    // A second open over the same directory sees the same event count:
+    // reads never mutate the store.
+    let count = store.event_count();
+    drop(store);
+    let again = TraceStore::open(&dir, TraceStoreConfig::default()).expect("reopens again");
+    assert_eq!(again.event_count(), count);
+    drop(again);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The store handle handed back on the outcome is live — queryable
+/// without any reopen — so operators can run forensics mid-flight too.
+#[test]
+fn outcome_store_answers_while_still_attached() {
+    let dir =
+        std::env::temp_dir().join(format!("inca-trace-forensics-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let start = Timestamp::from_gmt(2004, 7, 4, 0, 0, 0);
+    let end = start + 6 * 3_600;
+    let mut deployment = teragrid_deployment(7, start, end);
+    deployment.retain_resources(&[TRACKED_HOST]);
+    let obs = Obs::new();
+    let outcome = SimRun::new(
+        deployment,
+        SimOptions {
+            obs: Some(obs.clone()),
+            trace_store: Some(dir.clone()),
+            ..Default::default()
+        },
+    )
+    .run();
+
+    let store: &Arc<TraceStore> = outcome.trace_store.as_ref().expect("store enabled");
+    let runs = store.by_name_window("daemon.run", start.as_secs(), end.as_secs() + 1);
+    assert!(!runs.is_empty(), "the live store already indexes the run's spans");
+    let slow = store.slowest(5);
+    assert!(!slow.is_empty());
+
+    obs.tracer().clear_sinks();
+    drop(outcome);
+    let _ = std::fs::remove_dir_all(&dir);
+}
