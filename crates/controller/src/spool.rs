@@ -32,9 +32,17 @@
 use std::collections::VecDeque;
 use std::io::Cursor;
 
+use inca_wire::binframe::{put_section, SectionReader};
 use inca_wire::frame::{read_frame, write_frame, FrameError};
 use inca_wire::message::ClientMessage;
 use inca_xml::{escape::escape_text, Element};
+
+/// Entry-frame section tag: the entry's sequence number, u64 BE.
+const SECTION_SEQ: u8 = 0x10;
+/// Entry-frame section tag: the delivery attempt count, u32 BE.
+const SECTION_ATTEMPTS: u8 = 0x11;
+/// Entry-frame section tag: the encoded [`ClientMessage`] bytes.
+const SECTION_MESSAGE: u8 = 0x12;
 
 /// Capped exponential backoff with deterministic jitter.
 ///
@@ -260,10 +268,13 @@ impl Spool {
     }
 
     /// Serializes the whole spool — identity, sequence counter, drop
-    /// count, and every queued entry — to bytes (length-prefixed
-    /// frames, same shape as the wire). Backoff deadlines are *not*
-    /// persisted: a restored spool retries immediately, which is what
-    /// a freshly restarted daemon should do.
+    /// count, and every queued entry — to bytes. The meta frame stays
+    /// XML (it is small and human-greppable); each entry is one frame
+    /// of binary `[tag][len][bytes]` sections (seq, attempts, message)
+    /// in the same section format as the wire's binary envelope, so
+    /// the message bytes are spliced without an XML head per entry.
+    /// Backoff deadlines are *not* persisted: a restored spool retries
+    /// immediately, which is what a freshly restarted daemon should do.
     pub fn dump(&self) -> Vec<u8> {
         let mut out = Vec::new();
         let meta = format!(
@@ -274,12 +285,11 @@ impl Spool {
         );
         write_frame(&mut out, meta.as_bytes()).expect("vec write cannot fail");
         for entry in &self.entries {
-            let head = format!(
-                "<spoolEntry seq=\"{}\" attempts=\"{}\"/>",
-                entry.seq, entry.attempts
-            );
-            write_frame(&mut out, head.as_bytes()).expect("vec write cannot fail");
-            write_frame(&mut out, &entry.message.encode()).expect("vec write cannot fail");
+            let mut body = Vec::new();
+            put_section(&mut body, SECTION_SEQ, &entry.seq.to_be_bytes());
+            put_section(&mut body, SECTION_ATTEMPTS, &entry.attempts.to_be_bytes());
+            put_section(&mut body, SECTION_MESSAGE, &entry.message.encode());
+            write_frame(&mut out, &body).expect("vec write cannot fail");
         }
         out
     }
@@ -309,30 +319,41 @@ impl Spool {
         let dropped = attr_u64("dropped")?;
         let mut entries = VecDeque::new();
         loop {
-            let head_bytes = match read_frame(&mut cursor) {
+            let body = match read_frame(&mut cursor) {
                 Ok(b) => b,
                 Err(FrameError::Closed) => break,
                 Err(e) => return Err(format!("spool entry frame: {e}")),
             };
-            let head = Element::parse(
-                std::str::from_utf8(&head_bytes)
-                    .map_err(|e| format!("entry head not UTF-8: {e}"))?,
-            )
-            .map_err(|e| format!("bad entry head: {e}"))?;
-            if head.name != "spoolEntry" {
-                return Err(format!("expected <spoolEntry>, found <{}>", head.name));
+            let mut sections = SectionReader::new(&body);
+            let mut seq: Option<u64> = None;
+            let mut attempts: Option<u32> = None;
+            let mut message_bytes: Option<&[u8]> = None;
+            loop {
+                match sections.next_section() {
+                    Ok(None) => break,
+                    Ok(Some((SECTION_SEQ, bytes))) => {
+                        let arr: [u8; 8] = bytes
+                            .try_into()
+                            .map_err(|_| "entry seq section must be 8 bytes".to_string())?;
+                        seq = Some(u64::from_be_bytes(arr));
+                    }
+                    Ok(Some((SECTION_ATTEMPTS, bytes))) => {
+                        let arr: [u8; 4] = bytes.try_into().map_err(|_| {
+                            "entry attempts section must be 4 bytes".to_string()
+                        })?;
+                        attempts = Some(u32::from_be_bytes(arr));
+                    }
+                    Ok(Some((SECTION_MESSAGE, bytes))) => message_bytes = Some(bytes),
+                    // Unknown tags are skipped: a newer daemon may dump
+                    // sections an older one safely ignores.
+                    Ok(Some(_)) => {}
+                    Err(e) => return Err(format!("bad entry sections: {e}")),
+                }
             }
-            let seq: u64 = head
-                .attribute("seq")
-                .and_then(|v| v.parse().ok())
-                .ok_or("entry missing seq")?;
-            let attempts: u32 = head
-                .attribute("attempts")
-                .and_then(|v| v.parse().ok())
-                .ok_or("entry missing attempts")?;
-            let payload = read_frame(&mut cursor)
-                .map_err(|e| format!("entry payload frame for seq {seq}: {e}"))?;
-            let message = ClientMessage::decode(&payload)
+            let seq = seq.ok_or("entry missing seq section")?;
+            let attempts = attempts.ok_or("entry missing attempts section")?;
+            let payload = message_bytes.ok_or("entry missing message section")?;
+            let message = ClientMessage::decode(payload)
                 .map_err(|e| format!("entry payload for seq {seq}: {e}"))?;
             if message.origin.as_deref_seq() != Some((daemon_id.as_str(), seq)) {
                 return Err(format!("entry stamp mismatch for seq {seq}"));
@@ -472,9 +493,18 @@ mod tests {
         let len = bytes.len();
         bytes.truncate(len - 3);
         assert!(Spool::restore(&bytes, SpoolConfig::default()).is_err());
-        // A payload whose stamp disagrees with its entry head fails.
-        let tampered = String::from_utf8_lossy(&s.dump()).replace("seq=\"1\"", "seq=\"9\"");
-        assert!(Spool::restore(tampered.as_bytes(), SpoolConfig::default()).is_err());
+        // A message whose stamp disagrees with its entry's seq section
+        // fails: find the SEQ section `[0x10][len=8][u64 BE]` and flip
+        // its low byte from 1 to 9.
+        let mut tampered = s.dump();
+        let pos = tampered
+            .windows(5)
+            .position(|w| w == [SECTION_SEQ, 0, 0, 0, 8])
+            .expect("dump contains a seq section");
+        let low = pos + 5 + 7;
+        assert_eq!(tampered[low], 1);
+        tampered[low] = 9;
+        assert!(Spool::restore(&tampered, SpoolConfig::default()).is_err());
     }
 
     #[test]

@@ -687,6 +687,49 @@ mod tests {
     }
 
     #[test]
+    fn binary_framed_batch_absorbs_duplicates_and_matches_xml_cache() {
+        // Seq dedup happens on the client message, before enveloping:
+        // switching the depot leg to zero-copy binary frames must not
+        // change which submissions are absorbed, and the spliced cache
+        // must be byte-identical to the XML-envelope one.
+        let binary = CentralizedController::new(
+            ControllerConfig {
+                envelope_mode: EnvelopeMode::Binary,
+                ..ControllerConfig::default()
+            },
+            Depot::with_obs(inca_obs::Obs::new()),
+        );
+        let xml = CentralizedController::new(
+            ControllerConfig::default(),
+            Depot::with_obs(inca_obs::Obs::new()),
+        );
+        let submissions = vec![
+            ("a".to_string(), stamped("a", 1)),
+            ("b".to_string(), stamped("b", 1)),
+            ("a".to_string(), stamped("a", 1)), // retransmit in-batch
+            ("b".to_string(), stamped("b", 2)),
+        ];
+        let now = Timestamp::from_secs(1_000);
+        for controller in [&binary, &xml] {
+            let results = controller.submit_batch(&submissions, now);
+            assert!(results.iter().all(|(r, _)| *r == ServerResponse::Ack));
+            assert!(results[2].1.is_none(), "duplicate carries no timing");
+            assert_eq!(controller.with_depot(|d| d.stats().report_count()), 3);
+            assert_eq!(controller.duplicate_count(), 1);
+            // A cross-batch retransmission is absorbed too.
+            let (resp, timing) = controller.submit("a", &stamped("a", 1), now);
+            assert_eq!(resp, ServerResponse::Ack);
+            assert!(timing.is_none());
+            assert_eq!(controller.duplicate_count(), 2);
+        }
+        assert_eq!(
+            binary.with_depot(|d| d.cache().document().to_string()),
+            xml.with_depot(|d| d.cache().document().to_string()),
+            "binary-framed batch must build the same cache as the XML envelope"
+        );
+    }
+
+    #[test]
     fn unstamped_messages_keep_legacy_semantics() {
         let controller =
             CentralizedController::new(ControllerConfig::default(), Depot::new());

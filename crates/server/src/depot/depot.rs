@@ -8,6 +8,7 @@
 //! exactly that decomposition and returns both components in
 //! [`DepotTiming`] — the data behind Table 4 and Figure 9.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -16,12 +17,15 @@ use inca_obs::metrics::{Gauge, Histogram, BATCH_SIZE_BOUNDS, DEFAULT_LATENCY_BOU
 use inca_obs::trace::Span;
 use inca_obs::{Obs, Severity, TraceContext};
 use inca_report::{BranchId, Report, Timestamp};
+use inca_wire::envelope::EnvelopeView;
+#[cfg(test)]
 use inca_wire::envelope::Envelope;
 use inca_wire::message::WireError;
 
 use crate::depot::archive::{ArchiveRule, ArchiveStore};
 use crate::depot::cache::{CacheError, XmlCache};
 use crate::depot::memo::{MemoValue, QueryMemo};
+use crate::depot::rope::RopeCache;
 use crate::stats::ResponseStats;
 
 /// Errors from depot processing.
@@ -79,10 +83,162 @@ impl DepotTiming {
     }
 }
 
+/// Which cache representation a depot runs on.
+///
+/// The splice cache is the paper's measured design and stays the
+/// byte-identity oracle; the rope is the O(report) write path beside it
+/// (see [`RopeCache`]). Both produce the same canonical document, so a
+/// depot can be persisted under one backend and restored under the
+/// other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheBackend {
+    /// Contiguous-string splice cache ([`XmlCache`], §5.2.2 semantics).
+    #[default]
+    Splice,
+    /// Arena-backed rope with lazy materialization ([`RopeCache`]).
+    Rope,
+}
+
+/// The depot's cache storage: one of the two backends.
+#[derive(Debug)]
+enum CacheStore {
+    Splice(XmlCache),
+    Rope(RopeCache),
+}
+
+impl CacheStore {
+    fn update(&mut self, branch: &BranchId, xml: &str) -> Result<(), CacheError> {
+        match self {
+            CacheStore::Splice(c) => c.update(branch, xml),
+            CacheStore::Rope(c) => c.update(branch, xml),
+        }
+    }
+
+    fn insert_batch(&mut self, items: &[(&BranchId, &str)]) -> Result<(), CacheError> {
+        match self {
+            CacheStore::Splice(c) => c.insert_batch(items),
+            CacheStore::Rope(c) => c.insert_batch(items),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            CacheStore::Splice(c) => c.generation(),
+            CacheStore::Rope(c) => c.generation(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            CacheStore::Splice(c) => c.size_bytes(),
+            CacheStore::Rope(c) => c.size_bytes(),
+        }
+    }
+
+    fn arena_bytes(&self) -> usize {
+        match self {
+            // The splice cache *is* its document: no arena, no garbage.
+            CacheStore::Splice(c) => c.size_bytes(),
+            CacheStore::Rope(c) => c.arena_bytes(),
+        }
+    }
+
+    fn report_count(&self) -> usize {
+        match self {
+            CacheStore::Splice(c) => c.report_count(),
+            CacheStore::Rope(c) => c.report_count(),
+        }
+    }
+
+    fn subtree(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
+        match self {
+            CacheStore::Splice(c) => c.subtree(query),
+            CacheStore::Rope(c) => c.subtree(query),
+        }
+    }
+
+    fn reports(&self, query: Option<&BranchId>) -> Result<Vec<(BranchId, String)>, CacheError> {
+        match self {
+            CacheStore::Splice(c) => c.reports(query),
+            CacheStore::Rope(c) => c.reports(query),
+        }
+    }
+
+    fn report_exact(&self, branch: &BranchId) -> Option<&str> {
+        match self {
+            CacheStore::Splice(c) => c.report_exact(branch),
+            CacheStore::Rope(c) => c.report_exact(branch),
+        }
+    }
+
+    fn document(&self) -> Cow<'_, str> {
+        match self {
+            CacheStore::Splice(c) => Cow::Borrowed(c.document()),
+            CacheStore::Rope(c) => Cow::Owned((*c.document()).clone()),
+        }
+    }
+}
+
+/// Backend-agnostic read view of a depot's cache.
+///
+/// What [`Depot::cache`] hands to the querying interface: the common
+/// read surface of both backends. `document()` borrows from the splice
+/// cache and materializes (generation-cached inside [`RopeCache`]) on
+/// the rope.
+#[derive(Debug, Clone, Copy)]
+pub enum CacheRef<'a> {
+    /// A splice-backed depot's cache.
+    Splice(&'a XmlCache),
+    /// A rope-backed depot's cache.
+    Rope(&'a RopeCache),
+}
+
+impl<'a> CacheRef<'a> {
+    /// Which backend this view reads from.
+    pub fn backend(&self) -> CacheBackend {
+        match self {
+            CacheRef::Splice(_) => CacheBackend::Splice,
+            CacheRef::Rope(_) => CacheBackend::Rope,
+        }
+    }
+
+    /// The full cache document.
+    pub fn document(&self) -> Cow<'a, str> {
+        match self {
+            CacheRef::Splice(c) => Cow::Borrowed(c.document()),
+            CacheRef::Rope(c) => Cow::Owned((*c.document()).clone()),
+        }
+    }
+
+    /// Document size in bytes (O(1) on both backends).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            CacheRef::Splice(c) => c.size_bytes(),
+            CacheRef::Rope(c) => c.size_bytes(),
+        }
+    }
+
+    /// Number of cached reports (O(1) on both backends).
+    pub fn report_count(&self) -> usize {
+        match self {
+            CacheRef::Splice(c) => c.report_count(),
+            CacheRef::Rope(c) => c.report_count(),
+        }
+    }
+
+    /// Mutation counter — the memo/materialization cache key.
+    pub fn generation(&self) -> u64 {
+        match self {
+            CacheRef::Splice(c) => c.generation(),
+            CacheRef::Rope(c) => c.generation(),
+        }
+    }
+}
+
 /// The depot: cache, archive, statistics, and their instrumentation.
 #[derive(Debug)]
 pub struct Depot {
-    cache: XmlCache,
+    cache: CacheStore,
     archive: ArchiveStore,
     stats: ResponseStats,
     obs: Obs,
@@ -95,6 +251,10 @@ pub struct Depot {
     cache_bytes: Arc<Gauge>,
     /// Cached report count (`inca_depot_cache_reports`).
     cache_reports: Arc<Gauge>,
+    /// Backing-store bytes including rope garbage
+    /// (`inca_depot_arena_bytes`); equals `inca_depot_cache_bytes` on
+    /// the splice backend.
+    arena_bytes: Arc<Gauge>,
     /// Reports per batched ingest (`inca_depot_batch_size`).
     batch_size_hist: Arc<Histogram>,
     /// Whole-batch cache-splice latency
@@ -118,9 +278,21 @@ impl Depot {
         Depot::with_obs(Obs::global())
     }
 
+    /// An empty depot on the given cache backend, observing into
+    /// [`Obs::global`].
+    pub fn with_backend(backend: CacheBackend) -> Depot {
+        Depot::with_obs_backend(Obs::global(), backend)
+    }
+
     /// An empty depot whose spans and metrics go to `obs` (isolated
     /// registries for tests, embedded setups with their own handle).
     pub fn with_obs(obs: Obs) -> Depot {
+        Depot::with_obs_backend(obs, CacheBackend::default())
+    }
+
+    /// An empty depot with an explicit observability handle and cache
+    /// backend.
+    pub fn with_obs_backend(obs: Obs, backend: CacheBackend) -> Depot {
         let unpack_hist = obs.metrics().histogram(
             "inca_depot_unpack_seconds",
             "Time unpacking one received envelope.",
@@ -135,6 +307,10 @@ impl Depot {
             obs.metrics().gauge("inca_depot_cache_bytes", "Cache document size in bytes.");
         let cache_reports =
             obs.metrics().gauge("inca_depot_cache_reports", "Reports held in the cache.");
+        let arena_bytes = obs.metrics().gauge(
+            "inca_depot_arena_bytes",
+            "Cache backing-store bytes including rope-arena garbage.",
+        );
         let batch_size_hist = obs.metrics().histogram(
             "inca_depot_batch_size",
             "Reports accepted per batched ingest.",
@@ -146,7 +322,10 @@ impl Depot {
             &DEFAULT_LATENCY_BOUNDS,
         );
         Depot {
-            cache: XmlCache::new(),
+            cache: match backend {
+                CacheBackend::Splice => CacheStore::Splice(XmlCache::new()),
+                CacheBackend::Rope => CacheStore::Rope(RopeCache::new()),
+            },
             archive: ArchiveStore::with_obs(&obs),
             stats: ResponseStats::new(),
             obs,
@@ -154,6 +333,7 @@ impl Depot {
             insert_hist,
             cache_bytes,
             cache_reports,
+            arena_bytes,
             batch_size_hist,
             batch_insert_hist,
             memo: QueryMemo::new(QUERY_MEMO_CAPACITY),
@@ -172,10 +352,15 @@ impl Depot {
 
     /// Receives one encoded envelope at (virtual) time `now`,
     /// returning the measured timing decomposition.
+    ///
+    /// Binary frames take the zero-copy path: the report bytes are
+    /// borrowed straight out of the payload (structurally skimmed, not
+    /// parsed) and spliced into the cache; XML materialization waits
+    /// until an archive rule or query actually needs the report tree.
     pub fn receive(&mut self, envelope_bytes: &[u8], now: Timestamp) -> Result<DepotTiming, DepotError> {
         let span = self.obs.span("depot.insert").field("bytes", envelope_bytes.len());
         let t0 = Instant::now();
-        let envelope = match Envelope::decode(envelope_bytes) {
+        let envelope = match EnvelopeView::decode(envelope_bytes) {
             Ok(e) => e,
             Err(e) => {
                 span.severity(Severity::Warn).field("error", &e).finish();
@@ -229,6 +414,7 @@ impl Depot {
         self.insert_hist.observe_duration_with_exemplar(timing.insert, trace_id);
         self.cache_bytes.set(self.cache.size_bytes() as f64);
         self.cache_reports.set(self.cache.report_count() as f64);
+        self.arena_bytes.set(self.cache.arena_bytes() as f64);
         span.field("size", timing.report_size)
             .field("cache_bytes", self.cache.size_bytes())
             .finish();
@@ -253,9 +439,9 @@ impl Depot {
         envelopes: &[Vec<u8>],
         now: Timestamp,
     ) -> Vec<Result<DepotTiming, DepotError>> {
-        struct Pending {
+        struct Pending<'a> {
             index: usize,
-            envelope: Envelope,
+            envelope: EnvelopeView<'a>,
             unpack: Duration,
             span: Span,
             archive_ctx: Option<TraceContext>,
@@ -273,7 +459,7 @@ impl Depot {
         for (index, bytes) in envelopes.iter().enumerate() {
             let span = self.obs.span("depot.insert").field("bytes", bytes.len());
             let t0 = Instant::now();
-            match Envelope::decode(bytes) {
+            match EnvelopeView::decode(bytes) {
                 Ok(envelope) => {
                     let unpack = t0.elapsed();
                     let mut span =
@@ -291,10 +477,11 @@ impl Depot {
                 }
             }
         }
-        // One streaming pass splices every accepted report.
+        // One pass splices every accepted report (a stream of the
+        // splice document, or N O(report) rope appends).
         let items: Vec<(&BranchId, &str)> = accepted
             .iter()
-            .map(|p| (&p.envelope.address, p.envelope.report_xml.as_str()))
+            .map(|p| (&p.envelope.address, p.envelope.report_xml.as_ref()))
             .collect();
         let t1 = Instant::now();
         let insert_result = self.cache.insert_batch(&items);
@@ -349,6 +536,7 @@ impl Depot {
         self.batch_insert_hist.observe_duration(insert_total);
         self.cache_bytes.set(self.cache.size_bytes() as f64);
         self.cache_reports.set(self.cache.report_count() as f64);
+        self.arena_bytes.set(self.cache.arena_bytes() as f64);
         batch_span
             .field("accepted", accepted_count)
             .field("cache_bytes", self.cache.size_bytes())
@@ -356,9 +544,18 @@ impl Depot {
         results.into_iter().map(|r| r.expect("every envelope resolved")).collect()
     }
 
-    /// The cache (read access for the querying interface).
-    pub fn cache(&self) -> &XmlCache {
-        &self.cache
+    /// The cache (read access for the querying interface), as a
+    /// backend-agnostic view.
+    pub fn cache(&self) -> CacheRef<'_> {
+        match &self.cache {
+            CacheStore::Splice(c) => CacheRef::Splice(c),
+            CacheStore::Rope(c) => CacheRef::Rope(c),
+        }
+    }
+
+    /// Which cache backend this depot runs on.
+    pub fn cache_backend(&self) -> CacheBackend {
+        self.cache().backend()
     }
 
     /// [`XmlCache::subtree`] through the query memo. The returned flag
@@ -427,22 +624,42 @@ impl Depot {
     /// persisted.
     pub fn save_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join("cache.xml"), self.cache.document())?;
+        std::fs::write(dir.join("cache.xml"), self.cache.document().as_bytes())?;
         std::fs::write(dir.join("archives.txt"), self.archive.dump())?;
         Ok(())
     }
 
-    /// Restores a depot persisted with [`Depot::save_to`].
+    /// Restores a depot persisted with [`Depot::save_to`], on the
+    /// default (splice) backend.
     pub fn load_from(dir: &std::path::Path) -> std::io::Result<Depot> {
+        Depot::load_from_backend(dir, CacheBackend::default())
+    }
+
+    /// Restores a depot persisted with [`Depot::save_to`] onto an
+    /// explicit cache backend. Both backends produce the same canonical
+    /// document, so persisted state moves freely between them.
+    pub fn load_from_backend(
+        dir: &std::path::Path,
+        backend: CacheBackend,
+    ) -> std::io::Result<Depot> {
         let cache_doc = std::fs::read_to_string(dir.join("cache.xml"))?;
         let archive_text = std::fs::read_to_string(dir.join("archives.txt"))?;
-        let cache = XmlCache::from_document(cache_doc)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let invalid =
+            |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let cache = match backend {
+            CacheBackend::Splice => CacheStore::Splice(
+                XmlCache::from_document(cache_doc).map_err(|e| invalid(e.to_string()))?,
+            ),
+            CacheBackend::Rope => CacheStore::Rope(
+                RopeCache::from_document(cache_doc).map_err(|e| invalid(e.to_string()))?,
+            ),
+        };
         let archive = ArchiveStore::restore(&archive_text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         let mut depot = Depot::new();
         depot.cache_bytes.set(cache.size_bytes() as f64);
         depot.cache_reports.set(cache.report_count() as f64);
+        depot.arena_bytes.set(cache.arena_bytes() as f64);
         depot.cache = cache;
         depot.archive = archive;
         Ok(depot)

@@ -7,4 +7,5 @@ pub mod cache;
 #[allow(clippy::module_inception)]
 pub mod depot;
 pub mod memo;
+pub mod rope;
 pub mod sharded;

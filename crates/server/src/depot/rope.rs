@@ -1,0 +1,477 @@
+//! The O(report) write path: an arena-backed rope over the VO document.
+//!
+//! [`super::cache::XmlCache`] deliberately reproduces §5.2.2: the cache
+//! is one contiguous XML string, so every insert memmoves bytes
+//! proportional to the whole cache (Figure 9's growth curve). PR 4 made
+//! *reads* O(result) via the persistent branch index; this module does
+//! the same for *writes*. It stays beside the splice implementation —
+//! which remains the byte-identity oracle, exactly as `scan_*` is for
+//! reads — and the depot picks between them per
+//! [`super::depot::CacheBackend`].
+//!
+//! ## Representation
+//!
+//! * **Arena** — one append-only `String`. Report bytes and
+//!   pre-rendered `<branch name=… id=…>` open tags are appended once
+//!   and never moved; pieces of the document are `(start, end)` ranges
+//!   into it. Replaced reports leave their old bytes behind as garbage
+//!   ([`RopeCache::arena_bytes`] vs [`RopeCache::size_bytes`] tracks
+//!   the ratio).
+//! * **Tree** — branch levels keyed by raw `(name, id)` in a
+//!   `BTreeMap`, which *is* the canonical sibling order the splice
+//!   cache maintains (PR 5: at every level the level's direct report
+//!   precedes child branches; branches sort by `(name, id)`). Because
+//!   the canonical document is a pure function of cache content, an
+//!   in-order walk of this tree reproduces the splice document
+//!   byte-for-byte — no piece offsets need shifting, ever.
+//!
+//! An insert is a tree walk plus an arena append: O(report + depth ·
+//! log fanout), independent of cache size. [`RopeCache::document`]
+//! materializes the contiguous string only on demand and caches it per
+//! [`RopeCache::generation`], so repeated reads between mutations cost
+//! one `Arc` clone — the same generation the depot's `QueryMemo` keys
+//! its entries by.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use inca_report::BranchId;
+use inca_xml::escape::escape_attr;
+use parking_lot::Mutex;
+
+use super::cache::{CacheError, XmlCache};
+
+const ROOT_OPEN: &str = "<incaCache>";
+const ROOT_CLOSE: &str = "</incaCache>";
+const BRANCH_CLOSE: &str = "</branch>";
+
+/// A byte range into the arena.
+type Span = (usize, usize);
+
+/// One branch level. The open tag is rendered (escaped) into the arena
+/// when the level is created; the close tag is a shared constant.
+#[derive(Debug, Default)]
+struct Node {
+    /// Arena range of the rendered `<branch name=… id=…>` open tag.
+    /// `None` only for the synthetic root (`<incaCache>`).
+    open: Option<Span>,
+    /// Arena range of this level's direct report, if any.
+    report: Option<Span>,
+    /// Child levels in canonical `(name, id)` order.
+    children: BTreeMap<(String, String), Node>,
+}
+
+/// Arena-backed rope representation of the depot cache.
+///
+/// Mirrors the [`XmlCache`] API (`update`, `insert_batch`, `subtree`,
+/// `reports`, `report_exact`, `from_document`, `generation`) with the
+/// same semantics — including generation-bump behaviour, batch dedup
+/// (last content wins) and canonical document order — but with O(report)
+/// writes. `document()` returns an `Arc<String>` because the string is
+/// materialized lazily and shared between readers at the same
+/// generation.
+#[derive(Debug)]
+pub struct RopeCache {
+    arena: String,
+    root: Node,
+    generation: u64,
+    /// Length of the materialized document — maintained incrementally
+    /// so `size_bytes` is O(1) without materializing.
+    live_bytes: usize,
+    report_count: usize,
+    /// `(generation, document)` of the last materialization. Interior
+    /// mutability: readers holding a shared lock still warm the cache.
+    doc_cache: Mutex<Option<(u64, Arc<String>)>>,
+}
+
+impl Default for RopeCache {
+    fn default() -> Self {
+        RopeCache::new()
+    }
+}
+
+impl PartialEq for RopeCache {
+    fn eq(&self, other: &Self) -> bool {
+        self.document() == other.document()
+    }
+}
+
+impl RopeCache {
+    /// An empty cache.
+    pub fn new() -> RopeCache {
+        RopeCache {
+            arena: String::new(),
+            root: Node::default(),
+            generation: 0,
+            live_bytes: ROOT_OPEN.len() + ROOT_CLOSE.len(),
+            report_count: 0,
+            doc_cache: Mutex::new(None),
+        }
+    }
+
+    /// Rebuilds a rope from a persisted document.
+    ///
+    /// Validation and scanning are delegated to the splice oracle
+    /// (`XmlCache::from_document` — well-formedness, branch-id checks,
+    /// index cross-check); the scanned reports are then re-inserted on
+    /// the O(report) path. One O(document) pass at load time, exactly
+    /// like the splice cache.
+    pub fn from_document(doc: String) -> Result<RopeCache, CacheError> {
+        let oracle = XmlCache::from_document(doc)?;
+        let mut rope = RopeCache::new();
+        for (branch, xml) in oracle.reports(None)? {
+            rope.insert(&branch, &xml);
+        }
+        rope.generation = 0;
+        debug_assert_eq!(*rope.document(), *oracle.document());
+        Ok(rope)
+    }
+
+    /// Monotone counter bumped by every successful mutation — same
+    /// contract as [`XmlCache::generation`], and the key under which
+    /// both `document()` and the depot's `QueryMemo` cache results.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Materialized document length in bytes, maintained incrementally
+    /// (O(1), no materialization).
+    pub fn size_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Total arena bytes, including garbage left by replaced reports.
+    /// `arena_bytes - (size_bytes - root wrapper)` is reclaimable.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of cached reports, O(1).
+    pub fn report_count(&self) -> usize {
+        self.report_count
+    }
+
+    /// Inserts or replaces the report stored at `branch`.
+    ///
+    /// One tree walk creating missing levels (each open tag rendered
+    /// into the arena once) plus one arena append for the report bytes:
+    /// O(report + depth · log fanout), independent of cache size.
+    pub fn update(&mut self, branch: &BranchId, report_xml: &str) -> Result<(), CacheError> {
+        self.insert(branch, report_xml);
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Inserts or replaces `items.len()` reports with one generation
+    /// bump (none for an empty batch) — the same observable semantics
+    /// as [`XmlCache::insert_batch`], including duplicate handling
+    /// (last content wins). Unlike the splice cache there is no
+    /// amortization to orchestrate: each insert is already O(report).
+    pub fn insert_batch(&mut self, items: &[(&BranchId, &str)]) -> Result<(), CacheError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        for (branch, xml) in items {
+            self.insert(branch, xml);
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    fn insert(&mut self, branch: &BranchId, report_xml: &str) {
+        let arena = &mut self.arena;
+        let live_bytes = &mut self.live_bytes;
+        let mut node = &mut self.root;
+        for (name, id) in branch.hierarchy() {
+            node = node.children.entry((name.to_string(), id.to_string())).or_insert_with(|| {
+                let start = arena.len();
+                arena.push_str("<branch name=\"");
+                arena.push_str(&escape_attr(name));
+                arena.push_str("\" id=\"");
+                arena.push_str(&escape_attr(id));
+                arena.push_str("\">");
+                *live_bytes += (arena.len() - start) + BRANCH_CLOSE.len();
+                Node { open: Some((start, arena.len())), ..Node::default() }
+            });
+        }
+        let start = arena.len();
+        arena.push_str(report_xml);
+        match node.report.replace((start, arena.len())) {
+            Some((old_start, old_end)) => {
+                *live_bytes -= old_end - old_start;
+                *live_bytes += report_xml.len();
+            }
+            None => {
+                *live_bytes += report_xml.len();
+                self.report_count += 1;
+            }
+        }
+    }
+
+    /// The full document, materialized on demand and cached until the
+    /// next mutation. Readers at the same generation share one
+    /// allocation (`Arc` clone).
+    pub fn document(&self) -> Arc<String> {
+        let mut cached = self.doc_cache.lock();
+        if let Some((generation, doc)) = cached.as_ref() {
+            if *generation == self.generation {
+                return Arc::clone(doc);
+            }
+        }
+        let mut out = String::with_capacity(self.live_bytes);
+        out.push_str(ROOT_OPEN);
+        self.render(&self.root, &mut out);
+        out.push_str(ROOT_CLOSE);
+        debug_assert_eq!(out.len(), self.live_bytes, "size_bytes drifted from the document");
+        let doc = Arc::new(out);
+        *cached = Some((self.generation, Arc::clone(&doc)));
+        doc
+    }
+
+    /// Canonical in-order render of a node's *contents* (report, then
+    /// children wrapped in their tags). The caller supplies the
+    /// wrapping open/close tags.
+    fn render(&self, node: &Node, out: &mut String) {
+        if let Some((start, end)) = node.report {
+            out.push_str(&self.arena[start..end]);
+        }
+        for child in node.children.values() {
+            let (start, end) = child.open.expect("non-root nodes carry an open tag");
+            out.push_str(&self.arena[start..end]);
+            self.render(child, out);
+            out.push_str(BRANCH_CLOSE);
+        }
+    }
+
+    fn node_at(&self, branch: &BranchId) -> Option<&Node> {
+        let mut node = &self.root;
+        for (name, id) in branch.hierarchy() {
+            node = node.children.get(&(name.to_string(), id.to_string()))?;
+        }
+        Some(node)
+    }
+
+    /// The sub-document rooted at the branch level addressed by
+    /// `query`, or `None` when the level does not exist. Byte-identical
+    /// to [`XmlCache::subtree`]: the branch element including its own
+    /// open/close tags. O(result).
+    pub fn subtree(&self, query: &BranchId) -> Result<Option<String>, CacheError> {
+        let node = match self.node_at(query) {
+            Some(n) => n,
+            None => return Ok(None),
+        };
+        let (start, end) = match node.open {
+            Some(span) => span,
+            // An empty query addresses the synthetic root, which the
+            // splice index never records either.
+            None => return Ok(None),
+        };
+        let mut out = String::new();
+        out.push_str(&self.arena[start..end]);
+        self.render(node, &mut out);
+        out.push_str(BRANCH_CLOSE);
+        Ok(Some(out))
+    }
+
+    /// Collects `(branch, report_xml)` pairs under the level addressed
+    /// by `query` (all reports when `None`), in document order —
+    /// byte-identical to [`XmlCache::reports`]. Document order falls
+    /// out of the canonical tree walk: a level's direct report precedes
+    /// its children, children visit in `(name, id)` order.
+    pub fn reports(&self, query: Option<&BranchId>) -> Result<Vec<(BranchId, String)>, CacheError> {
+        let mut path: Vec<(&str, &str)> = Vec::new();
+        let node = match query {
+            None => &self.root,
+            Some(q) => {
+                for pair in q.hierarchy() {
+                    path.push(pair);
+                }
+                match self.node_at(q) {
+                    Some(n) => n,
+                    None => return Ok(Vec::new()),
+                }
+            }
+        };
+        let mut out = Vec::new();
+        self.collect(node, &mut path, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect<'a>(
+        &'a self,
+        node: &'a Node,
+        path: &mut Vec<(&'a str, &'a str)>,
+        out: &mut Vec<(BranchId, String)>,
+    ) -> Result<(), CacheError> {
+        if let Some((start, end)) = node.report {
+            // The path is general-first; branch identifiers read
+            // specific-first.
+            let pairs: Vec<(String, String)> =
+                path.iter().rev().map(|(n, v)| (n.to_string(), v.to_string())).collect();
+            let branch = BranchId::new(pairs).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+            out.push((branch, self.arena[start..end].to_string()));
+        }
+        for ((name, id), child) in &node.children {
+            path.push((name, id));
+            self.collect(child, path, out)?;
+            path.pop();
+        }
+        Ok(())
+    }
+
+    /// The report stored *exactly at* `branch`: a tree walk, then a
+    /// borrowed arena slice. `None` when the level holds no direct
+    /// report.
+    pub fn report_exact(&self, branch: &BranchId) -> Option<&str> {
+        let (start, end) = self.node_at(branch)?.report?;
+        Some(&self.arena[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> BranchId {
+        s.parse().unwrap()
+    }
+
+    /// Splice oracle mirroring the same operations.
+    fn pair() -> (RopeCache, XmlCache) {
+        (RopeCache::new(), XmlCache::new())
+    }
+
+    #[test]
+    fn empty_documents_match() {
+        let (rope, oracle) = pair();
+        assert_eq!(*rope.document(), *oracle.document());
+        assert_eq!(rope.size_bytes(), oracle.size_bytes());
+    }
+
+    #[test]
+    fn single_insert_matches_oracle() {
+        let (mut rope, mut oracle) = pair();
+        let id = b("reporter=version.gcc,resource=m1,site=sdsc,vo=tg");
+        rope.update(&id, "<incaReport>gcc</incaReport>").unwrap();
+        oracle.update(&id, "<incaReport>gcc</incaReport>").unwrap();
+        assert_eq!(*rope.document(), *oracle.document());
+        assert_eq!(rope.size_bytes(), oracle.size_bytes());
+        assert_eq!(rope.report_count(), 1);
+        assert_eq!(rope.generation(), 1);
+    }
+
+    #[test]
+    fn replacement_reuses_level_and_tracks_garbage() {
+        let (mut rope, mut oracle) = pair();
+        let id = b("reporter=r,site=s");
+        for (cache_op, xml) in
+            [("first", "<incaReport>one</incaReport>"), ("second", "<incaReport>two two</incaReport>")]
+        {
+            let _ = cache_op;
+            rope.update(&id, xml).unwrap();
+            oracle.update(&id, xml).unwrap();
+        }
+        assert_eq!(*rope.document(), *oracle.document());
+        assert_eq!(rope.report_count(), 1);
+        // The first report's bytes are garbage in the arena now.
+        assert!(rope.arena_bytes() > rope.size_bytes() - ROOT_OPEN.len() - ROOT_CLOSE.len());
+    }
+
+    #[test]
+    fn canonical_order_holds_regardless_of_insert_order() {
+        let ids = [
+            "reporter=z,site=s",
+            "reporter=a,site=s",
+            "site=s", // report at an interior level, before child branches
+            "reporter=a,site=q",
+        ];
+        let (mut rope, mut oracle) = pair();
+        for id in ids {
+            rope.update(&b(id), "<incaReport/>").unwrap();
+            oracle.update(&b(id), "<incaReport/>").unwrap();
+        }
+        assert_eq!(*rope.document(), *oracle.document());
+        let (mut rope2, mut oracle2) = pair();
+        for id in ids.iter().rev() {
+            rope2.update(&b(id), "<incaReport/>").unwrap();
+            oracle2.update(&b(id), "<incaReport/>").unwrap();
+        }
+        assert_eq!(*rope2.document(), *rope.document());
+        assert_eq!(*oracle2.document(), *oracle.document());
+    }
+
+    #[test]
+    fn batch_bumps_generation_once_and_dedups_last_wins() {
+        let (mut rope, mut oracle) = pair();
+        let x = b("reporter=x,site=s");
+        let y = b("reporter=y,site=s");
+        let items: Vec<(&BranchId, &str)> = vec![
+            (&x, "<incaReport>first</incaReport>"),
+            (&y, "<incaReport>other</incaReport>"),
+            (&x, "<incaReport>last</incaReport>"),
+        ];
+        rope.insert_batch(&items).unwrap();
+        oracle.insert_batch(&items).unwrap();
+        assert_eq!(rope.generation(), 1);
+        assert_eq!(*rope.document(), *oracle.document());
+        assert_eq!(rope.report_exact(&x).unwrap(), "<incaReport>last</incaReport>");
+        rope.insert_batch(&[]).unwrap();
+        assert_eq!(rope.generation(), 1, "empty batch must not bump");
+    }
+
+    #[test]
+    fn reads_match_oracle() {
+        let (mut rope, mut oracle) = pair();
+        for id in ["reporter=a,resource=m1,site=s,vo=tg", "reporter=b,resource=m1,site=s,vo=tg",
+                   "reporter=a,resource=m2,site=s,vo=tg", "reporter=c,resource=m9,site=t,vo=tg"] {
+            let xml = format!("<incaReport>{id}</incaReport>");
+            rope.update(&b(id), &xml).unwrap();
+            oracle.update(&b(id), &xml).unwrap();
+        }
+        for q in ["vo=tg", "site=s,vo=tg", "resource=m1,site=s,vo=tg",
+                  "reporter=a,resource=m2,site=s,vo=tg", "site=missing,vo=tg"] {
+            let q = b(q);
+            assert_eq!(rope.subtree(&q).unwrap(), oracle.subtree(&q).unwrap(), "subtree {q:?}");
+            assert_eq!(rope.reports(Some(&q)).unwrap(), oracle.reports(Some(&q)).unwrap());
+            assert_eq!(rope.report_exact(&q), oracle.report_exact(&q));
+        }
+        assert_eq!(rope.reports(None).unwrap(), oracle.reports(None).unwrap());
+    }
+
+    #[test]
+    fn attribute_escaping_matches_oracle() {
+        let (mut rope, mut oracle) = pair();
+        let id = BranchId::new(vec![("reporter".to_string(), "a<b&\"c\"".to_string())]).unwrap();
+        rope.update(&id, "<incaReport/>").unwrap();
+        oracle.update(&id, "<incaReport/>").unwrap();
+        assert_eq!(*rope.document(), *oracle.document());
+        assert_eq!(rope.report_exact(&id), oracle.report_exact(&id));
+    }
+
+    #[test]
+    fn document_is_cached_per_generation() {
+        let (mut rope, _) = pair();
+        rope.update(&b("reporter=r,site=s"), "<incaReport/>").unwrap();
+        let first = rope.document();
+        let second = rope.document();
+        assert!(Arc::ptr_eq(&first, &second), "same generation must share one allocation");
+        rope.update(&b("reporter=q,site=s"), "<incaReport/>").unwrap();
+        let third = rope.document();
+        assert!(!Arc::ptr_eq(&first, &third));
+    }
+
+    #[test]
+    fn from_document_roundtrips() {
+        let (mut rope, _) = pair();
+        for id in ["reporter=a,site=s,vo=tg", "reporter=b,site=t,vo=tg", "site=s,vo=tg"] {
+            rope.update(&b(id), &format!("<incaReport>{id}</incaReport>")).unwrap();
+        }
+        let doc = rope.document();
+        let restored = RopeCache::from_document((*doc).clone()).unwrap();
+        assert_eq!(*restored.document(), *doc);
+        assert_eq!(restored.report_count(), rope.report_count());
+        assert_eq!(restored.size_bytes(), rope.size_bytes());
+        assert_eq!(restored.generation(), 0);
+        assert!(RopeCache::from_document("<wrong/>".to_string()).is_err());
+    }
+}

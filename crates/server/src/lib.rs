@@ -40,8 +40,9 @@ pub use controller::{CentralizedController, ControllerConfig, TcpServerHandle};
 pub use dedup::{DedupIndex, DEFAULT_DEDUP_WINDOW};
 pub use depot::cache::{CacheError, XmlCache};
 pub use depot::archive::{ArchiveRule, ArchiveStore};
-pub use depot::depot::{Depot, DepotError, DepotTiming};
+pub use depot::depot::{CacheBackend, CacheRef, Depot, DepotError, DepotTiming};
 pub use depot::memo::{MemoValue, QueryMemo};
+pub use depot::rope::RopeCache;
 pub use depot::sharded::ShardedCache;
 pub use query::QueryInterface;
 pub use scrape::{MetricsScraper, SELF_SCRAPE_TIERS, SELF_SERIES_PREFIX};

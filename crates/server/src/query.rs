@@ -301,6 +301,55 @@ mod tests {
     }
 
     #[test]
+    fn memo_tracks_the_rope_generation_counter() {
+        // Same contract on the O(report) backend: pure reads are
+        // served by the memo, an arena-path insert (binary-framed, so
+        // the report bytes are spliced without parsing) bumps the
+        // rope's generation and invalidates it.
+        use crate::depot::depot::CacheBackend;
+        let mut depot =
+            Depot::with_obs_backend(inca_obs::Obs::new(), CacheBackend::Rope);
+        let t = Timestamp::from_secs(1_000);
+        let branch: BranchId =
+            "reporter=version.globus,resource=tg1,site=sdsc,vo=tg".parse().unwrap();
+        let mk = |v: &str| {
+            ReportBuilder::new("r", "1.0")
+                .gmt(t)
+                .body_value("packageVersion", v)
+                .success()
+                .unwrap()
+        };
+        let env = Envelope::new(branch.clone(), mk("2.4.3").to_xml());
+        depot.receive(&env.encode(EnvelopeMode::Binary), t).unwrap();
+
+        let q = QueryInterface::new(&depot);
+        let site: BranchId = "site=sdsc,vo=tg".parse().unwrap();
+        let first = q.current(&site).unwrap();
+        let second = q.current(&site).unwrap();
+        assert_eq!(first, second);
+        let metrics = depot.obs().metrics();
+        let hits = metrics
+            .histogram_of("inca_depot_query_seconds", &[("result", "hit")])
+            .expect("hit series registered");
+        let misses = metrics
+            .histogram_of("inca_depot_query_seconds", &[("result", "miss")])
+            .expect("miss series registered");
+        assert_eq!(misses.count(), 1, "first read goes to the rope");
+        assert_eq!(hits.count(), 1, "repeat read is served by the memo");
+
+        // An arena-path insert bumps the generation: the memo misses
+        // and observes the new report.
+        let env = Envelope::new(branch.clone(), mk("9.9.9").to_xml());
+        depot.receive(&env.encode(EnvelopeMode::Binary), t).unwrap();
+        let q = QueryInterface::new(&depot);
+        let fresh = q.report(&branch).unwrap().unwrap();
+        let p: inca_xml::IncaPath = "packageVersion".parse().unwrap();
+        assert_eq!(fresh.body.lookup_text(&p).unwrap(), "9.9.9");
+        assert_eq!(misses.count(), 2, "rope generation bump invalidates the memo");
+        assert_eq!(hits.count(), 1);
+    }
+
+    #[test]
     fn archived_series_roundtrip() {
         let mut depot = Depot::new();
         let policy = ArchivePolicy::every("p", 86_400);

@@ -1,0 +1,242 @@
+//! Zero-copy binary envelope framing.
+//!
+//! The XML envelope ([`crate::Envelope`]) deliberately reproduces the
+//! §5.2.2 cost: every unpack tokenizes the whole frame, unescapes the
+//! body and re-parses the inner report. The binary frame is the fast
+//! path beside it — a length-prefixed section format whose decoder
+//! returns *borrowed* slices of the incoming payload, so the depot can
+//! splice report bytes straight into its cache without copying or
+//! parsing them, deferring XML materialization to archive/query time.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! [0xB1 'I' 'N'] [version: u8 = 1] then sections:
+//!     [tag: u8] [len: u32 BE] [len bytes]
+//!
+//! tag 0x01  ADDRESS  branch identifier, UTF-8 (required)
+//! tag 0x02  REPORT   raw report XML bytes (required)
+//! tag 0x03  TRACE    trace_id u64 BE + parent_span_id u64 BE (optional)
+//! ```
+//!
+//! Unknown section tags are skipped (forward compatibility); duplicate
+//! known tags are rejected. The magic's first byte `0xB1` is a UTF-8
+//! continuation byte, so no XML document (or any valid UTF-8 text) can
+//! start with it — a frame is self-describing and the two formats
+//! negotiate per payload: a receiver that understands binary frames
+//! takes the fast path, everything else still decodes the XML envelope.
+
+use inca_obs::TraceContext;
+
+use crate::message::WireError;
+
+/// First magic byte. `0xB1` can never begin valid UTF-8 text, so a
+/// binary frame is distinguishable from every XML envelope by one byte.
+pub const BINARY_MAGIC: [u8; 3] = [0xB1, b'I', b'N'];
+/// Current frame version, bumped on incompatible layout changes.
+pub const BINARY_VERSION: u8 = 1;
+
+/// Section tag: the branch identifier (envelope address), UTF-8.
+pub const SECTION_ADDRESS: u8 = 0x01;
+/// Section tag: raw report XML bytes.
+pub const SECTION_REPORT: u8 = 0x02;
+/// Section tag: trace context (two big-endian u64s).
+pub const SECTION_TRACE: u8 = 0x03;
+
+/// Whether `payload` is a binary frame (vs. an XML envelope).
+pub fn is_binary_frame(payload: &[u8]) -> bool {
+    payload.starts_with(&BINARY_MAGIC)
+}
+
+/// Appends one `[tag][len: u32 BE][bytes]` section to `out`.
+pub fn put_section(out: &mut Vec<u8>, tag: u8, bytes: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Iterator-style reader over the sections of a frame body.
+///
+/// Yields `(tag, bytes)` pairs borrowing from the input; callers decide
+/// which tags they understand. Truncated sections are an error, not a
+/// silent stop.
+#[derive(Debug, Clone)]
+pub struct SectionReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> SectionReader<'a> {
+    /// Reads sections from `body` (the bytes after any frame header).
+    pub fn new(body: &'a [u8]) -> SectionReader<'a> {
+        SectionReader { rest: body }
+    }
+
+    /// The next `(tag, bytes)` section, `None` at a clean end.
+    pub fn next_section(&mut self) -> Result<Option<(u8, &'a [u8])>, WireError> {
+        if self.rest.is_empty() {
+            return Ok(None);
+        }
+        if self.rest.len() < 5 {
+            return Err(WireError::Malformed("truncated section header".into()));
+        }
+        let tag = self.rest[0];
+        let len = u32::from_be_bytes([self.rest[1], self.rest[2], self.rest[3], self.rest[4]])
+            as usize;
+        let body = &self.rest[5..];
+        if body.len() < len {
+            return Err(WireError::Malformed(format!(
+                "section 0x{tag:02x} declares {len} bytes, {} remain",
+                body.len()
+            )));
+        }
+        self.rest = &body[len..];
+        Ok(Some((tag, &body[..len])))
+    }
+}
+
+/// Encodes a binary frame from its parts.
+pub fn encode_binary(address: &str, report: &[u8], trace: Option<TraceContext>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 5 + address.len() + 5 + report.len() + 5 + 16);
+    out.extend_from_slice(&BINARY_MAGIC);
+    out.push(BINARY_VERSION);
+    put_section(&mut out, SECTION_ADDRESS, address.as_bytes());
+    put_section(&mut out, SECTION_REPORT, report);
+    if let Some(ctx) = trace {
+        let mut t = [0u8; 16];
+        t[..8].copy_from_slice(&ctx.trace_id.to_be_bytes());
+        t[8..].copy_from_slice(&ctx.parent_span_id.to_be_bytes());
+        put_section(&mut out, SECTION_TRACE, &t);
+    }
+    out
+}
+
+/// The decoded parts of a binary frame, borrowing from the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryFrame<'a> {
+    /// The envelope address (branch identifier), not yet parsed.
+    pub address: &'a str,
+    /// The raw report bytes, exactly as the sender framed them.
+    pub report: &'a [u8],
+    /// Optional trace context.
+    pub trace: Option<TraceContext>,
+}
+
+/// Decodes a binary frame without copying the report bytes.
+pub fn decode_binary(payload: &[u8]) -> Result<BinaryFrame<'_>, WireError> {
+    if !is_binary_frame(payload) {
+        return Err(WireError::Malformed("not a binary frame (bad magic)".into()));
+    }
+    let version = *payload
+        .get(BINARY_MAGIC.len())
+        .ok_or_else(|| WireError::Malformed("truncated binary frame".into()))?;
+    if version != BINARY_VERSION {
+        return Err(WireError::Malformed(format!(
+            "unsupported binary frame version {version}"
+        )));
+    }
+    let mut sections = SectionReader::new(&payload[BINARY_MAGIC.len() + 1..]);
+    let mut address: Option<&str> = None;
+    let mut report: Option<&[u8]> = None;
+    let mut trace: Option<TraceContext> = None;
+    while let Some((tag, bytes)) = sections.next_section()? {
+        match tag {
+            SECTION_ADDRESS => {
+                if address.is_some() {
+                    return Err(WireError::Malformed("duplicate ADDRESS section".into()));
+                }
+                address = Some(std::str::from_utf8(bytes).map_err(|e| {
+                    WireError::Malformed(format!("address not UTF-8: {e}"))
+                })?);
+            }
+            SECTION_REPORT => {
+                if report.is_some() {
+                    return Err(WireError::Malformed("duplicate REPORT section".into()));
+                }
+                report = Some(bytes);
+            }
+            SECTION_TRACE => {
+                if bytes.len() != 16 {
+                    return Err(WireError::Malformed(format!(
+                        "TRACE section must be 16 bytes, got {}",
+                        bytes.len()
+                    )));
+                }
+                let mut id = [0u8; 8];
+                id.copy_from_slice(&bytes[..8]);
+                let mut span = [0u8; 8];
+                span.copy_from_slice(&bytes[8..]);
+                trace = Some(TraceContext {
+                    trace_id: u64::from_be_bytes(id),
+                    parent_span_id: u64::from_be_bytes(span),
+                });
+            }
+            // Unknown tags are skipped: a newer sender may add sections
+            // an older receiver safely ignores.
+            _ => {}
+        }
+    }
+    Ok(BinaryFrame {
+        address: address
+            .ok_or_else(|| WireError::Malformed("binary frame missing ADDRESS".into()))?,
+        report: report
+            .ok_or_else(|| WireError::Malformed("binary frame missing REPORT".into()))?,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_all_parts() {
+        let ctx = TraceContext { trace_id: 0xdead_beef, parent_span_id: 0x42 };
+        let frame = encode_binary("a=1,b=2", b"<incaReport/>", Some(ctx));
+        let view = decode_binary(&frame).unwrap();
+        assert_eq!(view.address, "a=1,b=2");
+        assert_eq!(view.report, b"<incaReport/>");
+        assert_eq!(view.trace, Some(ctx));
+    }
+
+    #[test]
+    fn decode_is_zero_copy() {
+        let frame = encode_binary("a=1", b"<incaReport/>", None);
+        let view = decode_binary(&frame).unwrap();
+        let range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(range.contains(&(view.report.as_ptr() as usize)));
+        assert!(range.contains(&(view.address.as_ptr() as usize)));
+    }
+
+    #[test]
+    #[allow(invalid_from_utf8)] // the invalidity is exactly what we assert
+    fn magic_is_not_valid_utf8_or_xml() {
+        assert!(std::str::from_utf8(&BINARY_MAGIC).is_err());
+        assert_ne!(BINARY_MAGIC[0], b'<');
+    }
+
+    #[test]
+    fn skips_unknown_sections() {
+        let mut frame = encode_binary("a=1", b"<r/>", None);
+        put_section(&mut frame, 0x7f, b"future stuff");
+        let view = decode_binary(&frame).unwrap();
+        assert_eq!(view.address, "a=1");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_binary(b"").is_err());
+        assert!(decode_binary(b"<soapEnvelope/>").is_err());
+        assert!(decode_binary(&[0xB1, b'I', b'N']).is_err()); // no version
+        assert!(decode_binary(&[0xB1, b'I', b'N', 99]).is_err()); // bad version
+        let frame = encode_binary("a=1", b"<r/>", None);
+        assert!(decode_binary(&frame[..frame.len() - 1]).is_err()); // truncated
+        let mut dup = frame.clone();
+        put_section(&mut dup, SECTION_ADDRESS, b"b=2");
+        assert!(decode_binary(&dup).is_err()); // duplicate address
+        let mut no_report = Vec::new();
+        no_report.extend_from_slice(&BINARY_MAGIC);
+        no_report.push(BINARY_VERSION);
+        put_section(&mut no_report, SECTION_ADDRESS, b"a=1");
+        assert!(decode_binary(&no_report).is_err()); // missing report
+    }
+}

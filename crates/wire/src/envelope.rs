@@ -10,7 +10,7 @@
 //! "as SOAP attachment rather than in the body of the SOAP envelope in
 //! order to speed up the unpacking process".
 //!
-//! Both modes are implemented so the ablation bench can quantify the
+//! All modes are implemented so the ablation bench can quantify the
 //! saving:
 //!
 //! * [`EnvelopeMode::Body`] — the report is escaped into the envelope
@@ -19,11 +19,21 @@
 //! * [`EnvelopeMode::Attachment`] — the envelope carries only the
 //!   address and a length; the report rides behind the envelope as raw
 //!   bytes and unpacking is a cheap slice.
+//! * [`EnvelopeMode::Binary`] — the [`crate::binframe`] section format:
+//!   the decoder borrows the report bytes straight out of the payload
+//!   (zero copy) and defers XML parsing entirely; see [`EnvelopeView`].
+//!
+//! Negotiation is per payload: a binary frame announces itself with a
+//! magic byte no XML document can start with, so a single receive path
+//! ([`EnvelopeView::decode`]) handles mixed traffic.
+
+use std::borrow::Cow;
 
 use inca_obs::TraceContext;
 use inca_report::{BranchId, Report};
-use inca_xml::{escape::escape_text, Element};
+use inca_xml::{escape::escape_text, skim_balanced, Element};
 
+use crate::binframe;
 use crate::message::WireError;
 
 /// How the report is packed into the envelope.
@@ -34,6 +44,9 @@ pub enum EnvelopeMode {
     /// Report attached as raw bytes after the envelope (the paper's
     /// proposed optimization).
     Attachment,
+    /// Report framed as binary sections with zero-copy decode (the
+    /// post-paper fast path; see [`crate::binframe`]).
+    Binary,
 }
 
 /// An addressed report in transit to the depot.
@@ -89,6 +102,11 @@ impl Envelope {
                 out.extend_from_slice(self.report_xml.as_bytes());
                 out
             }
+            EnvelopeMode::Binary => binframe::encode_binary(
+                &self.address.to_string(),
+                self.report_xml.as_bytes(),
+                self.trace,
+            ),
         }
     }
 
@@ -101,6 +119,20 @@ impl Envelope {
     /// is still validated once (the depot must not cache garbage), but
     /// no unescape pass is needed.
     pub fn decode(payload: &[u8]) -> Result<Envelope, WireError> {
+        // Binary frames announce themselves with a magic byte that
+        // cannot begin UTF-8 text; check before the NUL scan below
+        // (binary section bodies may legitimately contain NULs).
+        if binframe::is_binary_frame(payload) {
+            let frame = binframe::decode_binary(payload)?;
+            let address: BranchId =
+                frame.address.parse().map_err(|e| WireError::BadBranch(format!("{e}")))?;
+            let report_xml = std::str::from_utf8(frame.report)
+                .map_err(|e| WireError::Malformed(format!("report not UTF-8: {e}")))?
+                .to_string();
+            Report::parse(&report_xml).map_err(|e| WireError::BadReport(e.to_string()))?;
+            return Ok(Envelope { address, report_xml, trace: frame.trace });
+        }
+
         // Attachment frames contain a NUL separator which never occurs
         // in XML text; use it to split header from raw content.
         if let Some(sep) = payload.iter().position(|&b| b == ATTACHMENT_SEP) {
@@ -170,6 +202,73 @@ impl Envelope {
     }
 }
 
+/// A decoded envelope that borrows its report bytes when it can.
+///
+/// This is the depot's receive-side view. For binary frames the report
+/// is a borrowed slice of the incoming payload, checked only by a
+/// structural skim ([`inca_xml::skim_balanced`]: balanced tags, root is
+/// `<incaReport>`) — full parsing is deferred to archive/query time.
+/// XML envelopes fall back to [`Envelope::decode`], which validates the
+/// report completely and owns its string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeView<'a> {
+    /// The branch identifier — "the envelope address".
+    pub address: BranchId,
+    /// The serialized report: borrowed from the payload on the binary
+    /// path, owned on the XML path.
+    pub report_xml: Cow<'a, str>,
+    /// Trace context carried with the report, if any.
+    pub trace: Option<TraceContext>,
+    /// Whether the report was fully parsed during decode (XML path) or
+    /// only structurally skimmed (binary path).
+    pub validated: bool,
+}
+
+impl<'a> EnvelopeView<'a> {
+    /// Decodes any supported frame, borrowing report bytes from binary
+    /// frames and falling back to the XML envelope decoder otherwise.
+    pub fn decode(payload: &'a [u8]) -> Result<EnvelopeView<'a>, WireError> {
+        if binframe::is_binary_frame(payload) {
+            let frame = binframe::decode_binary(payload)?;
+            let address: BranchId =
+                frame.address.parse().map_err(|e| WireError::BadBranch(format!("{e}")))?;
+            let report = std::str::from_utf8(frame.report)
+                .map_err(|e| WireError::Malformed(format!("report not UTF-8: {e}")))?;
+            // The cache must never hold garbage: one cheap structural
+            // pass, no tree, no unescape, no copy.
+            let root =
+                skim_balanced(report).map_err(|e| WireError::BadReport(e.to_string()))?;
+            if root != "incaReport" {
+                return Err(WireError::BadReport(format!(
+                    "expected <incaReport> root, found <{root}>"
+                )));
+            }
+            return Ok(EnvelopeView {
+                address,
+                report_xml: Cow::Borrowed(report),
+                trace: frame.trace,
+                validated: false,
+            });
+        }
+        let env = Envelope::decode(payload)?;
+        Ok(EnvelopeView {
+            address: env.address,
+            report_xml: Cow::Owned(env.report_xml),
+            trace: env.trace,
+            validated: true,
+        })
+    }
+
+    /// Converts into an owned [`Envelope`].
+    pub fn into_envelope(self) -> Envelope {
+        Envelope {
+            address: self.address,
+            report_xml: self.report_xml.into_owned(),
+            trace: self.trace,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,10 +301,48 @@ mod tests {
     }
 
     #[test]
+    fn binary_mode_roundtrip() {
+        let env = sample();
+        let decoded = Envelope::decode(&env.encode(EnvelopeMode::Binary)).unwrap();
+        assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn view_borrows_binary_and_owns_xml() {
+        let env = sample();
+        let binary = env.encode(EnvelopeMode::Binary);
+        let view = EnvelopeView::decode(&binary).unwrap();
+        assert!(matches!(view.report_xml, Cow::Borrowed(_)));
+        assert!(!view.validated);
+        assert_eq!(view.report_xml, env.report_xml);
+        assert_eq!(view.address, env.address);
+
+        let body = env.encode(EnvelopeMode::Body);
+        let view = EnvelopeView::decode(&body).unwrap();
+        assert!(matches!(view.report_xml, Cow::Owned(_)));
+        assert!(view.validated);
+        assert_eq!(view.clone().into_envelope(), env);
+    }
+
+    #[test]
+    fn view_rejects_unbalanced_or_wrong_root_binary_reports() {
+        let broken = Envelope::new("a=1".parse().unwrap(), "<incaReport><x></incaReport>");
+        assert!(matches!(
+            EnvelopeView::decode(&broken.encode(EnvelopeMode::Binary)),
+            Err(WireError::BadReport(_))
+        ));
+        let wrong_root = Envelope::new("a=1".parse().unwrap(), "<notAReport/>");
+        assert!(matches!(
+            EnvelopeView::decode(&wrong_root.encode(EnvelopeMode::Binary)),
+            Err(WireError::BadReport(_))
+        ));
+    }
+
+    #[test]
     fn trace_context_roundtrips_in_both_modes() {
         let ctx = TraceContext { trace_id: 0xfeed, parent_span_id: 0x42 };
         let env = sample().with_trace(ctx);
-        for mode in [EnvelopeMode::Body, EnvelopeMode::Attachment] {
+        for mode in [EnvelopeMode::Body, EnvelopeMode::Attachment, EnvelopeMode::Binary] {
             let decoded = Envelope::decode(&env.encode(mode)).unwrap();
             assert_eq!(decoded.trace, Some(ctx));
             assert_eq!(decoded, env);
@@ -229,7 +366,7 @@ mod tests {
             .success()
             .unwrap();
         let env = Envelope::new("a=1".parse().unwrap(), report.to_xml());
-        for mode in [EnvelopeMode::Body, EnvelopeMode::Attachment] {
+        for mode in [EnvelopeMode::Body, EnvelopeMode::Attachment, EnvelopeMode::Binary] {
             let decoded = Envelope::decode(&env.encode(mode)).unwrap();
             assert_eq!(decoded.report_xml, env.report_xml);
         }
@@ -253,7 +390,7 @@ mod tests {
     #[test]
     fn decode_rejects_invalid_inner_report() {
         let env = Envelope::new("a=1".parse().unwrap(), "<notAReport/>");
-        for mode in [EnvelopeMode::Body, EnvelopeMode::Attachment] {
+        for mode in [EnvelopeMode::Body, EnvelopeMode::Attachment, EnvelopeMode::Binary] {
             assert!(matches!(
                 Envelope::decode(&env.encode(mode)),
                 Err(WireError::BadReport(_))

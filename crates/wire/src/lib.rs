@@ -13,6 +13,11 @@
 //!    report (unpacking must unescape and re-parse it — the measured
 //!    cost), while attachment mode implements the paper's proposed
 //!    optimization of shipping the report as a raw attachment.
+//!    [`binframe`] goes one step further than the paper: a
+//!    length-prefixed binary section format whose decoder *borrows*
+//!    the report bytes out of the payload (zero copy), negotiated per
+//!    frame against the XML envelope by a magic byte no XML document
+//!    can start with ([`EnvelopeView::decode`] handles mixed traffic).
 //!
 //! [`allowlist`] implements the centralized controller's host check:
 //! "it checks the host against a list of hostnames to see whether it
@@ -25,11 +30,16 @@
 //! `docs/OBSERVABILITY.md` at the repository root).
 
 pub mod allowlist;
+pub mod binframe;
 pub mod envelope;
 pub mod frame;
 pub mod message;
 
 pub use allowlist::HostAllowlist;
-pub use envelope::{Envelope, EnvelopeMode};
+pub use binframe::{
+    decode_binary, encode_binary, is_binary_frame, put_section, BinaryFrame, SectionReader,
+    BINARY_MAGIC, BINARY_VERSION, SECTION_ADDRESS, SECTION_REPORT, SECTION_TRACE,
+};
+pub use envelope::{Envelope, EnvelopeMode, EnvelopeView};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use message::{ClientMessage, ServerResponse, WireError};

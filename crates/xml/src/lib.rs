@@ -18,7 +18,9 @@
 //! * [`path`] — Inca *path addressing* (`value, statistic=lowerBound,
 //!   metric=bandwidth`) used to locate data inside open-schema report
 //!   bodies,
-//! * [`escape`] — text/attribute escaping primitives.
+//! * [`escape`] — text/attribute escaping primitives,
+//! * [`skim`] — a structural well-formedness skim (one tokenizer pass,
+//!   no tree) for the binary wire fast path.
 //!
 //! Only the XML subset Inca needs is supported: elements, attributes,
 //! text, CDATA, comments, processing instructions and the XML
@@ -29,11 +31,13 @@ pub mod error;
 pub mod escape;
 pub mod path;
 pub mod sax;
+pub mod skim;
 pub mod tokenizer;
 pub mod tree;
 pub mod writer;
 
 pub use error::{XmlError, XmlResult};
+pub use skim::skim_balanced;
 pub use path::{IncaPath, PathStep};
 pub use sax::{SaxDriver, SaxHandler};
 pub use tokenizer::{Attribute, Token, Tokenizer};

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # Regenerates the tracked bench baselines at the repo root:
-#   BENCH_depot.json  — batched ingest + parallel simulation scaling
+#   BENCH_depot.json  — batched ingest, rope-vs-splice write paths,
+#                       the million-report ingest curve, and parallel
+#                       simulation scaling
 #   BENCH_query.json  — indexed reads vs streaming scan + reader/writer
 #                       contention over the shared depot lock
 #   BENCH_obs.json    — trace-store ingest throughput and forensic
 #                       query latency curves over store size
 # Pass --smoke for the seconds-long CI sanity variant (writes
 # *.smoke.json names so it never clobbers the committed full-mode
-# baselines) and --out-dir DIR to write somewhere other than the repo
-# root (the smoke gate in scripts/verify.sh uses target/).
+# baselines), --out-dir DIR to write somewhere other than the repo
+# root (the smoke gate in scripts/verify.sh uses target/), and
+# --only <depot|query|obs> to build and run a single bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 smoke=""
 outdir="."
 suffix=""
+only=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --smoke) smoke="--smoke"; suffix=".smoke" ;;
@@ -22,15 +26,45 @@ while [ $# -gt 0 ]; do
       outdir="${2:?--out-dir requires a directory}"
       shift
       ;;
+    --only)
+      only="${2:?--only requires one of: depot, query, obs}"
+      case "$only" in
+        depot|query|obs) ;;
+        *)
+          echo "--only: unknown bench '$only' (expected depot, query or obs)" >&2
+          exit 2
+          ;;
+      esac
+      shift
+      ;;
     *)
-      echo "usage: bench.sh [--smoke] [--out-dir DIR]" >&2
+      echo "usage: bench.sh [--smoke] [--out-dir DIR] [--only <depot|query|obs>]" >&2
       exit 2
       ;;
   esac
   shift
 done
 
-cargo build --release -q -p inca-bench --bin depot_throughput --bin query_throughput --bin trace_query
-target/release/depot_throughput $smoke --out "$outdir/BENCH_depot$suffix.json"
-target/release/query_throughput $smoke --out "$outdir/BENCH_query$suffix.json"
-target/release/trace_query $smoke --out "$outdir/BENCH_obs$suffix.json"
+run_depot() {
+  cargo build --release -q -p inca-bench --bin depot_throughput
+  target/release/depot_throughput $smoke --out "$outdir/BENCH_depot$suffix.json"
+}
+run_query() {
+  cargo build --release -q -p inca-bench --bin query_throughput
+  target/release/query_throughput $smoke --out "$outdir/BENCH_query$suffix.json"
+}
+run_obs() {
+  cargo build --release -q -p inca-bench --bin trace_query
+  target/release/trace_query $smoke --out "$outdir/BENCH_obs$suffix.json"
+}
+
+case "$only" in
+  depot) run_depot ;;
+  query) run_query ;;
+  obs) run_obs ;;
+  "")
+    run_depot
+    run_query
+    run_obs
+    ;;
+esac

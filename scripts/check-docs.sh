@@ -13,7 +13,10 @@
 #      must actually exist;
 #   5. the trace store's reader surface stays documented: every public
 #      method of the durable TraceStore must appear in
-#      docs/OBSERVABILITY.md.
+#      docs/OBSERVABILITY.md;
+#   6. the O(report) write path stays documented: every public RopeCache
+#      method must appear in docs/PERFORMANCE.md, and every public
+#      binframe function in ARCHITECTURE.md.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -91,6 +94,28 @@ for method in $(grep -E '^    pub fn [a-z0-9_]+' crates/obs/src/store.rs \
     | sed 's/^    pub fn //; s/(.*//' | sort -u); do
   if ! grep -q "$method" docs/OBSERVABILITY.md; then
     echo "UNDOCUMENTED STORE METHOD: TraceStore::$method (add it to docs/OBSERVABILITY.md)"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== write path documented =="
+# The piece-table cache and the binary frame are the fast write path;
+# their public surfaces must stay looked-up-able: RopeCache methods in
+# the performance guide, binframe functions in the architecture doc's
+# wire-format section.
+fail=0
+for method in $(grep -E '^    pub fn [a-z0-9_]+' crates/server/src/depot/rope.rs \
+    | sed 's/^    pub fn //; s/(.*//' | sort -u); do
+  if ! grep -q "$method" docs/PERFORMANCE.md; then
+    echo "UNDOCUMENTED ROPE METHOD: RopeCache::$method (add it to docs/PERFORMANCE.md)"
+    fail=1
+  fi
+done
+for func in $(grep -E '^pub fn [a-z0-9_]+' crates/wire/src/binframe.rs \
+    | sed 's/^pub fn //; s/(.*//' | sort -u); do
+  if ! grep -q "$func" ARCHITECTURE.md; then
+    echo "UNDOCUMENTED FRAME FN: binframe::$func (add it to ARCHITECTURE.md)"
     fail=1
   fi
 done

@@ -45,6 +45,18 @@ echo "== query engine gate =="
 cargo test -q -p inca-server --test proptest_cache
 cargo test -q -p inca-server --test concurrent_readers
 
+# The O(report) write path: the rope proptest oracle (piece-table
+# documents, reads and generations byte-identical to the splice
+# cache), the framing proptest (binary frames are a faithful encoding
+# of the XML envelope), the end-to-end rope+binary byte-identity run
+# under chaos, and the full-scale rope-vs-splice speedup floor.
+echo "== write path gate =="
+cargo test -q -p inca-server --test proptest_rope
+cargo test -q -p inca-wire --test proptest_framing
+cargo test -q --test rope_backend
+cargo build --release -q -p inca-bench --bin depot_throughput
+target/release/depot_throughput --rope-gate
+
 # The temporal query layer: multi-resolution RRA selection obeys its
 # documented rules under arbitrary workloads (proptest against the
 # fine archive as oracle), and the Figure-5-equivalent query over a
@@ -70,7 +82,7 @@ cargo test -q --test proptest_delivery
 # consumers of the baselines rely on are present.
 echo "== bench smoke gate =="
 scripts/bench.sh --smoke --out-dir target
-for key in '"speedup"' '"threads"' '"batched_seconds"' '"wall_seconds"'; do
+for key in '"speedup"' '"threads"' '"batched_seconds"' '"wall_seconds"' '"million_ingest"' '"rope_vs_splice"' '"rope_seconds"' '"arena_bytes"'; do
   if ! grep -q "$key" target/BENCH_depot.smoke.json; then
     echo "verify FAILED: depot bench smoke output missing $key" >&2
     exit 1
