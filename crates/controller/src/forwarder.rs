@@ -17,6 +17,18 @@ use inca_wire::message::{ClientMessage, ServerResponse};
 pub trait Transport: Send {
     /// Submits one message, returning the server's response.
     fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String>;
+
+    /// Submits a burst of messages, returning one result per message
+    /// in order.
+    ///
+    /// The default loops over [`Transport::send`]; transports that can
+    /// pipeline (write every frame, then collect every reply — which
+    /// the server's reactor frontend turns into one depot batch)
+    /// override it. A transport error mid-burst fails the remaining
+    /// messages so the caller's spool retries them.
+    fn send_many(&self, messages: &[&ClientMessage]) -> Vec<Result<ServerResponse, String>> {
+        messages.iter().map(|m| self.send(m)).collect()
+    }
 }
 
 /// TCP transport with lazy connect, per-attempt socket timeouts, and
@@ -82,11 +94,83 @@ impl TcpTransport {
     }
 }
 
+impl TcpTransport {
+    /// Writes every frame, then reads every reply — one network round
+    /// trip of latency for the whole burst instead of one per message.
+    /// Any failure poisons the connection and fails the rest of the
+    /// burst (the spool retries; server-side seq dedup absorbs any
+    /// message that actually landed).
+    fn send_many_once(&self, payloads: &[Vec<u8>]) -> Vec<Result<ServerResponse, String>> {
+        let mut guard = self.stream.lock().expect("transport mutex");
+        let mut results: Vec<Result<ServerResponse, String>> = Vec::with_capacity(payloads.len());
+        let fail_rest = |results: &mut Vec<Result<ServerResponse, String>>, n: usize, e: String| {
+            while results.len() < n {
+                results.push(Err(e.clone()));
+            }
+        };
+        if guard.is_none() {
+            match TcpStream::connect_timeout(&self.addr, self.write_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    if let Err(e) = stream
+                        .set_read_timeout(Some(self.read_timeout))
+                        .and_then(|()| stream.set_write_timeout(Some(self.write_timeout)))
+                    {
+                        fail_rest(&mut results, payloads.len(), format!("set timeouts: {e}"));
+                        return results;
+                    }
+                    *guard = Some(stream);
+                }
+                Err(e) => {
+                    fail_rest(&mut results, payloads.len(), format!("connect {}: {e}", self.addr));
+                    return results;
+                }
+            }
+        }
+        let stream = guard.as_mut().expect("just connected");
+        for payload in payloads {
+            if let Err(e) = write_frame(stream, payload) {
+                *guard = None;
+                fail_rest(&mut results, payloads.len(), format!("send: {e}"));
+                return results;
+            }
+        }
+        for _ in 0..payloads.len() {
+            match read_frame(stream) {
+                Ok(reply) => results
+                    .push(ServerResponse::decode(&reply).map_err(|e| format!("bad reply: {e}"))),
+                Err(FrameError::Closed) => {
+                    *guard = None;
+                    fail_rest(&mut results, payloads.len(), "server closed connection".into());
+                    return results;
+                }
+                Err(e) => {
+                    *guard = None;
+                    fail_rest(&mut results, payloads.len(), format!("recv: {e}"));
+                    return results;
+                }
+            }
+        }
+        results
+    }
+}
+
 impl Transport for TcpTransport {
     fn send(&self, message: &ClientMessage) -> Result<ServerResponse, String> {
         let payload = message.encode();
         // One retry after reconnect, as a long-lived daemon would.
         self.send_once(&payload).or_else(|_| self.send_once(&payload))
+    }
+
+    fn send_many(&self, messages: &[&ClientMessage]) -> Vec<Result<ServerResponse, String>> {
+        let payloads: Vec<Vec<u8>> = messages.iter().map(|m| m.encode()).collect();
+        let results = self.send_many_once(&payloads);
+        if results.iter().all(|r| r.is_ok()) {
+            return results;
+        }
+        // One whole-burst retry after reconnect, mirroring `send`; the
+        // server's seq dedup makes re-sending acked messages harmless.
+        self.send_many_once(&payloads)
     }
 }
 
@@ -189,6 +273,74 @@ mod tests {
             "timed out promptly instead of blocking in read_frame"
         );
         drop(t);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn send_many_default_loops_over_send() {
+        let t = CollectingTransport::new();
+        let (a, b) = (message(), message());
+        let results = t.send_many(&[&a, &b]);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.as_ref().unwrap() == &ServerResponse::Ack));
+        assert_eq!(t.sent_count(), 2);
+    }
+
+    #[test]
+    fn tcp_send_many_pipelines_one_connection() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The server reads all frames before answering any: only a
+        // pipelined client (write all, then read all) completes this —
+        // a request-response loop would deadlock on the first reply.
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut n = 0;
+            while n < 5 {
+                let _ = read_frame(&mut stream).unwrap();
+                n += 1;
+            }
+            for _ in 0..n {
+                write_frame(&mut stream, &ServerResponse::Ack.encode()).unwrap();
+            }
+        });
+        let t = TcpTransport::new(addr);
+        let msgs: Vec<ClientMessage> = (0..5).map(|_| message()).collect();
+        let refs: Vec<&ClientMessage> = msgs.iter().collect();
+        let results = t.send_many(&refs);
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|r| r.as_ref().unwrap() == &ServerResponse::Ack));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_send_many_fails_remainder_on_cut_connection() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Both the initial attempt and the reconnect retry get a server
+        // that drains the whole burst, acks only two, and hangs up
+        // cleanly (draining first avoids a RST that could discard the
+        // acks in flight).
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                for _ in 0..4 {
+                    let _ = read_frame(&mut stream);
+                }
+                for _ in 0..2 {
+                    let _ = write_frame(&mut stream, &ServerResponse::Ack.encode());
+                }
+            }
+        });
+        let t = TcpTransport::new(addr);
+        let msgs: Vec<ClientMessage> = (0..4).map(|_| message()).collect();
+        let refs: Vec<&ClientMessage> = msgs.iter().collect();
+        let results = t.send_many(&refs);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert!(results[2].is_err() && results[3].is_err(), "cut burst fails the remainder");
         server.join().unwrap();
     }
 

@@ -19,9 +19,10 @@
 //!
 //! [`serve_tcp`]: CentralizedController::serve_tcp
 
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -341,6 +342,12 @@ impl CentralizedController {
 
     /// Starts a thread-per-connection TCP accept loop. Submissions use
     /// wall-clock seconds for archive timestamps.
+    ///
+    /// Finished workers (and their stream clones) are reaped on every
+    /// accept-loop pass, so a long-lived server under connection churn
+    /// holds only as many handles as it has *live* connections — they
+    /// previously accumulated for every connection ever accepted and
+    /// were released only at [`TcpServerHandle::stop`].
     pub fn serve_tcp(
         self: &Arc<Self>,
         listener: TcpListener,
@@ -348,24 +355,37 @@ impl CentralizedController {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        // Clones of every accepted stream so `stop` can unblock worker
-        // threads parked in `read_frame` even while clients keep their
-        // connections open.
-        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        // Clones of live accepted streams, keyed by connection id, so
+        // `stop` can unblock worker threads parked in `read_frame` even
+        // while clients keep their connections open. Each worker drops
+        // its own entry on exit.
+        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let live_workers = Arc::new(AtomicUsize::new(0));
         let controller = Arc::clone(self);
         let stop = Arc::clone(&shutdown);
         let conns = Arc::clone(&connections);
+        let conn_gauge = Arc::clone(&connections);
+        let workers_up = Arc::clone(&live_workers);
         let accept_thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            let mut next_id: u64 = 0;
             while !stop.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, peer)) => {
+                        let id = next_id;
+                        next_id += 1;
                         if let Ok(clone) = stream.try_clone() {
-                            conns.lock().push(clone);
+                            conns.lock().insert(id, clone);
                         }
                         let controller = Arc::clone(&controller);
+                        let conns = Arc::clone(&conns);
+                        let live = Arc::clone(&workers_up);
+                        live.fetch_add(1, Ordering::SeqCst);
                         workers.push(std::thread::spawn(move || {
                             let _ = handle_connection(&controller, stream, peer);
+                            conns.lock().remove(&id);
+                            live.fetch_sub(1, Ordering::SeqCst);
                         }));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -373,17 +393,91 @@ impl CentralizedController {
                     }
                     Err(_) => break,
                 }
+                // Reap finished workers as we go; joining a finished
+                // thread is immediate.
+                workers = workers
+                    .into_iter()
+                    .filter_map(|w| {
+                        if w.is_finished() {
+                            let _ = w.join();
+                            None
+                        } else {
+                            Some(w)
+                        }
+                    })
+                    .collect();
             }
             // Shutdown: sever every connection so blocked reads return,
             // then reap the workers.
-            for conn in conns.lock().iter() {
+            for conn in conns.lock().values() {
                 let _ = conn.shutdown(std::net::Shutdown::Both);
             }
             for w in workers {
                 let _ = w.join();
             }
         });
-        Ok(TcpServerHandle { addr: local_addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(TcpServerHandle {
+            addr: local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections: conn_gauge,
+            live_workers,
+        })
+    }
+
+    /// Starts the chosen server frontend on `listener`.
+    ///
+    /// Both frontends speak the identical framed protocol and share all
+    /// admission, dedup and depot machinery — the threaded loop is the
+    /// historical oracle, the reactor the scale path — so they must
+    /// produce byte-identical depot documents for the same submissions
+    /// (proven under chaos in `tests/net_frontend.rs`).
+    pub fn serve(
+        self: &Arc<Self>,
+        frontend: ServerFrontend,
+        listener: TcpListener,
+    ) -> std::io::Result<ServerHandle> {
+        match frontend {
+            ServerFrontend::Threaded => self.serve_tcp(listener).map(ServerHandle::Threaded),
+            ServerFrontend::Reactor => self.serve_reactor(listener).map(ServerHandle::Reactor),
+        }
+    }
+}
+
+/// Which server frontend accepts daemon connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFrontend {
+    /// The original thread-per-connection blocking accept loop — one
+    /// worker thread per daemon; kept as the correctness oracle.
+    Threaded,
+    /// The event-driven readiness reactor (`crate::reactor`) — one
+    /// thread multiplexing every daemon connection.
+    Reactor,
+}
+
+/// A running server frontend of either flavour; shuts down on drop.
+pub enum ServerHandle {
+    /// Thread-per-connection loop.
+    Threaded(TcpServerHandle),
+    /// Event-driven reactor.
+    Reactor(crate::reactor::ReactorHandle),
+}
+
+impl ServerHandle {
+    /// The bound address (use port 0 to pick a free port in tests).
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            ServerHandle::Threaded(h) => h.addr(),
+            ServerHandle::Reactor(h) => h.addr(),
+        }
+    }
+
+    /// Requests shutdown and joins the frontend's threads.
+    pub fn stop(self) {
+        match self {
+            ServerHandle::Threaded(h) => h.stop(),
+            ServerHandle::Reactor(h) => h.stop(),
+        }
     }
 }
 
@@ -452,12 +546,26 @@ pub struct TcpServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    live_workers: Arc<AtomicUsize>,
 }
 
 impl TcpServerHandle {
     /// The bound address (use port 0 to pick a free port in tests).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Stream clones currently held for live connections. Bounded by
+    /// live connections, not total connections ever accepted — the
+    /// churn regression in `tests/net_frontend.rs` pins this down.
+    pub fn connection_count(&self) -> usize {
+        self.connections.lock().len()
+    }
+
+    /// Worker threads currently serving connections.
+    pub fn worker_count(&self) -> usize {
+        self.live_workers.load(Ordering::SeqCst)
     }
 
     /// Requests shutdown and waits for the accept loop.

@@ -13,7 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use inca_obs::metrics::{Gauge, Histogram, BATCH_SIZE_BOUNDS, DEFAULT_LATENCY_BOUNDS};
+use inca_obs::metrics::{Counter, Gauge, Histogram, BATCH_SIZE_BOUNDS, DEFAULT_LATENCY_BOUNDS};
 use inca_obs::trace::Span;
 use inca_obs::{Obs, Severity, TraceContext};
 use inca_report::{BranchId, Report, Timestamp};
@@ -143,6 +143,14 @@ impl CacheStore {
         }
     }
 
+    fn maybe_compact(&mut self) -> bool {
+        match self {
+            // The splice cache carries no garbage to reclaim.
+            CacheStore::Splice(_) => false,
+            CacheStore::Rope(c) => c.maybe_compact(),
+        }
+    }
+
     fn report_count(&self) -> usize {
         match self {
             CacheStore::Splice(c) => c.report_count(),
@@ -255,6 +263,8 @@ pub struct Depot {
     /// (`inca_depot_arena_bytes`); equals `inca_depot_cache_bytes` on
     /// the splice backend.
     arena_bytes: Arc<Gauge>,
+    /// Rope-arena compactions run (`inca_depot_compactions_total`).
+    compactions: Arc<Counter>,
     /// Reports per batched ingest (`inca_depot_batch_size`).
     batch_size_hist: Arc<Histogram>,
     /// Whole-batch cache-splice latency
@@ -311,6 +321,10 @@ impl Depot {
             "inca_depot_arena_bytes",
             "Cache backing-store bytes including rope-arena garbage.",
         );
+        let compactions = obs.metrics().counter(
+            "inca_depot_compactions_total",
+            "Rope-arena compaction rebuilds triggered by the garbage-ratio threshold.",
+        );
         let batch_size_hist = obs.metrics().histogram(
             "inca_depot_batch_size",
             "Reports accepted per batched ingest.",
@@ -334,6 +348,7 @@ impl Depot {
             cache_bytes,
             cache_reports,
             arena_bytes,
+            compactions,
             batch_size_hist,
             batch_insert_hist,
             memo: QueryMemo::new(QUERY_MEMO_CAPACITY),
@@ -412,6 +427,9 @@ impl Depot {
         // trace (a no-op when the envelope carried no context).
         self.unpack_hist.observe_duration_with_exemplar(timing.unpack, trace_id);
         self.insert_hist.observe_duration_with_exemplar(timing.insert, trace_id);
+        if self.cache.maybe_compact() {
+            self.compactions.inc();
+        }
         self.cache_bytes.set(self.cache.size_bytes() as f64);
         self.cache_reports.set(self.cache.report_count() as f64);
         self.arena_bytes.set(self.cache.arena_bytes() as f64);
@@ -534,6 +552,9 @@ impl Depot {
         }
         self.batch_size_hist.observe(accepted_count as f64);
         self.batch_insert_hist.observe_duration(insert_total);
+        if self.cache.maybe_compact() {
+            self.compactions.inc();
+        }
         self.cache_bytes.set(self.cache.size_bytes() as f64);
         self.cache_reports.set(self.cache.report_count() as f64);
         self.arena_bytes.set(self.cache.arena_bytes() as f64);
@@ -766,6 +787,37 @@ mod tests {
             .fetch_rule_series("v", &branch, ConsolidationFn::Average, t0, t0 + 4_000)
             .unwrap();
         assert!(f.known_points().count() >= 4);
+    }
+
+    #[test]
+    fn ingest_triggered_compaction_resets_arena_gauge() {
+        use crate::depot::rope::COMPACT_MIN_ARENA_BYTES;
+        let obs = Obs::new();
+        let mut depot = Depot::with_obs_backend(obs.clone(), CacheBackend::Rope);
+        let t = Timestamp::from_secs(1_000);
+        // Replace one branch with a big report, then repeatedly with
+        // small ones: the big corpse dominates the arena until the
+        // ratio threshold trips a compaction mid-ingest.
+        let branch = "reporter=r,resource=m,vo=tg";
+        let big = "x".repeat(2 * COMPACT_MIN_ARENA_BYTES);
+        depot.receive(&envelope_bytes(branch, &big, EnvelopeMode::Body), t).unwrap();
+        depot.receive(&envelope_bytes(branch, "small", EnvelopeMode::Body), t).unwrap();
+        assert_eq!(
+            obs.metrics().counter_value("inca_depot_compactions_total", &[]),
+            Some(1),
+            "garbage past the ratio threshold must trigger exactly one rebuild"
+        );
+        let gauge = obs.metrics().gauge_value("inca_depot_arena_bytes", &[]).unwrap();
+        assert!(
+            (gauge as usize) < COMPACT_MIN_ARENA_BYTES,
+            "arena gauge must reset to live bytes after compaction, got {gauge}"
+        );
+        // Byte-identity: the document equals a fresh splice build of
+        // the same content.
+        let doc = depot.cache().document().to_string();
+        let mut oracle = Depot::with_obs_backend(Obs::new(), CacheBackend::Splice);
+        oracle.receive(&envelope_bytes(branch, "small", EnvelopeMode::Body), t).unwrap();
+        assert_eq!(doc, oracle.cache().document().to_string());
     }
 
     #[test]

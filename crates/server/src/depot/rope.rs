@@ -45,6 +45,14 @@ const ROOT_OPEN: &str = "<incaCache>";
 const ROOT_CLOSE: &str = "</incaCache>";
 const BRANCH_CLOSE: &str = "</branch>";
 
+/// Arenas smaller than this are never compacted — the garbage is not
+/// worth a rebuild pass.
+pub const COMPACT_MIN_ARENA_BYTES: usize = 256 * 1024;
+
+/// Garbage fraction of the arena (`garbage_bytes / arena_bytes`) above
+/// which [`RopeCache::maybe_compact`] rebuilds.
+pub const COMPACT_GARBAGE_RATIO: f64 = 0.5;
+
 /// A byte range into the arena.
 type Span = (usize, usize);
 
@@ -78,6 +86,9 @@ pub struct RopeCache {
     /// Length of the materialized document — maintained incrementally
     /// so `size_bytes` is O(1) without materializing.
     live_bytes: usize,
+    /// Arena bytes still referenced by some span — the rest is garbage
+    /// left behind by replaced reports, reclaimable by [`Self::compact`].
+    live_arena: usize,
     report_count: usize,
     /// `(generation, document)` of the last materialization. Interior
     /// mutability: readers holding a shared lock still warm the cache.
@@ -104,6 +115,7 @@ impl RopeCache {
             root: Node::default(),
             generation: 0,
             live_bytes: ROOT_OPEN.len() + ROOT_CLOSE.len(),
+            live_arena: 0,
             report_count: 0,
             doc_cache: Mutex::new(None),
         }
@@ -181,6 +193,7 @@ impl RopeCache {
     fn insert(&mut self, branch: &BranchId, report_xml: &str) {
         let arena = &mut self.arena;
         let live_bytes = &mut self.live_bytes;
+        let live_arena = &mut self.live_arena;
         let mut node = &mut self.root;
         for (name, id) in branch.hierarchy() {
             node = node.children.entry((name.to_string(), id.to_string())).or_insert_with(|| {
@@ -191,21 +204,76 @@ impl RopeCache {
                 arena.push_str(&escape_attr(id));
                 arena.push_str("\">");
                 *live_bytes += (arena.len() - start) + BRANCH_CLOSE.len();
+                *live_arena += arena.len() - start;
                 Node { open: Some((start, arena.len())), ..Node::default() }
             });
         }
         let start = arena.len();
         arena.push_str(report_xml);
+        *live_arena += report_xml.len();
         match node.report.replace((start, arena.len())) {
             Some((old_start, old_end)) => {
                 *live_bytes -= old_end - old_start;
                 *live_bytes += report_xml.len();
+                *live_arena -= old_end - old_start;
             }
             None => {
                 *live_bytes += report_xml.len();
                 self.report_count += 1;
             }
         }
+    }
+
+    /// Arena bytes no longer referenced by any span — the residue of
+    /// replaced reports, reclaimable by [`Self::compact`]. O(1).
+    pub fn garbage_bytes(&self) -> usize {
+        self.arena.len() - self.live_arena
+    }
+
+    /// Rebuilds the arena with only live spans, dropping all garbage.
+    ///
+    /// One canonical tree walk copies each referenced range into a
+    /// fresh arena and rewrites the span in place — O(live bytes),
+    /// independent of how much garbage accrued. The document is
+    /// untouched (same bytes, same generation), so the materialization
+    /// cache and every `QueryMemo` entry keyed on the generation stay
+    /// valid.
+    pub fn compact(&mut self) {
+        let old = std::mem::take(&mut self.arena);
+        let mut fresh = String::with_capacity(self.live_arena);
+        Self::compact_node(&mut self.root, &old, &mut fresh);
+        debug_assert_eq!(fresh.len(), self.live_arena, "live_arena drifted from spans");
+        self.arena = fresh;
+    }
+
+    fn compact_node(node: &mut Node, old: &str, fresh: &mut String) {
+        if let Some(span) = node.open.as_mut() {
+            *span = copy_span(*span, old, fresh);
+        }
+        if let Some(span) = node.report.as_mut() {
+            *span = copy_span(*span, old, fresh);
+        }
+        for child in node.children.values_mut() {
+            Self::compact_node(child, old, fresh);
+        }
+    }
+
+    /// Compacts when the garbage ratio crosses
+    /// [`COMPACT_GARBAGE_RATIO`] on an arena of at least
+    /// [`COMPACT_MIN_ARENA_BYTES`]; returns whether a rebuild ran. The
+    /// depot calls this after every ingest, which bounds arena overhead
+    /// at ~2× the live document while keeping rebuilds rare (each one
+    /// must re-accumulate half an arena of garbage to trigger the
+    /// next).
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.arena.len() < COMPACT_MIN_ARENA_BYTES {
+            return false;
+        }
+        if (self.garbage_bytes() as f64) < COMPACT_GARBAGE_RATIO * self.arena.len() as f64 {
+            return false;
+        }
+        self.compact();
+        true
     }
 
     /// The full document, materialized on demand and cached until the
@@ -326,6 +394,13 @@ impl RopeCache {
         let (start, end) = self.node_at(branch)?.report?;
         Some(&self.arena[start..end])
     }
+}
+
+/// Copies one live range into the fresh arena and returns its new span.
+fn copy_span(span: Span, old: &str, fresh: &mut String) -> Span {
+    let start = fresh.len();
+    fresh.push_str(&old[span.0..span.1]);
+    (start, fresh.len())
 }
 
 #[cfg(test)]
@@ -458,6 +533,59 @@ mod tests {
         rope.update(&b("reporter=q,site=s"), "<incaReport/>").unwrap();
         let third = rope.document();
         assert!(!Arc::ptr_eq(&first, &third));
+    }
+
+    #[test]
+    fn compaction_preserves_bytes_and_drops_garbage() {
+        let (mut rope, mut oracle) = pair();
+        // Replace the same branches repeatedly so most of the arena is
+        // dead report bytes.
+        for round in 0..20 {
+            for id in ["reporter=a,site=s", "reporter=b,site=s", "site=s"] {
+                let xml = format!("<incaReport>round {round} {id}</incaReport>");
+                rope.update(&b(id), &xml).unwrap();
+                oracle.update(&b(id), &xml).unwrap();
+            }
+        }
+        assert!(rope.garbage_bytes() > 0, "replacements must leave garbage");
+        let before = rope.document();
+        let generation = rope.generation();
+        rope.compact();
+        assert_eq!(rope.garbage_bytes(), 0, "compaction reclaims all garbage");
+        assert_eq!(rope.arena_bytes(), rope.arena.len());
+        assert_eq!(rope.generation(), generation, "compaction is not a mutation");
+        let after = rope.document();
+        assert!(Arc::ptr_eq(&before, &after), "materialization cache survives compaction");
+        // Force a re-render from the rewritten spans and check against
+        // the splice oracle byte-for-byte.
+        rope.update(&b("reporter=z,site=t"), "<incaReport/>").unwrap();
+        oracle.update(&b("reporter=z,site=t"), "<incaReport/>").unwrap();
+        assert_eq!(*rope.document(), *oracle.document());
+        // Reads still resolve through the rewritten spans.
+        assert_eq!(rope.subtree(&b("site=s")).unwrap(), oracle.subtree(&b("site=s")).unwrap());
+        assert_eq!(rope.reports(None).unwrap(), oracle.reports(None).unwrap());
+    }
+
+    #[test]
+    fn maybe_compact_respects_thresholds() {
+        let mut rope = RopeCache::new();
+        let id = b("reporter=r,site=s");
+        rope.update(&id, "<incaReport>tiny</incaReport>").unwrap();
+        rope.update(&id, "<incaReport>tiny2</incaReport>").unwrap();
+        assert!(rope.garbage_bytes() > 0);
+        assert!(!rope.maybe_compact(), "arenas under the floor are left alone");
+        // Grow past the floor with one big report, then replace it so
+        // garbage dominates.
+        let big = format!("<incaReport>{}</incaReport>", "x".repeat(COMPACT_MIN_ARENA_BYTES));
+        rope.update(&id, &big).unwrap();
+        rope.update(&id, "<incaReport>small again</incaReport>").unwrap();
+        assert!(rope.arena_bytes() >= COMPACT_MIN_ARENA_BYTES);
+        assert!(
+            rope.garbage_bytes() as f64 >= COMPACT_GARBAGE_RATIO * rope.arena_bytes() as f64
+        );
+        assert!(rope.maybe_compact(), "past both thresholds a rebuild must run");
+        assert_eq!(rope.garbage_bytes(), 0);
+        assert!(rope.arena_bytes() < COMPACT_MIN_ARENA_BYTES, "arena shrank to live bytes");
     }
 
     #[test]

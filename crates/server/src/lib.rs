@@ -10,6 +10,10 @@
 //!   allowlist, wraps each report in an envelope addressed by its
 //!   branch identifier, and forwards it to the depot. All submissions
 //!   serialize through it, as in the 2004 system.
+//! * [`reactor`] — the event-driven server frontend: one thread, a
+//!   level-triggered readiness poller, per-connection framing state
+//!   machines, and explicit backpressure instead of thread-per-
+//!   connection — the 10k-daemon service envelope.
 //! * [`depot`] — data management, caching and archiving. The cache is
 //!   a **single XML document updated by streaming parse** — the design
 //!   the paper measures in §5.2 (insert time grows with cache size;
@@ -32,11 +36,14 @@ pub mod controller;
 pub mod dedup;
 pub mod depot;
 pub mod query;
+pub mod reactor;
 pub mod scrape;
 pub mod stats;
 pub mod temporal;
 
-pub use controller::{CentralizedController, ControllerConfig, TcpServerHandle};
+pub use controller::{
+    CentralizedController, ControllerConfig, ServerFrontend, ServerHandle, TcpServerHandle,
+};
 pub use dedup::{DedupIndex, DEFAULT_DEDUP_WINDOW};
 pub use depot::cache::{CacheError, XmlCache};
 pub use depot::archive::{ArchiveRule, ArchiveStore};
@@ -45,6 +52,7 @@ pub use depot::memo::{MemoValue, QueryMemo};
 pub use depot::rope::RopeCache;
 pub use depot::sharded::ShardedCache;
 pub use query::QueryInterface;
+pub use reactor::{ReactorConfig, ReactorHandle};
 pub use scrape::{MetricsScraper, SELF_SCRAPE_TIERS, SELF_SERIES_PREFIX};
 pub use stats::{BucketStats, ResponseStats, SIZE_BUCKETS};
 pub use temporal::{Incident, IncidentCause, TemporalQuery, WindowAggregate};

@@ -55,6 +55,73 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Incremental frame accumulator for non-blocking readers.
+///
+/// The blocking [`read_frame`] owns its stream until a whole frame
+/// arrives; a readiness-driven server cannot afford that. `FrameBuffer`
+/// accepts bytes as the socket yields them ([`FrameBuffer::extend`])
+/// and hands back complete frames ([`FrameBuffer::next_frame`]) as soon
+/// as the length prefix and payload are fully buffered — a header or
+/// payload split across any number of reads is reassembled
+/// transparently. The oversize cap is enforced from the header alone,
+/// before any payload is buffered.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the live
+    /// remainder so a long-lived connection never accretes old bytes.
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty accumulator.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends bytes read from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame, `Ok(None)` while more bytes are
+    /// needed. A header announcing more than [`MAX_FRAME_LEN`] is
+    /// rejected immediately, without waiting for (or allocating) the
+    /// payload.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let live = &self.buf[self.start..];
+        if live.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([live[0], live[1], live[2], live[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge { announced: len });
+        }
+        if live.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = live[4..4 + len].to_vec();
+        self.start += 4 + len;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    /// Drops the consumed prefix when it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 /// Reads one frame. Returns [`FrameError::Closed`] on clean EOF before
 /// the header.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
@@ -136,6 +203,60 @@ mod tests {
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut cur = Cursor::new(buf);
         assert!(matches!(read_frame(&mut cur), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_byte_at_a_time() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &vec![9u8; 5_000]).unwrap();
+        let mut fb = FrameBuffer::new();
+        let mut frames = Vec::new();
+        for byte in wire {
+            fb.extend(&[byte]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"alpha");
+        assert_eq!(frames[1], b"");
+        assert_eq!(frames[2].len(), 5_000);
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_pops_multiple_frames_from_one_read() {
+        let mut wire = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut wire, &[i; 3]).unwrap();
+        }
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        for i in 0..10u8 {
+            assert_eq!(fb.next_frame().unwrap().unwrap(), [i; 3]);
+        }
+        assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversize_header_before_payload() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(fb.next_frame(), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn frame_buffer_compacts_consumed_prefix() {
+        let mut fb = FrameBuffer::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &vec![1u8; 10_000]).unwrap();
+        fb.extend(&wire);
+        assert!(fb.next_frame().unwrap().is_some());
+        // The consumed frame must not linger in the internal buffer.
+        assert_eq!(fb.buffered(), 0);
+        assert!(fb.buf.len() < 10_000, "consumed bytes were not compacted");
     }
 
     #[test]

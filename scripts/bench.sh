@@ -7,11 +7,14 @@
 #                       contention over the shared depot lock
 #   BENCH_obs.json    — trace-store ingest throughput and forensic
 #                       query latency curves over store size
+#   BENCH_net.json    — reactor frontend connection-scale curve
+#                       (100 → 10k concurrent daemons vs sustained
+#                       reports/sec and p99 accept-to-insert latency)
 # Pass --smoke for the seconds-long CI sanity variant (writes
 # *.smoke.json names so it never clobbers the committed full-mode
 # baselines), --out-dir DIR to write somewhere other than the repo
 # root (the smoke gate in scripts/verify.sh uses target/), and
-# --only <depot|query|obs> to build and run a single bench.
+# --only <depot|query|obs|net> to build and run a single bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,18 +30,18 @@ while [ $# -gt 0 ]; do
       shift
       ;;
     --only)
-      only="${2:?--only requires one of: depot, query, obs}"
+      only="${2:?--only requires one of: depot, query, obs, net}"
       case "$only" in
-        depot|query|obs) ;;
+        depot|query|obs|net) ;;
         *)
-          echo "--only: unknown bench '$only' (expected depot, query or obs)" >&2
+          echo "--only: unknown bench '$only' (expected depot, query, obs or net)" >&2
           exit 2
           ;;
       esac
       shift
       ;;
     *)
-      echo "usage: bench.sh [--smoke] [--out-dir DIR] [--only <depot|query|obs>]" >&2
+      echo "usage: bench.sh [--smoke] [--out-dir DIR] [--only <depot|query|obs|net>]" >&2
       exit 2
       ;;
   esac
@@ -57,14 +60,20 @@ run_obs() {
   cargo build --release -q -p inca-bench --bin trace_query
   target/release/trace_query $smoke --out "$outdir/BENCH_obs$suffix.json"
 }
+run_net() {
+  cargo build --release -q -p inca-bench --bin net_scale
+  target/release/net_scale $smoke --out "$outdir/BENCH_net$suffix.json"
+}
 
 case "$only" in
   depot) run_depot ;;
   query) run_query ;;
   obs) run_obs ;;
+  net) run_net ;;
   "")
     run_depot
     run_query
     run_obs
+    run_net
     ;;
 esac

@@ -16,7 +16,10 @@
 #      docs/OBSERVABILITY.md;
 #   6. the O(report) write path stays documented: every public RopeCache
 #      method must appear in docs/PERFORMANCE.md, and every public
-#      binframe function in ARCHITECTURE.md.
+#      binframe function in ARCHITECTURE.md;
+#   7. the reactor frontend stays documented: every public method of
+#      the readiness reactor (crates/server/src/reactor/) must appear
+#      in ARCHITECTURE.md.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -116,6 +119,22 @@ for func in $(grep -E '^pub fn [a-z0-9_]+' crates/wire/src/binframe.rs \
     | sed 's/^pub fn //; s/(.*//' | sort -u); do
   if ! grep -q "$func" ARCHITECTURE.md; then
     echo "UNDOCUMENTED FRAME FN: binframe::$func (add it to ARCHITECTURE.md)"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== reactor frontend documented =="
+# One thread serving 10k connections is the scale story; its public
+# surface (reactor config/handle, poller, frame reassembly) must stay
+# looked-up-able in the architecture doc.
+fail=0
+for method in $(grep -hE '^    pub fn [a-z0-9_]+' \
+    crates/server/src/reactor/mod.rs crates/server/src/reactor/poller.rs \
+    crates/wire/src/frame.rs \
+    | sed 's/^    pub fn //; s/(.*//' | sort -u); do
+  if ! grep -q "$method" ARCHITECTURE.md; then
+    echo "UNDOCUMENTED REACTOR METHOD: $method (add it to ARCHITECTURE.md)"
     fail=1
   fi
 done

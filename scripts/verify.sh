@@ -77,6 +77,15 @@ cargo test -q --test chaos
 cargo test -q --test reliable_delivery
 cargo test -q --test proptest_delivery
 
+# The reactor frontend: frontend interchangeability under connection
+# chaos (reactor depot byte-identical to the threaded oracle),
+# multiplexing and backpressure unit tests, and the accept-loop
+# resource-reaping regression.
+echo "== reactor frontend gate =="
+cargo test -q --test net_frontend
+cargo test -q -p inca-server --lib reactor
+cargo test -q -p inca-wire --lib frame
+
 # The bench baselines must stay runnable: a smoke pass writes its JSON
 # to target/ (never the tracked BENCH_*.json) and we check the fields
 # consumers of the baselines rely on are present.
@@ -100,6 +109,26 @@ for key in '"ingest"' '"events_per_sec"' '"segments"' '"by_trace_us"' '"slowest_
     exit 1
   fi
 done
+for key in '"daemons"' '"connections"' '"reports_per_sec"' '"p99_accept_to_insert_us"' '"wakeups_total"'; do
+  if ! grep -q "$key" target/BENCH_net.smoke.json; then
+    echo "verify FAILED: net bench smoke output missing $key" >&2
+    exit 1
+  fi
+done
+# The reactor must carry 1000 concurrent daemons even in the smoke
+# pass, with every advertised connection concurrently live and a
+# sustained floor of 5k acked reports/sec per point (full mode runs
+# the 10k-daemon curve with its own gates in the bench binary).
+if ! grep -q '"daemons": 1000, "connections": 1000' target/BENCH_net.smoke.json; then
+  echo "verify FAILED: net bench smoke did not hold 1000 concurrent daemon connections" >&2
+  exit 1
+fi
+if ! awk -F'"reports_per_sec": ' '/"reports_per_sec"/ {
+      split($2, a, ","); if (a[1] + 0 < 5000) bad = 1
+    } END { exit bad }' target/BENCH_net.smoke.json; then
+  echo "verify FAILED: net bench smoke below the 5k reports/sec floor" >&2
+  exit 1
+fi
 
 echo "== docs =="
 if ! scripts/check-docs.sh; then

@@ -113,6 +113,65 @@ fn lost_reply_costs_a_retry_never_a_duplicate_insert() {
 }
 
 #[test]
+fn reconnect_mid_spool_drain_converges_exactly_once_on_reactor() {
+    // A daemon draining its spool into the reactor frontend loses its
+    // connection halfway, reconnects (new TcpTransport, same daemon
+    // identity), blindly retransmits the last in-flight message, and
+    // finishes the drain. The reactor must multiplex the new
+    // connection like any other and the seq dedup must flatten the
+    // overlap: every report ingested exactly once.
+    use inca::server::ServerFrontend;
+    let obs = Obs::new();
+    let controller = Arc::new(CentralizedController::new(
+        ControllerConfig::default(),
+        Depot::with_obs(obs.clone()),
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = controller.serve(ServerFrontend::Reactor, listener).unwrap();
+    let addr = handle.addr();
+
+    const TOTAL: u64 = 20;
+    let mut spool = Spool::new("tg-login1.sdsc.teragrid.org", SpoolConfig::default());
+    let seqs: Vec<u64> = (1..=TOTAL).map(|n| spool.enqueue(probe_message(n))).collect();
+    let io = Duration::from_millis(500);
+
+    // First half over connection #1.
+    let transport = TcpTransport::with_timeouts(addr, io, io);
+    let mut last_message = None;
+    for seq in &seqs[..TOTAL as usize / 2] {
+        let entry = spool.head_if_due(u64::MAX).unwrap();
+        assert_eq!(entry.seq, *seq);
+        assert_eq!(transport.send(&entry.message).unwrap(), ServerResponse::Ack);
+        last_message = Some(entry.message.clone());
+        spool.ack(*seq);
+    }
+    // The connection dies mid-drain (daemon restart, network blip).
+    drop(transport);
+
+    // Connection #2: the daemon cannot know whether its last ack was
+    // real, so it retransmits the already-acked message first.
+    let transport = TcpTransport::with_timeouts(addr, io, io);
+    assert_eq!(
+        transport.send(&last_message.unwrap()).unwrap(),
+        ServerResponse::Ack,
+        "retransmission after reconnect is acked idempotently"
+    );
+    for seq in &seqs[TOTAL as usize / 2..] {
+        let entry = spool.head_if_due(u64::MAX).unwrap();
+        assert_eq!(entry.seq, *seq);
+        assert_eq!(transport.send(&entry.message).unwrap(), ServerResponse::Ack);
+        spool.ack(*seq);
+    }
+    assert!(spool.is_empty(), "drain completed across the reconnect");
+    handle.stop();
+
+    assert_eq!(controller.with_depot(|d| d.stats().report_count()), TOTAL);
+    assert_eq!(controller.with_depot(|d| d.cache().report_count()), TOTAL as usize);
+    assert_eq!(controller.duplicate_count(), 1, "the blind retransmit was absorbed");
+    assert_eq!(obs.metrics().counter_value("inca_depot_duplicates_total", &[]), Some(1));
+}
+
+#[test]
 fn fresh_seqs_after_the_retry_still_ingest() {
     // The dedup window must absorb retransmissions without ever
     // rejecting genuinely new work from the same daemon.
