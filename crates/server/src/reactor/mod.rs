@@ -80,6 +80,19 @@ pub struct ReactorConfig {
     pub pause_outbuf_bytes: usize,
     /// Connections beyond this are accepted and immediately closed.
     pub max_connections: usize,
+    /// Pins each accepted connection's kernel send buffer
+    /// (`SO_SNDBUF`); `None` leaves kernel autotuning in charge.
+    /// Pinning bounds per-connection kernel memory at 10k-connection
+    /// scale and makes the `pause_outbuf_bytes` watermark effective —
+    /// autotuned buffers can grow to absorb an arbitrarily large reply
+    /// backlog before a flush ever goes partial.
+    pub sndbuf_bytes: Option<usize>,
+    /// Pins each accepted connection's kernel receive buffer
+    /// (`SO_RCVBUF`); `None` leaves autotuning in charge. The receive
+    /// side of the same kernel-memory bound: without it a paused
+    /// connection's kernel buffer can grow to absorb megabytes of
+    /// requests the reactor has not agreed to read yet.
+    pub rcvbuf_bytes: Option<usize>,
     /// Idle connections (no frame, no write progress) older than this
     /// are reaped, as in the threaded frontend.
     pub idle_timeout: Duration,
@@ -92,6 +105,8 @@ impl Default for ReactorConfig {
             read_chunk_bytes: 64 * 1024,
             pause_outbuf_bytes: 256 * 1024,
             max_connections: 64 * 1024,
+            sndbuf_bytes: None,
+            rcvbuf_bytes: None,
             idle_timeout: SERVER_IDLE_TIMEOUT,
         }
     }
@@ -231,6 +246,9 @@ struct Reactor {
     /// be revisited explicitly or their frames would strand.
     backlog: BTreeSet<u64>,
     next_token: u64,
+    /// Reusable `read(2)` chunk buffer — the reactor is single-threaded,
+    /// so one buffer serves every connection without per-pass allocation.
+    read_chunk: Vec<u8>,
     metrics: NetMetrics,
     conn_count: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
@@ -276,6 +294,7 @@ impl CentralizedController {
         let metrics = NetMetrics::new(self);
         let mut reactor = Reactor {
             controller: Arc::clone(self),
+            read_chunk: vec![0u8; config.read_chunk_bytes],
             config,
             poller,
             listener,
@@ -373,6 +392,12 @@ impl Reactor {
                         continue;
                     }
                     stream.set_nodelay(true).ok();
+                    if let Some(bytes) = self.config.sndbuf_bytes {
+                        set_kernel_buf(&stream, KernelBuf::Send, bytes).ok();
+                    }
+                    if let Some(bytes) = self.config.rcvbuf_bytes {
+                        set_kernel_buf(&stream, KernelBuf::Recv, bytes).ok();
+                    }
                     let token = self.next_token;
                     self.next_token += 1;
                     if self
@@ -431,6 +456,13 @@ impl Reactor {
                 self.close_conn(token);
                 return;
             }
+            // Recompute interest after the flush: drop write interest
+            // once the buffer drains (stale write interest busy-spins a
+            // level-triggered poller on an always-writable socket) and
+            // restore read interest once below the backpressure
+            // watermark (a paused connection whose replies drain only
+            // via writable events would otherwise never be read again).
+            self.update_interest(token);
         }
         let conn = self.conns.get_mut(&token).expect("conn still present");
         if ev.readable {
@@ -466,28 +498,15 @@ impl Reactor {
         pending: &mut Vec<PendingFrame>,
         budget_hit: &mut bool,
     ) -> ReadOutcome {
-        let chunk_size = self.config.read_chunk_bytes;
-        let conn = self.conns.get_mut(&token).expect("conn present");
-        let mut chunk = vec![0u8; chunk_size];
-        let mut saw_eof = false;
-        loop {
-            match conn.stream.read(&mut chunk) {
-                Ok(0) => {
-                    saw_eof = true;
-                    break;
-                }
-                Ok(n) => {
-                    conn.inbuf.extend(&chunk[..n]);
-                    conn.last_activity = Instant::now();
-                    if n < chunk.len() {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return ReadOutcome::Close,
-            }
-        }
+        // Take the shared chunk buffer so it does not alias the
+        // connection-map borrow, and restore it before any return.
+        let mut chunk = std::mem::take(&mut self.read_chunk);
+        let filled = self.fill_inbuf(token, &mut chunk);
+        self.read_chunk = chunk;
+        let saw_eof = match filled {
+            Ok(eof) => eof,
+            Err(()) => return ReadOutcome::Close,
+        };
         // At EOF nothing further will arrive: drain everything already
         // paid for, budget or not, so the final frames of a closing
         // daemon are not stranded.
@@ -505,6 +524,28 @@ impl Reactor {
             return ReadOutcome::CloseAfterFlush;
         }
         ReadOutcome::Open
+    }
+
+    /// Drains the socket into the connection's reassembly buffer.
+    /// `Ok(true)` means EOF was seen; `Err(())` means a fatal read
+    /// error and the connection should be closed.
+    fn fill_inbuf(&mut self, token: u64, chunk: &mut [u8]) -> Result<bool, ()> {
+        let conn = self.conns.get_mut(&token).expect("conn present");
+        loop {
+            match conn.stream.read(chunk) {
+                Ok(0) => return Ok(true),
+                Ok(n) => {
+                    conn.inbuf.extend(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if n < chunk.len() {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
     }
 
     /// Pops complete frames from a connection's reassembly buffer into
@@ -586,19 +627,19 @@ impl Reactor {
             .map(|f| (f.resource.clone(), f.payload.clone()))
             .collect();
         let results = self.controller.submit_batch(&submissions, now);
-        let mut touched: Vec<u64> = Vec::new();
+        // A connection can contribute frames non-contiguously (backlog
+        // frames first, this pass's reads later), so collect into a set
+        // to flush and recompute interest exactly once per connection.
+        let mut touched: BTreeSet<u64> = BTreeSet::new();
         for (frame, (response, _timing)) in pending.iter().zip(results) {
             self.metrics
                 .accept_to_insert
                 .observe_with_exemplar(frame.received_at.elapsed().as_secs_f64(), frame.trace_id);
             if let Some(conn) = self.conns.get_mut(&frame.conn) {
                 stage_reply(conn, &response.encode());
-                if touched.last() != Some(&frame.conn) {
-                    touched.push(frame.conn);
-                }
+                touched.insert(frame.conn);
             }
         }
-        touched.dedup();
         for token in touched {
             let Some(conn) = self.conns.get_mut(&token) else { continue };
             if flush_outbuf(conn).is_err() {
@@ -692,6 +733,59 @@ fn stage_reply(conn: &mut Conn, payload: &[u8]) {
     let len = payload.len() as u32;
     conn.outbuf.extend_from_slice(&len.to_be_bytes());
     conn.outbuf.extend_from_slice(payload);
+}
+
+/// Which kernel socket buffer [`set_kernel_buf`] pins.
+enum KernelBuf {
+    Send,
+    Recv,
+}
+
+/// Pins a socket's kernel buffer size via `setsockopt` (std exposes no
+/// API for this, so the same extern-shim approach as the poller).
+/// Explicit sizing also disables kernel autotuning, which is what makes
+/// the pinned size an actual bound.
+fn set_kernel_buf(stream: &TcpStream, which: KernelBuf, bytes: usize) -> io::Result<()> {
+    use std::os::raw::{c_int, c_void};
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const SO_SNDBUF: c_int = 7;
+    #[cfg(target_os = "linux")]
+    const SO_RCVBUF: c_int = 8;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    const SO_SNDBUF: c_int = 0x1001;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    const SO_RCVBUF: c_int = 0x1002;
+    extern "C" {
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+    let optname = match which {
+        KernelBuf::Send => SO_SNDBUF,
+        KernelBuf::Recv => SO_RCVBUF,
+    };
+    let val = bytes.min(i32::MAX as usize) as c_int;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            optname,
+            &val as *const c_int as *const c_void,
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
 }
 
 /// Writes staged bytes until the socket stops taking them. `Ok` leaves
@@ -877,6 +971,11 @@ mod tests {
                 ReactorConfig {
                     max_batch_frames: 1,
                     pause_outbuf_bytes: 8,
+                    // Pin both kernel buffers (the receive side bounds
+                    // how far a paused connection's kernel buffer can
+                    // absorb requests the reactor has not read yet).
+                    sndbuf_bytes: Some(16 * 1024),
+                    rcvbuf_bytes: Some(16 * 1024),
                     ..ReactorConfig::default()
                 },
             )
@@ -902,6 +1001,85 @@ mod tests {
             .counter_value("inca_net_backpressure_pauses_total", &[])
             .unwrap_or(0);
         assert!(paused > 0, "tiny budgets must trip the backpressure counter");
+        handle.stop();
+    }
+
+    /// Regression: a connection paused for backpressure whose replies
+    /// drain only through writable events must have read interest
+    /// restored (and write interest dropped) after each flush —
+    /// conn_ready once skipped the interest recompute, so the paused
+    /// daemon was never read again and stale write interest busy-spun
+    /// the level-triggered poller.
+    #[test]
+    fn paused_connection_resumes_after_writable_drain() {
+        let controller = Arc::new(CentralizedController::new(
+            ControllerConfig::default(),
+            Depot::with_obs(inca_obs::Obs::new()),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = controller
+            .serve_reactor_config(
+                listener,
+                ReactorConfig {
+                    pause_outbuf_bytes: 8,
+                    // A pinned (so not autotuned) send buffer, with the
+                    // client's receive buffer pinned below, caps the
+                    // reply path at ~16KiB; the burst's ~40KiB of acks
+                    // must overflow it and trip the watermark.
+                    sndbuf_bytes: Some(4_096),
+                    ..ReactorConfig::default()
+                },
+            )
+            .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        set_kernel_buf(&stream, KernelBuf::Recv, 4_096).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let burst: usize = 4_000;
+        let mut wire = Vec::new();
+        for i in 0..burst {
+            write_frame(&mut wire, &message(&format!("wd{i}"), "wd")).unwrap();
+        }
+        // Push the whole burst from a second thread without reading a
+        // single reply until the server quiesces: replies overflow the
+        // pinned kernel buffers, a partial flush trips the watermark,
+        // and the connection ends up paused with tens of KiB of acks
+        // still staged.
+        let mut writer_stream = stream.try_clone().unwrap();
+        let writer = std::thread::spawn(move || writer_stream.write_all(&wire));
+        let metrics = controller.obs().metrics();
+        let mut last = 0u64;
+        let mut stable = 0;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while stable < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(100));
+            let now = metrics.counter_value("inca_net_frames_total", &[]).unwrap_or(0);
+            if now == last {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+        assert!(last > 0, "server must have processed part of the burst");
+        // From the quiesced state the staged replies drain purely via
+        // writable events — no batch runs while nothing new is read —
+        // so only the post-flush interest recompute can unpause the
+        // connection for the frame sent after the drain.
+        let mut stream = stream;
+        for _ in 0..burst {
+            let reply = read_frame(&mut stream).unwrap();
+            assert_eq!(ServerResponse::decode(&reply).unwrap(), ServerResponse::Ack);
+        }
+        writer.join().unwrap().unwrap();
+        // The connection must have resumed reading: one more frame
+        // round-trips instead of idling out.
+        write_frame(&mut stream, &message("wd-final", "wd")).unwrap();
+        let reply = read_frame(&mut stream).unwrap();
+        assert_eq!(ServerResponse::decode(&reply).unwrap(), ServerResponse::Ack);
+        assert_eq!(
+            controller.with_depot(|d| d.stats().report_count()),
+            burst as u64 + 1
+        );
         handle.stop();
     }
 

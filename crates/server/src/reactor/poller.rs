@@ -191,7 +191,7 @@ mod sys {
     use super::{Interest, Readiness};
     use std::collections::BTreeMap;
     use std::io;
-    use std::os::raw::c_int;
+    use std::os::raw::{c_int, c_ulong};
     use std::os::unix::io::RawFd;
 
     #[repr(C)]
@@ -208,7 +208,9 @@ mod sys {
     const POLLHUP: i16 = 0x010;
 
     extern "C" {
-        fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+        // nfds_t is `unsigned long` on the BSD family (32-bit on 32-bit
+        // targets), so c_ulong — not u64 — matches the ABI everywhere.
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
     }
 
     /// Portable `poll(2)` fallback with the epoll surface.
@@ -252,7 +254,7 @@ mod sys {
             }
             let n = loop {
                 let ret = unsafe {
-                    poll(self.scratch.as_mut_ptr(), self.scratch.len() as u64, timeout_ms)
+                    poll(self.scratch.as_mut_ptr(), self.scratch.len() as c_ulong, timeout_ms)
                 };
                 if ret >= 0 {
                     break ret;
