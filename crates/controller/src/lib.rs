@@ -16,7 +16,9 @@
 //!   reporter dependencies (the paper's §6 future work, implemented
 //!   here as an ablation),
 //! * [`forwarder`] — the [`Transport`] abstraction plus the TCP
-//!   implementation used in live deployments,
+//!   implementation used in live deployments, and the [`DepotRelay`]
+//!   that turns a federated depot into an exactly-once forwarding
+//!   client toward its parent,
 //! * [`daemon`] — the controller itself: fires due entries, executes
 //!   reporters against the simulated VO, kills over-budget runs and
 //!   submits the §3.1.3 special error reports, forwards results,
@@ -39,7 +41,9 @@ pub mod spool;
 
 pub use daemon::{DistributedController, RunStats};
 pub use exec::{DurationModel, ExecRecord, ProcessTable};
-pub use forwarder::{CollectingTransport, TcpTransport, Transport, DEFAULT_IO_TIMEOUT};
+pub use forwarder::{
+    CollectingTransport, DepotRelay, RelayOutcome, TcpTransport, Transport, DEFAULT_IO_TIMEOUT,
+};
 pub use impact::{ImpactModel, ImpactSample};
 pub use scheduler::Scheduler;
 pub use spec::{Spec, SpecEntry};

@@ -267,6 +267,22 @@ impl Spool {
         self.ack(seq)
     }
 
+    /// Drops queued entries for `branch` that have never been sent
+    /// (`attempts == 0` and not past any delivery attempt), returning
+    /// how many were dropped. A forwarding relay calls this before
+    /// enqueueing a fresh rollup of the same branch: under a long
+    /// partition the parent wants the *latest* value per branch, not a
+    /// replay of every superseded one — the same "freshest state wins"
+    /// theory as the capacity drop. Entries with delivery attempts are
+    /// kept: they may already have been ingested, and acking them via
+    /// retry is how the relay learns that.
+    pub fn supersede(&mut self, branch: &inca_report::BranchId) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| e.attempts > 0 || e.message.branch != *branch);
+        before - self.entries.len()
+    }
+
     /// Serializes the whole spool — identity, sequence counter, drop
     /// count, and every queued entry — to bytes. The meta frame stays
     /// XML (it is small and human-greppable); each entry is one frame
@@ -460,6 +476,20 @@ mod tests {
         assert!(s.due_prefix(499, false).is_empty());
         let due = s.due_prefix(500, false);
         assert_eq!(due[0].attempts, 0);
+    }
+
+    #[test]
+    fn supersede_drops_only_unsent_entries_of_that_branch() {
+        let mut s = spool();
+        let a = s.enqueue(message(1)); // reporter=r1
+        s.enqueue(message(1)); // superseded rollup of the same branch
+        let c = s.enqueue(message(2)); // different branch, untouched
+        s.nack(a, 0); // a was sent once: it may already be ingested
+        let branch: BranchId = "reporter=r1,vo=tg".parse().unwrap();
+        assert_eq!(s.supersede(&branch), 1);
+        let seqs: Vec<u64> = s.due_prefix(u64::MAX, true).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![a, c], "attempted entry and other branches survive");
+        assert_eq!(s.supersede(&branch), 0, "nothing left to supersede");
     }
 
     #[test]

@@ -29,20 +29,40 @@ pub const DEFAULT_DEDUP_WINDOW: u64 = 4096;
 /// Seen-seq window for one daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct SeqWindow {
-    /// Seqs strictly below this are treated as seen (window floor).
+    /// Seqs strictly below this are treated as seen (window floor),
+    /// unless they are in `holes`.
     floor: u64,
     /// Seen seqs at or above `floor`.
     seen: BTreeSet<u64>,
+    /// Seqs below `floor` that were explicitly un-recorded after a
+    /// post-admission depot failure: the one exception to "below the
+    /// floor means seen". A retry of a hole is fresh; everything else
+    /// below the floor stays a duplicate.
+    ///
+    /// This replaces the old "drop the floor to `seq` and re-mark
+    /// every seq in `(seq+1)..floor` as seen" reopening: that blanket
+    /// re-mark fabricated seen-ness for seqs the floor had only
+    /// *assumed* seen (window slides cover seqs that were permanently
+    /// rejected or never delivered at all), and a failure spanning
+    /// multiple in-flight seqs below a megascale collapsed floor paid
+    /// O(floor − seq) inserts per forget. Holes keep forget exact and
+    /// O(log n): only genuinely-delivered seqs stay marked.
+    holes: BTreeSet<u64>,
 }
 
 impl SeqWindow {
     fn new() -> SeqWindow {
-        SeqWindow { floor: 1, seen: BTreeSet::new() }
+        SeqWindow { floor: 1, seen: BTreeSet::new(), holes: BTreeSet::new() }
     }
 
     /// Records `seq`; returns true when it is fresh (first sighting).
     fn observe(&mut self, seq: u64, window: u64) -> bool {
-        if seq < self.floor || !self.seen.insert(seq) {
+        if seq < self.floor {
+            // Below the floor only a reopened hole is fresh; observing
+            // it closes the hole (assumed-seen again).
+            return self.holes.remove(&seq);
+        }
+        if !self.seen.insert(seq) {
             return false;
         }
         let max = *self.seen.iter().next_back().expect("just inserted");
@@ -52,6 +72,13 @@ impl SeqWindow {
         if slide_to > self.floor {
             self.floor = slide_to;
             self.seen = self.seen.split_off(&self.floor);
+            // Every hole is below the pre-slide floor, hence below
+            // `slide_to`, hence outside the new window: a daemon whose
+            // head-of-line spool (capacity = window) advanced this far
+            // must have dropped those entries, so no legitimate retry
+            // of them can arrive. Pruning here bounds memory to
+            // O(window) per daemon.
+            self.holes = self.holes.split_off(&self.floor);
         }
         while self.seen.remove(&self.floor) {
             self.floor += 1;
@@ -60,17 +87,15 @@ impl SeqWindow {
     }
 
     /// Un-records `seq` (the depot failed to ingest it after admission;
-    /// the daemon's retry must not be deduplicated). A seq already
-    /// collapsed into the floor reopens as a hole: the floor drops to
-    /// it and the seqs above it are re-tracked explicitly.
+    /// the daemon's retry must not be deduplicated). At or above the
+    /// floor the explicit mark is dropped; a seq already collapsed into
+    /// the floor reopens as a tracked hole instead of dropping the
+    /// floor — no other seq's seen-ness changes.
     fn forget(&mut self, seq: u64) {
         if seq >= self.floor {
             self.seen.remove(&seq);
         } else {
-            for s in (seq + 1)..self.floor {
-                self.seen.insert(s);
-            }
-            self.floor = seq;
+            self.holes.insert(seq);
         }
     }
 }
@@ -194,6 +219,67 @@ mod tests {
         // Forgetting the newest collapsed seq reopens the floor too.
         idx.forget("d", 2);
         assert!(idx.observe("d", 2));
+    }
+
+    #[test]
+    fn forget_spanning_multiple_in_flight_seqs_reopens_each_exactly() {
+        // A depot failure spanning several in-flight seqs of one burst:
+        // every failed seq must retry fresh, every delivered seq must
+        // stay a duplicate — in any forget order (batch reconciliation
+        // is branch-sorted, not seq-sorted).
+        for order in [[10u64, 11, 12], [12, 11, 10], [11, 10, 12]] {
+            let mut idx = DedupIndex::new(1 << 32);
+            for seq in 1..=12 {
+                assert!(idx.observe("d", seq));
+            }
+            // Floor collapsed past the whole prefix; depot fails 10..=12.
+            for seq in order {
+                idx.forget("d", seq);
+            }
+            for seq in 1..=9 {
+                assert!(!idx.observe("d", seq), "delivered seq {seq} stays seen");
+            }
+            for seq in [10, 11, 12] {
+                assert!(idx.observe("d", seq), "failed seq {seq} retries fresh");
+                assert!(!idx.observe("d", seq), "…exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn forget_below_floor_does_not_fabricate_seen_marks() {
+        // Regression: the old reopening re-marked every seq in
+        // `(seq+1)..floor` as seen. With a floor collapsed over a
+        // million in-order seqs, forgetting one old seq exploded the
+        // window to O(floor) entries. Holes keep it O(1).
+        let mut idx = DedupIndex::new(1 << 32);
+        for seq in 1..=1_000_000 {
+            idx.observe("d", seq);
+        }
+        idx.forget("d", 5);
+        let w = idx.daemons.get("d").unwrap();
+        assert!(w.seen.is_empty(), "no fabricated explicit marks");
+        assert_eq!(w.holes.len(), 1);
+        assert_eq!(w.floor, 1_000_001, "floor is untouched by a below-floor forget");
+        assert!(idx.observe("d", 5), "the hole retries fresh");
+        assert!(!idx.observe("d", 5));
+        assert!(!idx.observe("d", 999_999), "neighbours stay duplicates");
+    }
+
+    #[test]
+    fn holes_are_pruned_when_the_window_slides_past_them() {
+        let mut idx = DedupIndex::new(8);
+        for seq in 1..=10 {
+            assert!(idx.observe("d", seq));
+        }
+        idx.forget("d", 9);
+        assert_eq!(idx.daemons.get("d").unwrap().holes.len(), 1);
+        // A jump far beyond the window: seq 9 can no longer be a
+        // legitimate head-of-line retry, so the hole is dropped.
+        assert!(idx.observe("d", 100));
+        let w = idx.daemons.get("d").unwrap();
+        assert!(w.holes.is_empty(), "stale hole pruned with the slide");
+        assert!(!idx.observe("d", 9), "outside the window: assumed seen again");
     }
 
     #[test]

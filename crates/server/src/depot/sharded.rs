@@ -346,6 +346,80 @@ mod tests {
     }
 
     #[test]
+    fn restore_of_empty_document_set_zeroes_gauges() {
+        // An operator restoring an empty depot must see zeroed gauges,
+        // not whatever the registry held before.
+        let obs = Obs::new();
+        obs.metrics().gauge("inca_depot_shards", "h").set(99.0);
+        obs.metrics().gauge("inca_depot_shard_largest_bytes", "h").set(12_345.0);
+        let empty: Vec<(String, String)> = Vec::new();
+        let cache = ShardedCache::from_documents(2, empty, &obs).unwrap();
+        assert_eq!(cache.shard_count(), 0);
+        assert_eq!(obs.metrics().gauge_value("inca_depot_shards", &[]).unwrap(), 0.0);
+        assert_eq!(
+            obs.metrics().gauge_value("inca_depot_shard_largest_bytes", &[]).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn restore_overwrites_stale_gauges_in_shared_registry() {
+        // A depot restarting in-process reuses the same registry; the
+        // restore path must overwrite the previous incarnation's values
+        // rather than leave them describing the dead cache.
+        let obs = Obs::new();
+        let mut first = ShardedCache::with_obs(2, &obs);
+        first
+            .update(&branch("reporter=a,resource=m1,site=sdsc,vo=tg"), &report("a", &"x".repeat(5_000)))
+            .unwrap();
+        let stale = obs.metrics().gauge_value("inca_depot_shard_largest_bytes", &[]).unwrap();
+        assert!(stale > 0.0);
+
+        // Restore a much smaller cache into the SAME registry.
+        let mut small = ShardedCache::new(2);
+        small.update(&branch("reporter=b,resource=m2,site=ncsa,vo=tg"), &report("b", "1")).unwrap();
+        let docs: Vec<(String, String)> =
+            small.shard_documents().map(|(k, d)| (k.to_string(), d.to_string())).collect();
+        let restored = ShardedCache::from_documents(2, docs, &obs).unwrap();
+        let now = obs.metrics().gauge_value("inca_depot_shard_largest_bytes", &[]).unwrap();
+        assert_eq!(now, restored.largest_shard_bytes() as f64);
+        assert!(now < stale, "restore must shrink the stale gauge ({now} vs {stale})");
+        assert_eq!(
+            obs.metrics().gauge_value("inca_depot_shards", &[]).unwrap(),
+            restored.shard_count() as f64
+        );
+    }
+
+    #[test]
+    fn shard_documents_round_trip_is_a_fixed_point() {
+        // Persist → restore → persist yields byte-identical documents
+        // and identical gauge values: the restore path neither reorders
+        // nor re-serializes shard content.
+        let obs = Obs::new();
+        let mut cache = ShardedCache::with_obs(2, &obs);
+        for i in 0..20 {
+            cache
+                .update(
+                    &branch(&format!("reporter=r{i},resource=m{},site=s{},vo=tg", i % 4, i % 3)),
+                    &report(&format!("r{i}"), &i.to_string()),
+                )
+                .unwrap();
+        }
+        let docs1: Vec<(String, String)> =
+            cache.shard_documents().map(|(k, d)| (k.to_string(), d.to_string())).collect();
+        let obs2 = Obs::new();
+        let loaded = ShardedCache::from_documents(2, docs1.clone(), &obs2).unwrap();
+        let docs2: Vec<(String, String)> =
+            loaded.shard_documents().map(|(k, d)| (k.to_string(), d.to_string())).collect();
+        assert_eq!(docs1, docs2, "round-trip must be a fixed point");
+        assert_eq!(loaded.report_count(), cache.report_count());
+        assert_eq!(
+            obs2.metrics().gauge_value("inca_depot_shard_largest_bytes", &[]).unwrap(),
+            obs.metrics().gauge_value("inca_depot_shard_largest_bytes", &[]).unwrap()
+        );
+    }
+
+    #[test]
     fn from_documents_rejects_corrupt_shards() {
         let obs = Obs::new();
         let err = ShardedCache::from_documents(2, [("vo=tg", "<notACache/>")], &obs);

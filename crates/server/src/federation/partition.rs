@@ -1,0 +1,206 @@
+//! The partition map: which depot owns which site.
+//!
+//! Routing uses rendezvous (highest-random-weight) hashing: every
+//! `(partition, key)` pair gets a deterministic pseudo-random weight
+//! and the key belongs to the partition with the highest weight. The
+//! payoff over modulo hashing is *minimal movement on rebalance* —
+//! adding a partition moves only the keys whose new partition wins
+//! their weight contest (≈ 1/(n+1) of them), and removing one moves
+//! only the keys it owned. A VO operator can grow the depot tier
+//! without re-homing (and re-forwarding) the whole federation.
+
+use inca_report::BranchId;
+
+/// Deterministic site/VO-prefix → depot-partition routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    /// Partition names, sorted and deduplicated; never empty.
+    partitions: Vec<String>,
+}
+
+impl PartitionMap {
+    /// A map over the given partitions (order-insensitive; duplicates
+    /// collapse).
+    ///
+    /// # Panics
+    ///
+    /// When `partitions` is empty: a federation with no depots cannot
+    /// route anything.
+    pub fn new<I, S>(partitions: I) -> PartitionMap
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut partitions: Vec<String> = partitions.into_iter().map(Into::into).collect();
+        partitions.sort();
+        partitions.dedup();
+        assert!(!partitions.is_empty(), "a partition map needs at least one partition");
+        PartitionMap { partitions }
+    }
+
+    /// Partition names, sorted.
+    pub fn partitions(&self) -> &[String] {
+        &self.partitions
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Always false (construction rejects the empty map); present for
+    /// the conventional pairing with [`PartitionMap::len`].
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// The partition owning `key` — the highest-weight partition for
+    /// this key. Deterministic: every depot and every client computing
+    /// this map agrees on ownership with no coordination.
+    pub fn partition_for(&self, key: &str) -> &str {
+        self.partitions
+            .iter()
+            .max_by_key(|p| weight(p, key))
+            .expect("map is never empty")
+    }
+
+    /// The partition owning a report addressed by `branch`, routed by
+    /// its [`routing_key`].
+    pub fn route(&self, branch: &BranchId) -> &str {
+        self.partition_for(routing_key(branch))
+    }
+
+    /// A new map with `name` added (rebalances ≈ 1/(n+1) of keys onto
+    /// the newcomer; every other key keeps its partition).
+    pub fn with_partition(&self, name: impl Into<String>) -> PartitionMap {
+        PartitionMap::new(self.partitions.iter().cloned().chain([name.into()]))
+    }
+
+    /// A new map with `name` removed (only its keys move; everyone
+    /// else stays put).
+    ///
+    /// # Panics
+    ///
+    /// When removing the last partition.
+    pub fn without_partition(&self, name: &str) -> PartitionMap {
+        PartitionMap::new(self.partitions.iter().filter(|p| p.as_str() != name).cloned())
+    }
+}
+
+/// The component of `branch` that decides depot ownership: the site
+/// (so one site's reports — and its rollup — always share a depot),
+/// falling back to the VO for site-less branches, then to the most
+/// general component so every branch routes somewhere deterministic.
+pub fn routing_key(branch: &BranchId) -> &str {
+    branch
+        .get("site")
+        .or_else(|| branch.get("vo"))
+        .or_else(|| branch.hierarchy().next().map(|(_, value)| value))
+        .unwrap_or("")
+}
+
+/// Rendezvous weight of `(partition, key)`: FNV-1a over both strings,
+/// finished SplitMix64-style so single-bit input differences diffuse
+/// across the whole weight.
+fn weight(partition: &str, key: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in partition.bytes().chain([0xFF]).chain(key.bytes()) {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(n: usize) -> PartitionMap {
+        PartitionMap::new((0..n).map(|i| format!("depot{i}")))
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let m = map(8);
+        for i in 0..500 {
+            let key = format!("site{i}");
+            let owner = m.partition_for(&key).to_string();
+            assert_eq!(m.partition_for(&key), owner, "same key, same owner");
+            assert!(m.partitions().contains(&owner));
+        }
+    }
+
+    #[test]
+    fn construction_order_does_not_matter() {
+        let a = PartitionMap::new(["b", "a", "c"]);
+        let b = PartitionMap::new(["c", "a", "b", "a"]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn keys_spread_over_partitions() {
+        let m = map(8);
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..800 {
+            *counts.entry(m.partition_for(&format!("site{i}")).to_string()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 8, "every partition owns something");
+        // 800 keys over 8 partitions: expect ~100 each; a partition
+        // under 40 or over 200 would mean the hash is badly skewed.
+        for (partition, count) in counts {
+            assert!((40..=200).contains(&count), "{partition} owns {count} of 800");
+        }
+    }
+
+    #[test]
+    fn adding_a_partition_moves_only_keys_it_wins() {
+        let before = map(8);
+        let after = before.with_partition("depot8");
+        let mut moved = 0;
+        for i in 0..800 {
+            let key = format!("site{i}");
+            let (old, new) = (before.partition_for(&key), after.partition_for(&key));
+            if old != new {
+                assert_eq!(new, "depot8", "a moved key may only move to the newcomer");
+                moved += 1;
+            }
+        }
+        // Expect ≈ 800/9 ≈ 89 moves; anything over a quarter of the
+        // keys would be modulo-hash-style reshuffling.
+        assert!(moved > 0 && moved < 200, "moved {moved} of 800");
+    }
+
+    #[test]
+    fn removing_a_partition_moves_only_its_keys() {
+        let before = map(8);
+        let after = before.without_partition("depot3");
+        for i in 0..800 {
+            let key = format!("site{i}");
+            let old = before.partition_for(&key);
+            if old != "depot3" {
+                assert_eq!(after.partition_for(&key), old, "surviving owner keeps its keys");
+            } else {
+                assert_ne!(after.partition_for(&key), "depot3");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_key_prefers_site_then_vo() {
+        let b: BranchId = "reporter=r,resource=h,site=sdsc,vo=tg".parse().unwrap();
+        assert_eq!(routing_key(&b), "sdsc");
+        let b: BranchId = "reporter=r,vo=tg".parse().unwrap();
+        assert_eq!(routing_key(&b), "tg");
+        let b: BranchId = "reporter=r".parse().unwrap();
+        assert_eq!(routing_key(&b), "r");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn empty_map_is_rejected() {
+        PartitionMap::new(Vec::<String>::new());
+    }
+}

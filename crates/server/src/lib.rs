@@ -25,6 +25,10 @@
 //! * [`temporal`] — time-travel queries over the archive: windowed
 //!   availability aggregates, multi-resolution fetch, and incident
 //!   reconstruction joining archive windows with trace lineage.
+//! * [`federation`] — the federated depot tier: a partition map
+//!   routing sites to depot partitions, exactly-once depot-to-depot
+//!   forwarding, and a single query plane whose global merge is
+//!   byte-identical to a one-depot deployment.
 //! * [`scrape`] — the self-scrape pipeline: a [`MetricsScraper`]
 //!   periodically records the framework's own metrics registry
 //!   (gauges, counter rates, histogram quantiles) into archive series
@@ -35,6 +39,7 @@
 pub mod controller;
 pub mod dedup;
 pub mod depot;
+pub mod federation;
 pub mod query;
 pub mod reactor;
 pub mod scrape;
@@ -50,6 +55,10 @@ pub use depot::archive::{ArchiveRule, ArchiveStore};
 pub use depot::depot::{CacheBackend, CacheRef, Depot, DepotError, DepotTiming};
 pub use depot::memo::{MemoValue, QueryMemo};
 pub use depot::rope::RopeCache;
+pub use federation::{
+    rollup_branch, rollup_rule, rollup_series_prefix, routing_key, Federation,
+    FederationConfig, PartitionMap,
+};
 pub use depot::sharded::ShardedCache;
 pub use query::QueryInterface;
 pub use reactor::{ReactorConfig, ReactorHandle};

@@ -13,7 +13,7 @@ use inca_obs::metrics::{Histogram, DEFAULT_LATENCY_BOUNDS};
 use inca_report::{BranchId, Report, Timestamp};
 use inca_rrd::{ConsolidationFn, GraphSeries};
 
-use crate::depot::cache::CacheError;
+use crate::depot::cache::{CacheError, XmlCache};
 use crate::depot::depot::Depot;
 use crate::temporal::TemporalQuery;
 
@@ -80,6 +80,23 @@ impl<'a> QueryInterface<'a> {
     /// returned").
     pub fn current_all(&self) -> String {
         self.depot.cache().document().to_string()
+    }
+
+    /// Merges per-partition report sets into one cache document.
+    ///
+    /// The federation's query plane fans a global query out to the
+    /// owning partitions and merges here: the reports are spliced into
+    /// a fresh [`XmlCache`] whose canonical sibling ordering makes the
+    /// document a pure function of report content — byte-identical to
+    /// the document a single depot holding every report would serve,
+    /// regardless of which partition held what or in what order the
+    /// sets arrive.
+    pub fn merged_document(sets: &[Vec<(BranchId, String)>]) -> Result<String, CacheError> {
+        let mut cache = XmlCache::new();
+        let items: Vec<(&BranchId, &str)> =
+            sets.iter().flatten().map(|(branch, xml)| (branch, xml.as_str())).collect();
+        cache.insert_batch(&items)?;
+        Ok(cache.document().to_string())
     }
 
     /// The raw cache subtree matching a branch-identifier query, or

@@ -693,15 +693,33 @@ impl Reactor {
     }
 
     /// Reaps idle connections, amortized to roughly once per timeout.
+    ///
+    /// "Idle" means the connection is genuinely quiet, not merely
+    /// throttled: a daemon paused past the reply watermark sends no
+    /// bytes *because the reactor withdrew its read interest*, so its
+    /// `last_activity` goes stale mid-drain while tens of KiB of acks
+    /// are still staged. Reaping it would discard acknowledged work and
+    /// force a full respool — doubly costly once depot-to-depot links
+    /// pause under fan-in. Connections with staged replies, withdrawn
+    /// read interest, or frames parked on the pass-budget backlog are
+    /// therefore exempt: all three states quiesce only through the
+    /// reactor's own progress, which refreshes `last_activity`.
     fn sweep_idle(&mut self) {
         if self.last_idle_sweep.elapsed() < self.config.idle_timeout {
             return;
         }
         self.last_idle_sweep = Instant::now();
+        let backlog = &self.backlog;
+        let timeout = self.config.idle_timeout;
         let idle: Vec<u64> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.last_activity.elapsed() > self.config.idle_timeout)
+            .filter(|(&t, c)| {
+                c.last_activity.elapsed() > timeout
+                    && c.pending_out() == 0
+                    && (c.interest.read || c.closing)
+                    && !backlog.contains(&t)
+            })
             .map(|(&t, _)| t)
             .collect();
         for token in idle {
@@ -1074,6 +1092,86 @@ mod tests {
         // The connection must have resumed reading: one more frame
         // round-trips instead of idling out.
         write_frame(&mut stream, &message("wd-final", "wd")).unwrap();
+        let reply = read_frame(&mut stream).unwrap();
+        assert_eq!(ServerResponse::decode(&reply).unwrap(), ServerResponse::Ack);
+        assert_eq!(
+            controller.with_depot(|d| d.stats().report_count()),
+            burst as u64 + 1
+        );
+        handle.stop();
+    }
+
+    /// Regression: the idle sweep used to reap any connection without
+    /// recent socket activity — including one the reactor itself had
+    /// paused for backpressure. A paused daemon sends no bytes (its
+    /// read interest is withdrawn) and receives none (the kernel reply
+    /// path is full), so `last_activity` goes stale mid-drain and the
+    /// sweep severed a healthy connection with staged acks still
+    /// aboard. The sweep must exempt paused/pending-write connections.
+    #[test]
+    fn idle_sweep_spares_backpressure_paused_connections() {
+        let controller = Arc::new(CentralizedController::new(
+            ControllerConfig::default(),
+            Depot::with_obs(inca_obs::Obs::new()),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let idle_timeout = Duration::from_millis(300);
+        let handle = controller
+            .serve_reactor_config(
+                listener,
+                ReactorConfig {
+                    pause_outbuf_bytes: 8,
+                    sndbuf_bytes: Some(4_096),
+                    idle_timeout,
+                    ..ReactorConfig::default()
+                },
+            )
+            .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        set_kernel_buf(&stream, KernelBuf::Recv, 4_096).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let burst: usize = 4_000;
+        let mut wire = Vec::new();
+        for i in 0..burst {
+            write_frame(&mut wire, &message(&format!("sw{i}"), "sw")).unwrap();
+        }
+        // Push the burst without reading a reply: acks overflow the
+        // pinned kernel buffers, the watermark pauses the connection,
+        // and with the client reading nothing the socket goes byte-
+        // silent in both directions.
+        let mut writer_stream = stream.try_clone().unwrap();
+        let writer = std::thread::spawn(move || writer_stream.write_all(&wire));
+        let metrics = controller.obs().metrics();
+        let mut last = 0u64;
+        let mut stable = 0;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while stable < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(100));
+            let now = metrics.counter_value("inca_net_frames_total", &[]).unwrap_or(0);
+            if now == last {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+        assert!(last > 0, "server must have processed part of the burst");
+        // Hold the stall across several sweep periods. last_activity is
+        // now long past idle_timeout; only the paused/pending-write
+        // exemption keeps the connection alive.
+        std::thread::sleep(idle_timeout * 4);
+        assert!(
+            handle.connection_count() >= 1,
+            "idle sweep reaped a backpressure-paused connection mid-drain"
+        );
+        // The drain completes and the connection still works.
+        let mut stream = stream;
+        for _ in 0..burst {
+            let reply = read_frame(&mut stream).unwrap();
+            assert_eq!(ServerResponse::decode(&reply).unwrap(), ServerResponse::Ack);
+        }
+        writer.join().unwrap().unwrap();
+        write_frame(&mut stream, &message("sw-final", "sw")).unwrap();
         let reply = read_frame(&mut stream).unwrap();
         assert_eq!(ServerResponse::decode(&reply).unwrap(), ServerResponse::Ack);
         assert_eq!(

@@ -161,6 +161,28 @@ impl<'a> TemporalQuery<'a> {
         })
     }
 
+    /// Fetches `series` whether it is consumer-recorded or rule-fed.
+    /// Consumer (manual) names are tried verbatim first; a miss whose
+    /// name splits as `{rule}:{branch}` — the shape
+    /// [`series_names`](crate::ArchiveStore::series_names) lists
+    /// rule-fed series under — falls through to the rule-fed store, so
+    /// windowed queries see one flat namespace over both.
+    fn fetch_any(
+        &self,
+        series: &str,
+        cf: ConsolidationFn,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Option<inca_rrd::FetchResult> {
+        let archive = self.depot.archive();
+        if let Some(fetch) = archive.fetch_series(series, cf, start, end) {
+            return Some(fetch);
+        }
+        let (rule, branch) = series.split_once(':')?;
+        let branch: BranchId = branch.parse().ok()?;
+        archive.fetch_rule_series(rule, &branch, cf, start, end)
+    }
+
     /// Windowed summary of one archived series: mean/min/max
     /// availability and the unknown fraction over `[start, end)`.
     pub fn window_aggregate(
@@ -170,8 +192,7 @@ impl<'a> TemporalQuery<'a> {
         end: Timestamp,
     ) -> Option<WindowAggregate> {
         self.timed(&self.aggregate_hist, || {
-            let fetch =
-                self.depot.archive().fetch_series(series, ConsolidationFn::Average, start, end)?;
+            let fetch = self.fetch_any(series, ConsolidationFn::Average, start, end)?;
             let graph = GraphSeries::from_fetch(series, fetch);
             let stats = graph.stats();
             Some(WindowAggregate {
@@ -216,6 +237,67 @@ impl<'a> TemporalQuery<'a> {
                 Some((name, agg))
             })
             .collect()
+    }
+
+    /// One windowed summary over *every* series matching
+    /// `series_prefix` — the federated VO-scope answer shape.
+    ///
+    /// Per-series windows come from [`TemporalQuery::window_aggregates`]
+    /// (so rule-fed rollup series count, via the flat namespace); they
+    /// combine into a single [`WindowAggregate`]: `known` and `points`
+    /// sum, `mean` weights each series by its known points, `min`/`max`
+    /// take the extremes, and the unknown fraction weights by points.
+    /// A federated root holding per-site rollup series answers "VO
+    /// compliance last quarter" here without touching one leaf
+    /// document. `None` when no series matches.
+    pub fn federated_aggregate(
+        &self,
+        series_prefix: &str,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Option<WindowAggregate> {
+        let parts = self.window_aggregates(series_prefix, start, end);
+        if parts.is_empty() {
+            return None;
+        }
+        let mut combined = WindowAggregate {
+            series: format!("{series_prefix}*"),
+            step: 0,
+            points: 0,
+            known: 0,
+            mean: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+            unknown_fraction: 0.0,
+        };
+        let mut weighted_sum = 0.0;
+        let mut unknown_points = 0.0;
+        for (_, agg) in &parts {
+            combined.step = combined.step.max(agg.step);
+            combined.points += agg.points;
+            combined.known += agg.known;
+            if agg.known > 0 {
+                weighted_sum += agg.mean * agg.known as f64;
+                combined.min = if combined.min.is_nan() {
+                    agg.min
+                } else {
+                    combined.min.min(agg.min)
+                };
+                combined.max = if combined.max.is_nan() {
+                    agg.max
+                } else {
+                    combined.max.max(agg.max)
+                };
+            }
+            unknown_points += agg.unknown_fraction * agg.points as f64;
+        }
+        if combined.known > 0 {
+            combined.mean = weighted_sum / combined.known as f64;
+        }
+        if combined.points > 0 {
+            combined.unknown_fraction = unknown_points / combined.points as f64;
+        }
+        Some(combined)
     }
 
     /// Multi-resolution fetch: one archived series over a window, from
@@ -500,6 +582,62 @@ mod tests {
         let site = temporal.window_aggregates("availability:Grid:sdsc-", t0, t0 + 25 * 600);
         assert_eq!(site.len(), 1);
         assert!(temporal.window_aggregates("availability:Cluster:", t0, t0 + 600).is_empty());
+    }
+
+    /// A depot archiving federated per-site rollups through the
+    /// rule-fed store: three sites reporting hourly availability.
+    fn depot_with_rollups() -> (Depot, Timestamp) {
+        let mut depot = Depot::new();
+        depot.add_archive_rule(crate::federation::rollup_rule("tg", 3600));
+        let t0 = Timestamp::from_secs(600_000);
+        for (site, pct) in [("sdsc", 100.0), ("ncsa", 80.0), ("psc", 90.0)] {
+            for i in 1..=6u64 {
+                let t = t0 + i * 3600;
+                let report = ReportBuilder::new("fed.rollup.availability", "1")
+                    .gmt(t)
+                    .body_value("availability", format!("{pct:.4}"))
+                    .success()
+                    .unwrap();
+                let branch = crate::federation::rollup_branch(site, "tg");
+                let env = Envelope::new(branch, report.to_xml());
+                depot.receive(&env.encode(EnvelopeMode::Body), t).unwrap();
+            }
+        }
+        (depot, t0)
+    }
+
+    #[test]
+    fn window_aggregate_reads_rule_fed_series_through_flat_namespace() {
+        let (depot, t0) = depot_with_rollups();
+        let q = QueryInterface::new(&depot);
+        let series =
+            format!("fed-availability:{}", crate::federation::rollup_branch("ncsa", "tg"));
+        let agg = q.temporal().window_aggregate(&series, t0, t0 + 7 * 3600).unwrap();
+        assert!(agg.known >= 4, "rule-fed points visible, got {}", agg.known);
+        assert!((agg.mean - 80.0).abs() < 1e-9);
+        // A name that is neither manual nor rule:branch still misses.
+        assert!(q.temporal().window_aggregate("no:such=series", t0, t0 + 3600).is_none());
+    }
+
+    #[test]
+    fn federated_aggregate_combines_rollup_series() {
+        let (depot, t0) = depot_with_rollups();
+        let q = QueryInterface::new(&depot);
+        let temporal = q.temporal();
+        let prefix = crate::federation::rollup_series_prefix();
+        let agg = temporal.federated_aggregate(&prefix, t0, t0 + 7 * 3600).unwrap();
+        assert_eq!(agg.series, format!("{prefix}*"));
+        assert!((agg.min - 80.0).abs() < 1e-9, "worst site bounds the min");
+        assert!((agg.max - 100.0).abs() < 1e-9, "best site bounds the max");
+        assert!(agg.mean > 80.0 && agg.mean < 100.0, "VO mean between extremes");
+        let per_site = temporal.window_aggregates(&prefix, t0, t0 + 7 * 3600);
+        assert_eq!(per_site.len(), 3);
+        assert_eq!(
+            agg.known,
+            per_site.iter().map(|(_, a)| a.known).sum::<usize>(),
+            "combined known points are the per-site sum"
+        );
+        assert!(temporal.federated_aggregate("nothing:", t0, t0 + 3600).is_none());
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Property tests for `DedupIndex`: forget × window-slide
+//! interleavings against a naive exact oracle.
+//!
+//! The generator simulates the only client the dedup contract is
+//! defined for — a head-of-line spool daemon. Its spool has capacity
+//! equal to the dedup window, so every seq it can still retransmit,
+//! fail, or retry sits within `window` of the newest seq it has sent;
+//! a failed seq is always retried before the window slides past it
+//! (the spool blocks on its head). Under that discipline the windowed
+//! index must agree *exactly* with an unwindowed oracle (a plain set
+//! with insert/remove), which is what these properties check: the old
+//! `forget` reopening fabricated seen-marks for window-slid seqs and
+//! diverged from the oracle precisely in these interleavings.
+
+use inca_server::dedup::DedupIndex;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const WINDOW: u64 = 16;
+
+/// Unwindowed exact oracle: delivered = in the set, forgotten = not.
+#[derive(Default)]
+struct Oracle {
+    seen: BTreeSet<u64>,
+}
+
+impl Oracle {
+    fn observe(&mut self, seq: u64) -> bool {
+        self.seen.insert(seq)
+    }
+    fn forget(&mut self, seq: u64) {
+        self.seen.remove(&seq);
+    }
+}
+
+/// One generated client step; `pick` selects among the currently
+/// eligible targets so every op stays meaningful whatever the history.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Deliver the next fresh seq.
+    Fresh,
+    /// Skip ahead: the daemon dropped some reports on the floor
+    /// (crash + spool truncation), sliding the window in one jump.
+    Jump(u64),
+    /// Retransmit an already-delivered in-window seq (lost reply).
+    Retransmit(usize),
+    /// Depot failed after admission: the controller un-records it.
+    Forget(usize),
+    /// Forget a seq that is already forgotten (batch reconciliation
+    /// can report one failure through two paths).
+    DoubleForget(usize),
+    /// Retry a forgotten seq; must be fresh exactly once.
+    Retry(usize),
+}
+
+/// Drives both implementations through `ops`, checking every observe
+/// result against the oracle. Returns (index, oracle, expected dup
+/// count) for end-state assertions.
+fn run(ops: &[Op]) -> Result<(DedupIndex, Oracle, u64), proptest::test_runner::TestCaseError> {
+    let mut idx = DedupIndex::new(WINDOW);
+    let mut oracle = Oracle::default();
+    let mut next: u64 = 1;
+    // Delivered seqs still within retransmit range, and forgotten seqs
+    // awaiting retry. Both are kept within WINDOW of `next` below.
+    let mut live: Vec<u64> = Vec::new();
+    let mut failed: Vec<u64> = Vec::new();
+    let mut dups_expected: u64 = 0;
+
+    // Head-of-line discipline: before the window slides past a failed
+    // seq, the daemon has already retried it. `advance` flushes those
+    // forced retries, then trims stale retransmit targets.
+    macro_rules! advance {
+        ($to:expr) => {{
+            let to: u64 = $to;
+            let horizon = to.saturating_sub(WINDOW - 1);
+            failed.retain(|&f| {
+                if f < horizon {
+                    let fresh = idx.observe("d", f);
+                    assert!(oracle.observe(f), "oracle already had forgotten seq");
+                    if !fresh {
+                        panic!("forced retry of forgotten seq {f} was deduplicated");
+                    }
+                    live.push(f);
+                    false
+                } else {
+                    true
+                }
+            });
+            live.retain(|&s| s >= horizon);
+            next = to;
+        }};
+    }
+
+    for &op in ops {
+        match op {
+            Op::Fresh => {
+                advance!(next + 1);
+                let seq = next - 1;
+                prop_assert_eq!(idx.observe("d", seq), oracle.observe(seq), "fresh seq {}", seq);
+            }
+            Op::Jump(gap) => {
+                // Jumps stay under WINDOW so a just-failed head seq is
+                // still retryable after the slide, like a real spool
+                // whose head survives the crash.
+                advance!(next + gap % (WINDOW / 2) + 1);
+            }
+            Op::Retransmit(pick) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let seq = live[pick % live.len()];
+                prop_assert!(!oracle.observe(seq), "oracle lost seq {}", seq);
+                prop_assert!(!idx.observe("d", seq), "retransmit of {} not deduplicated", seq);
+                dups_expected += 1;
+            }
+            Op::Forget(pick) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let seq = live.swap_remove(pick % live.len());
+                idx.forget("d", seq);
+                oracle.forget(seq);
+                failed.push(seq);
+            }
+            Op::DoubleForget(pick) => {
+                if failed.is_empty() {
+                    continue;
+                }
+                let seq = failed[pick % failed.len()];
+                idx.forget("d", seq);
+                oracle.forget(seq);
+            }
+            Op::Retry(pick) => {
+                if failed.is_empty() {
+                    continue;
+                }
+                let seq = failed.swap_remove(pick % failed.len());
+                prop_assert_eq!(idx.observe("d", seq), oracle.observe(seq), "retry {}", seq);
+                live.push(seq);
+            }
+        }
+    }
+    Ok((idx, oracle, dups_expected))
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Fresh),
+        Just(Op::Fresh),
+        Just(Op::Fresh),
+        (0u64..1 << 32).prop_map(Op::Jump),
+        (0usize..1 << 16).prop_map(Op::Retransmit),
+        (0usize..1 << 16).prop_map(Op::Forget),
+        (0usize..1 << 16).prop_map(Op::DoubleForget),
+        (0usize..1 << 16).prop_map(Op::Retry),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every observe agrees with the unwindowed oracle, and every
+    /// forgotten seq is re-admitted exactly once — across arbitrary
+    /// interleavings of delivery, retransmits, forgets, retries, and
+    /// window slides (in-order collapse and crash jumps).
+    #[test]
+    fn forget_and_window_slides_match_exact_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let (mut idx, mut oracle, dups) = run(&ops)?;
+        prop_assert_eq!(idx.duplicate_count(), dups, "duplicate counter drifted");
+        // End-state probe: a forgotten-then-retried history leaves no
+        // seq double-admittable. Replay the newest in-window seqs; both
+        // sides must call every one a duplicate or both call it fresh.
+        let newest = oracle.seen.iter().next_back().copied().unwrap_or(0);
+        for seq in newest.saturating_sub(WINDOW - 1).max(1)..=newest {
+            prop_assert_eq!(
+                idx.observe("d", seq),
+                oracle.observe(seq),
+                "end-state replay of seq {} diverged", seq
+            );
+        }
+    }
+
+    /// Interleaved daemons never interfere: the same op sequence run
+    /// through one shared index under two daemon ids behaves like two
+    /// private indexes.
+    #[test]
+    fn daemons_stay_isolated_under_forgets(
+        seqs in proptest::collection::vec((1u64..40, 0u8..4), 1..120),
+    ) {
+        let mut shared = DedupIndex::new(WINDOW);
+        let mut solo_a = DedupIndex::new(WINDOW);
+        let mut solo_b = DedupIndex::new(WINDOW);
+        for &(seq, kind) in &seqs {
+            let (name, solo): (&str, &mut DedupIndex) = if kind % 2 == 0 {
+                ("a", &mut solo_a)
+            } else {
+                ("b", &mut solo_b)
+            };
+            if kind < 2 {
+                prop_assert_eq!(shared.observe(name, seq), solo.observe(name, seq));
+            } else {
+                shared.forget(name, seq);
+                solo.forget(name, seq);
+            }
+        }
+        prop_assert_eq!(
+            shared.duplicate_count(),
+            solo_a.duplicate_count() + solo_b.duplicate_count()
+        );
+    }
+}

@@ -101,6 +101,22 @@ impl NetworkModel {
         model
     }
 
+    /// A hub-and-spoke topology: every spoke site has a path to and
+    /// from `hub` only — the shape of a federated depot tier, where
+    /// partition depots talk to the root rather than to each other.
+    /// Spoke↔hub paths get the default configuration; tune individual
+    /// paths with [`NetworkModel::set_path`] afterwards.
+    pub fn hub_spoke(seed: u64, hub: &str, spokes: &[&str]) -> NetworkModel {
+        let mut model = NetworkModel::new(seed);
+        for &spoke in spokes {
+            if spoke != hub {
+                model.set_path(hub, spoke, PathConfig::default());
+                model.set_path(spoke, hub, PathConfig::default());
+            }
+        }
+        model
+    }
+
     /// The deterministic available bandwidth (Mbps) on a path at `t`,
     /// before measurement noise.
     pub fn true_bandwidth(&self, src: &str, dst: &str, t: Timestamp) -> f64 {
@@ -216,6 +232,19 @@ mod tests {
         let m = model.measure("sdsc", "caltech", t_at(3));
         let width_fraction = (m.upper_mbps - m.lower_mbps) / m.upper_mbps;
         assert!(width_fraction < 0.02, "range too wide: {width_fraction}");
+    }
+
+    #[test]
+    fn hub_spoke_configures_both_directions() {
+        let model = NetworkModel::hub_spoke(9, "hub", &["a", "b", "hub"]);
+        // Configured paths carry the default config; the hub is never
+        // connected to itself.
+        assert_eq!(model.path_config("hub", "a"), PathConfig::default());
+        assert_eq!(model.path_config("a", "hub"), PathConfig::default());
+        let m1 = model.measure("hub", "b", t_at(10));
+        let m2 = model.measure("hub", "b", t_at(10));
+        assert_eq!(m1, m2);
+        assert!(m1.lower_mbps > 0.0 && m1.lower_mbps <= m1.upper_mbps);
     }
 
     #[test]

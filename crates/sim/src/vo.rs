@@ -206,6 +206,53 @@ impl Vo {
         }
         vo
     }
+
+    /// A synthetic grid-scale VO for federation experiments: `n_sites`
+    /// sites named `site000`, `site001`, … with `resources_per_site`
+    /// machines each, per-resource failure models over `[start, end)`,
+    /// and a hub-and-spoke network through `site000`.
+    ///
+    /// Unlike [`Vo::teragrid`] this does **not** publish per-resource
+    /// failure metrics to the global registry — at hundreds of sites
+    /// that would flood it; federation benchmarks observe through the
+    /// federation's own metrics instead.
+    pub fn grid(
+        seed: u64,
+        n_sites: usize,
+        resources_per_site: usize,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Vo {
+        let sites: Vec<Site> = (0..n_sites)
+            .map(|s| Site::new(format!("site{s:03}"), format!("Grid Site {s:03}")))
+            .collect();
+        let site_ids: Vec<String> = sites.iter().map(|s| s.id.clone()).collect();
+        let spoke_refs: Vec<&str> = site_ids.iter().skip(1).map(String::as_str).collect();
+        let network = NetworkModel::hub_spoke(seed, &site_ids[0], &spoke_refs);
+        let mut vo = Vo::new("grid", sites, network);
+        for site_id in &site_ids {
+            for r in 0..resources_per_site {
+                let hostname = format!("node{r}.{site_id}.grid.example.org");
+                let spec = ResourceSpec::new(&hostname, site_id, 2, "ia64", 1500, 4.0);
+                // Derive each resource's failure seed from the base
+                // seed and its identity, so one grid seed reproduces
+                // the whole VO's schedule.
+                let failure =
+                    FailureModel::teragrid_default(seed ^ hash_id(&hostname), &hostname, start, end);
+                vo.add_resource(VoResource::healthy(spec).with_failure(failure));
+            }
+        }
+        vo
+    }
+}
+
+/// FNV-1a over an identity string, for deriving per-resource seeds.
+fn hash_id(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -321,6 +368,34 @@ mod tests {
             .measure_bandwidth("tg-login1.sdsc.teragrid.org", "tg-login1.caltech.teragrid.org", t)
             .unwrap();
         assert!(m.lower_mbps > 0.0 && m.lower_mbps <= m.upper_mbps);
+    }
+
+    #[test]
+    fn grid_builds_hundreds_of_sites_deterministically() {
+        let (start, end) = horizon();
+        let vo = Vo::grid(11, 200, 1, start, end);
+        assert_eq!(vo.sites.len(), 200);
+        assert_eq!(vo.resources().len(), 200);
+        assert_eq!(vo.sites[0].id, "site000");
+        assert_eq!(vo.sites[199].id, "site199");
+        assert_eq!(vo.resources_at("site042").count(), 1);
+        assert!(vo.resource("node0.site199.grid.example.org").is_some());
+        // Same seed reproduces the failure schedule; resources get
+        // distinct schedules (not all identical at every probe time).
+        let again = Vo::grid(11, 200, 1, start, end);
+        let mut distinct = false;
+        for hour in 0..24 {
+            let t = start + hour * 3_600;
+            let states: Vec<bool> =
+                vo.resources().iter().map(|r| r.is_up(t)).collect();
+            let states_again: Vec<bool> =
+                again.resources().iter().map(|r| r.is_up(t)).collect();
+            assert_eq!(states, states_again);
+            if states.iter().any(|&s| s != states[0]) {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "per-resource failure schedules should differ");
     }
 
     #[test]

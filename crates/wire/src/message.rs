@@ -69,6 +69,12 @@ pub struct ClientMessage {
     /// counted twice). Absent from peers without a spool, which get
     /// the old at-most-once semantics.
     pub origin: Option<(String, u64)>,
+    /// Forwarding hop, carried as an optional `via` attribute: the id
+    /// of the depot relay that spooled this message toward its parent.
+    /// A federated parent authenticates the *hop* (the relay must be
+    /// on its allowlist) while `resource` keeps naming the leaf host
+    /// that produced the report. Absent on direct submissions.
+    pub via: Option<String>,
 }
 
 impl ClientMessage {
@@ -81,6 +87,7 @@ impl ClientMessage {
             is_error_report: false,
             trace: None,
             origin: None,
+            via: None,
         }
     }
 
@@ -93,6 +100,7 @@ impl ClientMessage {
             is_error_report: true,
             trace: None,
             origin: None,
+            via: None,
         }
     }
 
@@ -105,6 +113,13 @@ impl ClientMessage {
     /// Stamps the reliable-delivery identity `(daemon_id, seq)`.
     pub fn with_origin(mut self, daemon: impl Into<String>, seq: u64) -> Self {
         self.origin = Some((daemon.into(), seq));
+        self
+    }
+
+    /// Stamps the forwarding hop: which depot relay carried this
+    /// message toward its parent.
+    pub fn with_via(mut self, depot: impl Into<String>) -> Self {
+        self.via = Some(depot.into());
         self
     }
 
@@ -121,9 +136,13 @@ impl ClientMessage {
             }
             None => String::new(),
         };
+        let via_attr = match &self.via {
+            Some(depot) => format!(" via=\"{}\"", escape_text(depot)),
+            None => String::new(),
+        };
         let mut xml = String::with_capacity(self.report_xml.len() + 256);
         xml.push_str(&format!(
-            "<incaMessage kind=\"{kind}\"{trace_attr}{origin_attr}><resource>{}</resource><branch>{}</branch><payload>{}</payload></incaMessage>",
+            "<incaMessage kind=\"{kind}\"{trace_attr}{origin_attr}{via_attr}><resource>{}</resource><branch>{}</branch><payload>{}</payload></incaMessage>",
             escape_text(&self.resource),
             escape_text(&self.branch.to_string()),
             escape_text(&self.report_xml),
@@ -175,7 +194,11 @@ impl ClientMessage {
             }
             _ => None,
         };
-        Ok(ClientMessage { resource, branch, report_xml, is_error_report, trace, origin })
+        // The hop stamp is authentication metadata for federated
+        // parents; absent on direct submissions, so it decodes
+        // tolerantly like the other optional attributes.
+        let via = root.attribute("via").map(str::to_string);
+        Ok(ClientMessage { resource, branch, report_xml, is_error_report, trace, origin, via })
     }
 }
 
@@ -280,6 +303,24 @@ mod tests {
             String::from_utf8(msg.encode()).unwrap().replace("seq=\"41\"", "seq=\"x\"");
         let decoded = ClientMessage::decode(mangled.as_bytes()).unwrap();
         assert_eq!(decoded.origin, None);
+        assert_eq!(decoded.branch, msg.branch);
+    }
+
+    #[test]
+    fn via_roundtrips_and_degrades_gracefully() {
+        let msg = ClientMessage::report("h", sample_branch(), &sample_report())
+            .with_origin("depot-west", 7)
+            .with_via("depot-west");
+        let decoded = ClientMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.via.as_deref(), Some("depot-west"));
+        assert_eq!(decoded, msg);
+
+        // A message without the hop stamp (a direct submission, or a
+        // peer predating federation) decodes with via = None.
+        let stripped =
+            String::from_utf8(msg.encode()).unwrap().replace(" via=\"depot-west\"", "");
+        let decoded = ClientMessage::decode(stripped.as_bytes()).unwrap();
+        assert_eq!(decoded.via, None);
         assert_eq!(decoded.branch, msg.branch);
     }
 

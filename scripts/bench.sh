@@ -10,11 +10,14 @@
 #   BENCH_net.json    — reactor frontend connection-scale curve
 #                       (100 → 10k concurrent daemons vs sustained
 #                       reports/sec and p99 accept-to-insert latency)
+#   BENCH_fed.json    — federated depot tier scale curve (sites vs
+#                       global-merge/site-query latency, largest
+#                       partition cache, single-depot oracle identity)
 # Pass --smoke for the seconds-long CI sanity variant (writes
 # *.smoke.json names so it never clobbers the committed full-mode
 # baselines), --out-dir DIR to write somewhere other than the repo
 # root (the smoke gate in scripts/verify.sh uses target/), and
-# --only <depot|query|obs|net> to build and run a single bench.
+# --only <depot|query|obs|net|fed> to build and run a single bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,18 +33,18 @@ while [ $# -gt 0 ]; do
       shift
       ;;
     --only)
-      only="${2:?--only requires one of: depot, query, obs, net}"
+      only="${2:?--only requires one of: depot, query, obs, net, fed}"
       case "$only" in
-        depot|query|obs|net) ;;
+        depot|query|obs|net|fed) ;;
         *)
-          echo "--only: unknown bench '$only' (expected depot, query, obs or net)" >&2
+          echo "--only: unknown bench '$only' (expected depot, query, obs, net or fed)" >&2
           exit 2
           ;;
       esac
       shift
       ;;
     *)
-      echo "usage: bench.sh [--smoke] [--out-dir DIR] [--only <depot|query|obs|net>]" >&2
+      echo "usage: bench.sh [--smoke] [--out-dir DIR] [--only <depot|query|obs|net|fed>]" >&2
       exit 2
       ;;
   esac
@@ -64,16 +67,22 @@ run_net() {
   cargo build --release -q -p inca-bench --bin net_scale
   target/release/net_scale $smoke --out "$outdir/BENCH_net$suffix.json"
 }
+run_fed() {
+  cargo build --release -q -p inca-bench --bin fed_scale
+  target/release/fed_scale $smoke --out "$outdir/BENCH_fed$suffix.json"
+}
 
 case "$only" in
   depot) run_depot ;;
   query) run_query ;;
   obs) run_obs ;;
   net) run_net ;;
+  fed) run_fed ;;
   "")
     run_depot
     run_query
     run_obs
     run_net
+    run_fed
     ;;
 esac

@@ -19,6 +19,9 @@
 #      binframe function in ARCHITECTURE.md;
 #   7. the reactor frontend stays documented: every public method of
 #      the readiness reactor (crates/server/src/reactor/) must appear
+#      in ARCHITECTURE.md;
+#   8. the federated depot tier stays documented: every public method
+#      and free function of crates/server/src/federation/ must appear
 #      in ARCHITECTURE.md.
 set -e
 cd "$(dirname "$0")/.."
@@ -135,6 +138,21 @@ for method in $(grep -hE '^    pub fn [a-z0-9_]+' \
     | sed 's/^    pub fn //; s/(.*//' | sort -u); do
   if ! grep -q "$method" ARCHITECTURE.md; then
     echo "UNDOCUMENTED REACTOR METHOD: $method (add it to ARCHITECTURE.md)"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== federation documented =="
+# Many depots, one query plane: the federation's public surface
+# (partition map methods, the Federation plane, the rollup helpers)
+# must stay looked-up-able in the architecture doc.
+fail=0
+for name in $(grep -hE '^    pub fn [a-z0-9_]+|^pub fn [a-z0-9_]+' \
+    crates/server/src/federation/mod.rs crates/server/src/federation/partition.rs \
+    | sed 's/^ *pub fn //; s/[(<].*//' | sort -u); do
+  if ! grep -q "$name" ARCHITECTURE.md; then
+    echo "UNDOCUMENTED FEDERATION FN: $name (add it to ARCHITECTURE.md)"
     fail=1
   fi
 done

@@ -86,6 +86,17 @@ cargo test -q --test net_frontend
 cargo test -q -p inca-server --lib reactor
 cargo test -q -p inca-wire --lib frame
 
+# The federated depot tier: partition-map/routing/rollup unit tests,
+# the depot relay's exactly-once forwarding unit tests, and the e2e
+# (200 sites over 8 partitions, global merge byte-identical to a
+# single-depot oracle, rollups forwarded exactly once through a
+# chaos-faulted hop, VO compliance answered from rollup series with
+# zero leaf materializations).
+echo "== federation gate =="
+cargo test -q -p inca-server --lib federation
+cargo test -q -p inca-controller --lib relay
+cargo test -q --test federation
+
 # The bench baselines must stay runnable: a smoke pass writes its JSON
 # to target/ (never the tracked BENCH_*.json) and we check the fields
 # consumers of the baselines rely on are present.
@@ -127,6 +138,29 @@ if ! awk -F'"reports_per_sec": ' '/"reports_per_sec"/ {
       split($2, a, ","); if (a[1] + 0 < 5000) bad = 1
     } END { exit bad }' target/BENCH_net.smoke.json; then
   echo "verify FAILED: net bench smoke below the 5k reports/sec floor" >&2
+  exit 1
+fi
+for key in '"sites"' '"partitions"' '"global_query_us"' '"site_query_us"' '"largest_cache_bytes"' '"reports"' '"oracle_identical"'; do
+  if ! grep -q "$key" target/BENCH_fed.smoke.json; then
+    echo "verify FAILED: fed bench smoke output missing $key" >&2
+    exit 1
+  fi
+done
+# Even the smoke pass must hold the federation's core promises at 200
+# sites: the merged global document byte-identical to the single-depot
+# oracle, and no partition cache over the configured byte bound.
+if grep -q '"oracle_identical": false' target/BENCH_fed.smoke.json; then
+  echo "verify FAILED: fed bench merged document diverged from the single-depot oracle" >&2
+  exit 1
+fi
+if ! grep -q '"sites": 200' target/BENCH_fed.smoke.json; then
+  echo "verify FAILED: fed bench smoke did not reach 200 sites" >&2
+  exit 1
+fi
+if ! awk -F'"over_bound": ' '/"over_bound"/ {
+      split($2, a, ","); if (a[1] + 0 > 0) bad = 1
+    } END { exit bad }' target/BENCH_fed.smoke.json; then
+  echo "verify FAILED: fed bench found partition caches over the byte bound" >&2
   exit 1
 fi
 
